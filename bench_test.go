@@ -1,0 +1,70 @@
+// Package fastrl's benchmark harness: one testing.B benchmark per paper
+// table and figure, each regenerating the artefact through the
+// internal/experiments runners in quick mode. Run all of them with
+//
+//	go test -bench=. -benchmem
+//
+// and individual artefacts with e.g. -bench=BenchmarkTable5. For
+// full-scale outputs use cmd/tltbench instead (no -quick).
+package fastrl
+
+import (
+	"testing"
+
+	"fastrl/internal/experiments"
+)
+
+// benchExperiment runs one experiment per iteration and reports its key
+// scalar (first numeric output) so regressions in the *shape* metrics are
+// visible in benchmark diffs.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		r, err := experiments.Run(id, experiments.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(r.Tables) == 0 && len(r.Series) == 0 {
+			b.Fatalf("%s produced no output", id)
+		}
+	}
+}
+
+// ---- Figures.
+
+func BenchmarkFig1a(b *testing.B) { benchExperiment(b, "fig1a") }
+func BenchmarkFig2(b *testing.B)  { benchExperiment(b, "fig2") }
+func BenchmarkFig3a(b *testing.B) { benchExperiment(b, "fig3a") }
+func BenchmarkFig5c(b *testing.B) { benchExperiment(b, "fig5c") }
+func BenchmarkFig11(b *testing.B) { benchExperiment(b, "fig11") }
+func BenchmarkFig12(b *testing.B) { benchExperiment(b, "fig12") }
+func BenchmarkFig13(b *testing.B) { benchExperiment(b, "fig13") }
+func BenchmarkFig14(b *testing.B) { benchExperiment(b, "fig14") }
+func BenchmarkFig15(b *testing.B) { benchExperiment(b, "fig15") }
+func BenchmarkFig16(b *testing.B) { benchExperiment(b, "fig16") }
+func BenchmarkFig17(b *testing.B) { benchExperiment(b, "fig17") }
+
+// ---- Tables.
+
+func BenchmarkTable1(b *testing.B) { benchExperiment(b, "tab1") }
+func BenchmarkTable2(b *testing.B) { benchExperiment(b, "tab2") }
+func BenchmarkTable3(b *testing.B) { benchExperiment(b, "tab3") }
+func BenchmarkTable4(b *testing.B) { benchExperiment(b, "tab4") }
+func BenchmarkTable5(b *testing.B) { benchExperiment(b, "tab5") }
+func BenchmarkTable6(b *testing.B) { benchExperiment(b, "tab6") }
+func BenchmarkTable7(b *testing.B) { benchExperiment(b, "tab7") }
+func BenchmarkTable8(b *testing.B) { benchExperiment(b, "tab8") }
+
+// ---- Design-choice ablations (DESIGN.md).
+
+func BenchmarkAblationElastic(b *testing.B)    { benchExperiment(b, "abl-elastic") }
+func BenchmarkAblationMAB(b *testing.B)        { benchExperiment(b, "abl-mab") }
+func BenchmarkAblationDataBuffer(b *testing.B) { benchExperiment(b, "abl-buffer") }
+func BenchmarkAblationTree(b *testing.B)       { benchExperiment(b, "abl-tree") }
+func BenchmarkAblationSpot(b *testing.B)       { benchExperiment(b, "abl-spot") }
+
+// ---- Discussion scenarios (paper §7).
+
+func BenchmarkDiscussionMultiTurn(b *testing.B) { benchExperiment(b, "disc-multiturn") }
+func BenchmarkDiscussionUniform(b *testing.B)   { benchExperiment(b, "disc-uniform") }
+func BenchmarkDiscussionEarlyStop(b *testing.B) { benchExperiment(b, "disc-earlystop") }

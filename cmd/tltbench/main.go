@@ -1,0 +1,55 @@
+// Command tltbench regenerates the paper's tables and figures from the
+// simulator. Run `tltbench -list` for available experiments, then e.g.
+//
+//	tltbench -exp fig11
+//	tltbench -exp all -quick
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"fastrl/internal/experiments"
+)
+
+func main() {
+	var (
+		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick   = flag.Bool("quick", false, "reduced workload sizes")
+		seed    = flag.Int64("seed", 0, "override experiment seed (0 = default)")
+		list    = flag.Bool("list", false, "list available experiments")
+		verbose = flag.Bool("v", false, "verbose progress")
+	)
+	flag.Parse()
+
+	if *list || *exp == "" {
+		fmt.Println("available experiments:")
+		for _, id := range experiments.IDs() {
+			fmt.Printf("  %-12s %s\n", id, experiments.Title(id))
+		}
+		if *exp == "" {
+			fmt.Println("\nusage: tltbench -exp <id>|all [-quick] [-seed N]")
+		}
+		return
+	}
+
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Verbose: *verbose}
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experiments.IDs()
+	}
+	for _, id := range ids {
+		start := time.Now()
+		r, err := experiments.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tltbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println(r)
+		if *verbose {
+			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+		}
+	}
+}

@@ -1,0 +1,121 @@
+package coordinator
+
+import (
+	"sync"
+	"time"
+)
+
+// MsgKind enumerates worker→coordinator messages.
+type MsgKind int
+
+const (
+	// MsgIdle reports a worker finished its rollout requests.
+	MsgIdle MsgKind = iota
+	// MsgBusy reports a worker returning to rollout duty.
+	MsgBusy
+	// MsgRolloutComplete reports the global rollout barrier.
+	MsgRolloutComplete
+)
+
+// Msg is one worker message.
+type Msg struct {
+	Kind   MsgKind
+	Worker int
+	At     time.Duration
+}
+
+// Bus runs a Coordinator behind an asynchronous request-reply message
+// loop, the in-process analogue of the paper's ZeroMQ centralized
+// controller. Workers send state transitions; directives are delivered on
+// per-worker channels.
+type Bus struct {
+	mu   sync.Mutex
+	c    *Coordinator
+	in   chan Msg
+	outs []chan Action
+	done chan struct{}
+	wg   sync.WaitGroup
+}
+
+// NewBus starts the coordinator loop. Each worker owns outs[i], a
+// buffered directive channel.
+func NewBus(cfg Config) (*Bus, error) {
+	c, err := New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	b := &Bus{
+		c:    c,
+		in:   make(chan Msg, 4*cfg.Workers),
+		outs: make([]chan Action, cfg.Workers),
+		done: make(chan struct{}),
+	}
+	for i := range b.outs {
+		b.outs[i] = make(chan Action, 8)
+	}
+	b.wg.Add(1)
+	go b.loop()
+	return b, nil
+}
+
+// Send submits a worker message (non-blocking up to the buffer).
+func (b *Bus) Send(m Msg) {
+	select {
+	case b.in <- m:
+	case <-b.done:
+	}
+}
+
+// Directives returns worker w's directive channel.
+func (b *Bus) Directives(w int) <-chan Action { return b.outs[w] }
+
+// Coordinator exposes the underlying state machine (snapshot reads).
+func (b *Bus) Coordinator() *Coordinator {
+	return b.c
+}
+
+// Snapshot returns the current worker states safely.
+func (b *Bus) Snapshot() []State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.c.States()
+}
+
+// Close shuts the loop down gracefully.
+func (b *Bus) Close() {
+	close(b.done)
+	b.wg.Wait()
+}
+
+func (b *Bus) loop() {
+	defer b.wg.Done()
+	for {
+		select {
+		case <-b.done:
+			return
+		case m := <-b.in:
+			b.mu.Lock()
+			var actions []Action
+			switch m.Kind {
+			case MsgIdle:
+				actions = b.c.WorkerIdle(m.Worker, m.At)
+			case MsgBusy:
+				actions = b.c.WorkerBusy(m.Worker, m.At)
+			case MsgRolloutComplete:
+				actions = b.c.RolloutComplete(m.At)
+			}
+			b.mu.Unlock()
+			for _, a := range actions {
+				for _, w := range a.Workers {
+					select {
+					case b.outs[w] <- a:
+					default:
+						// A full directive buffer means the worker is not
+						// draining; drop rather than deadlock the loop (the
+						// worker will resync from the next directive).
+					}
+				}
+			}
+		}
+	}
+}

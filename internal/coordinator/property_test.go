@@ -1,0 +1,107 @@
+package coordinator
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestCoordinatorInvariants drives the state machine with random event
+// sequences and checks structural invariants after every event:
+//   - a leader exists if and only if at least one worker is TRAINING
+//   - the leader itself is TRAINING
+//   - worker states are always one of the three defined values
+//   - RolloutComplete always clears all TRAINING workers
+func TestCoordinatorInvariants(t *testing.T) {
+	rng := rand.New(rand.NewSource(99))
+	for trial := 0; trial < 200; trial++ {
+		workers := 1 + rng.Intn(8)
+		threshold := 1 + rng.Intn(3)
+		c, err := New(Config{Workers: workers, IdleThreshold: threshold})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ev := 0; ev < 60; ev++ {
+			w := rng.Intn(workers)
+			now := time.Duration(ev)
+			switch rng.Intn(4) {
+			case 0:
+				c.WorkerIdle(w, now)
+			case 1:
+				c.WorkerBusy(w, now)
+			case 2:
+				c.RolloutComplete(now)
+			case 3:
+				c.Reset()
+			}
+			checkInvariants(t, c, trial, ev)
+		}
+	}
+}
+
+func checkInvariants(t *testing.T, c *Coordinator, trial, ev int) {
+	t.Helper()
+	training := c.TrainingWorkers()
+	leader := c.Leader()
+	if len(training) > 0 && leader < 0 {
+		t.Fatalf("trial %d ev %d: training workers %v without a leader", trial, ev, training)
+	}
+	if len(training) == 0 && leader >= 0 {
+		t.Fatalf("trial %d ev %d: leader %d with no training workers", trial, ev, leader)
+	}
+	if leader >= 0 && c.State(leader) != Training {
+		t.Fatalf("trial %d ev %d: leader %d in state %v", trial, ev, leader, c.State(leader))
+	}
+	for w, s := range c.States() {
+		if s != Busy && s != Idle && s != Training {
+			t.Fatalf("trial %d ev %d: worker %d invalid state %d", trial, ev, w, int(s))
+		}
+	}
+}
+
+// TestCoordinatorActionsConsistent checks emitted actions reference valid
+// workers and that StartTraining includes its leader.
+func TestCoordinatorActionsConsistent(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	c, err := New(Config{Workers: 6, IdleThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var actions []Action
+	for ev := 0; ev < 300; ev++ {
+		w := rng.Intn(6)
+		now := time.Duration(ev)
+		switch rng.Intn(3) {
+		case 0:
+			actions = append(actions, c.WorkerIdle(w, now)...)
+		case 1:
+			actions = append(actions, c.WorkerBusy(w, now)...)
+		case 2:
+			actions = append(actions, c.RolloutComplete(now)...)
+		}
+	}
+	for _, a := range actions {
+		if len(a.Workers) == 0 {
+			t.Fatalf("action %v has no workers", a)
+		}
+		for _, w := range a.Workers {
+			if w < 0 || w >= 6 {
+				t.Fatalf("action %v references invalid worker", a)
+			}
+		}
+		if a.Kind == StartTraining {
+			found := false
+			for _, w := range a.Workers {
+				if w == a.Leader {
+					found = true
+				}
+			}
+			if !found {
+				t.Fatalf("StartTraining %v does not include its leader", a)
+			}
+		}
+	}
+	if len(actions) == 0 {
+		t.Fatal("no actions emitted over 300 events")
+	}
+}

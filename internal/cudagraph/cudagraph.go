@@ -1,0 +1,265 @@
+// Package cudagraph models the memory-efficient CUDAGraph pool of the
+// Adaptive Rollout Engine (paper §5.1, Fig. 10, Table 5).
+//
+// CUDAGraph replay removes per-kernel launch overhead but requires one
+// captured graph per (model, batch size, strategy shape). The pool
+// implements the paper's three capture plans:
+//
+//   - Single: graphs for one static strategy (cheap, inflexible);
+//   - NaiveMulti: graphs for every strategy × batch bucket for both
+//     target and draft models (flexible, memory grows linearly in the
+//     number of strategies);
+//   - Bucketed: the paper's design — batch-size buckets matched to
+//     strategy-specific shapes, disaggregated target/draft captures, and
+//     merged captures for identical shapes.
+package cudagraph
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/specdec"
+)
+
+// Kind distinguishes target-model and draft-model graphs.
+type Kind int
+
+const (
+	// KindTarget marks a verification (target model) graph.
+	KindTarget Kind = iota
+	// KindDraft marks a drafting (draft model) graph.
+	KindDraft
+)
+
+func (k Kind) String() string {
+	if k == KindTarget {
+		return "target"
+	}
+	return "draft"
+}
+
+// Key identifies one captured graph: the model it runs, the batch-size
+// bucket it was captured for, and the per-sequence token shape (tokens to
+// verify for the target; drafting top-K width for the draft model).
+type Key struct {
+	Kind   Kind
+	Bucket int // captured (maximum) batch size
+	Tokens int // tokens per sequence in the pass
+}
+
+func (k Key) String() string {
+	return fmt.Sprintf("%s{bs=%d,tok=%d}", k.Kind, k.Bucket, k.Tokens)
+}
+
+// Graph is one captured CUDAGraph with its memory footprint.
+type Graph struct {
+	Key      Key
+	MemBytes float64
+}
+
+// workspaceOverhead scales activation workspace to account for attention
+// intermediates, MLP expansion and captured buffer padding; calibrated so
+// a Llama-8B (TP=4) single-strategy pool lands near the paper's 7.81 GB.
+const workspaceOverhead = 26.0
+
+// padTokens is the token-dimension padding of captured workspaces: graphs
+// allocate buffers for the maximum pass width regardless of the
+// strategy's nominal token count, which is why multi-strategy capture
+// grows linearly in the number of strategies (paper Table 5), not with
+// token shapes.
+const padTokens = 64
+
+// graphMetaBytes is the fixed per-graph bookkeeping cost.
+const graphMetaBytes = 24 << 20
+
+// captureTime is the wall cost of capturing one graph (engine start-up).
+const captureTime = 150 * time.Millisecond
+
+// graphMemBytes models the workspace a captured graph pins: padded
+// activations for batch×padTokens positions through every layer, plus
+// metadata.
+func graphMemBytes(arch gpu.Arch, bucket, tokens, tp int) float64 {
+	if tp < 1 {
+		tp = 1
+	}
+	act := float64(bucket) * float64(padTokens) * float64(arch.HiddenDim) *
+		float64(arch.Layers) * arch.BytesPer * workspaceOverhead / float64(tp)
+	return act + graphMetaBytes
+}
+
+// DefaultBuckets are the captured batch-size buckets (powers of two up to
+// the elastic SD threshold's usual range).
+var DefaultBuckets = []int{1, 2, 4, 8, 16, 32}
+
+// Plan is a set of graphs to capture.
+type Plan struct {
+	Name   string
+	Graphs []Graph
+}
+
+// TotalMemBytes sums the plan's memory footprint.
+func (p Plan) TotalMemBytes() float64 {
+	var s float64
+	for _, g := range p.Graphs {
+		s += g.MemBytes
+	}
+	return s
+}
+
+// CaptureCost returns the virtual time needed to capture the whole plan.
+func (p Plan) CaptureCost() time.Duration {
+	return time.Duration(len(p.Graphs)) * captureTime
+}
+
+// SinglePlan captures one strategy across all batch buckets: the baseline
+// in Fig. 10(a).
+func SinglePlan(target, draftArch gpu.Arch, tp int, s specdec.Params, buckets []int) Plan {
+	var graphs []Graph
+	for _, b := range buckets {
+		graphs = append(graphs,
+			Graph{Key: Key{KindTarget, b, s.TokensToVerify}, MemBytes: graphMemBytes(target, b, s.TokensToVerify, tp)},
+			Graph{Key: Key{KindDraft, b, s.TopK}, MemBytes: graphMemBytes(draftArch, b, s.TopK, tp)},
+		)
+	}
+	return Plan{Name: "single", Graphs: graphs}
+}
+
+// NaiveMultiPlan captures every strategy × bucket for both models without
+// sharing: Fig. 10(b). Memory grows linearly with the strategy count.
+func NaiveMultiPlan(target, draftArch gpu.Arch, tp int, strategies []specdec.Params, buckets []int) Plan {
+	var graphs []Graph
+	for _, s := range strategies {
+		for _, b := range buckets {
+			graphs = append(graphs,
+				Graph{Key: Key{KindTarget, b, s.TokensToVerify}, MemBytes: graphMemBytes(target, b, s.TokensToVerify, tp)},
+				Graph{Key: Key{KindDraft, b, s.TopK}, MemBytes: graphMemBytes(draftArch, b, s.TopK, tp)},
+			)
+		}
+	}
+	return Plan{Name: "naive-multi", Graphs: graphs}
+}
+
+// BucketedPlan implements the paper's Bucketed CUDAGraph Capture
+// (Fig. 10(c)):
+//
+//  1. Bucketed batch sizes: each strategy is captured only for the batch
+//     bucket range it is meant to serve (strategies verifying more tokens
+//     serve smaller batches), instead of every bucket.
+//  2. Disaggregated capture: target graphs are keyed only by
+//     TokensToVerify and draft graphs only by TopK, so configurations
+//     affecting one model do not multiply the other's captures.
+//  3. Merged captures: strategies sharing a shape share one graph.
+//
+// strategies must be ordered by descending TokensToVerify; thresholds[i]
+// is the smallest batch size of strategy i's bucket (ascending), as in
+// the BEG-MAB selector.
+func BucketedPlan(target, draftArch gpu.Arch, tp int, strategies []specdec.Params, thresholds []int, buckets []int) Plan {
+	// Group strategies by TokensToVerify (descending), exactly as the
+	// BEG-MAB selector does: group i serves batch bucket i.
+	byVerify := make(map[int][]specdec.Params)
+	var verifies []int
+	for _, s := range strategies {
+		if _, ok := byVerify[s.TokensToVerify]; !ok {
+			verifies = append(verifies, s.TokensToVerify)
+		}
+		byVerify[s.TokensToVerify] = append(byVerify[s.TokensToVerify], s)
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(verifies)))
+
+	seen := make(map[Key]bool)
+	var graphs []Graph
+	add := func(k Key, arch gpu.Arch) {
+		if seen[k] {
+			return
+		}
+		seen[k] = true
+		graphs = append(graphs, Graph{Key: k, MemBytes: graphMemBytes(arch, k.Bucket, k.Tokens, tp)})
+	}
+	for i, v := range verifies {
+		lo := 1
+		if i < len(thresholds) {
+			lo = thresholds[i]
+		}
+		hi := 1 << 30
+		if i+1 < len(thresholds) {
+			// Pad the range by one bucket past the nominal ceiling so
+			// boundary batch sizes (requests completing mid-bucket) stay
+			// covered — the safety margin that makes the bucketed pool a
+			// modest increase over a single static strategy.
+			hi = nextBucket(thresholds[i+1]-1, buckets)
+		}
+		for _, b := range buckets {
+			if b < lo || b > hi {
+				continue
+			}
+			add(Key{KindTarget, b, v}, target)
+			for _, s := range byVerify[v] {
+				add(Key{KindDraft, b, s.TopK}, draftArch)
+			}
+		}
+	}
+	return Plan{Name: "bucketed", Graphs: graphs}
+}
+
+// nextBucket returns the smallest bucket strictly greater than the bucket
+// covering hi, or the covering bucket when it is the largest.
+func nextBucket(hi int, buckets []int) int {
+	for i, b := range buckets {
+		if b >= hi {
+			if i+1 < len(buckets) {
+				return buckets[i+1]
+			}
+			return b
+		}
+	}
+	if len(buckets) > 0 {
+		return buckets[len(buckets)-1]
+	}
+	return hi
+}
+
+// Pool is the runtime graph pool: captured graphs plus lookup.
+type Pool struct {
+	graphs map[Key]*Graph
+	plan   Plan
+}
+
+// NewPool captures a plan (virtually) and returns the pool.
+func NewPool(plan Plan) *Pool {
+	p := &Pool{graphs: make(map[Key]*Graph, len(plan.Graphs)), plan: plan}
+	for i := range plan.Graphs {
+		g := plan.Graphs[i]
+		p.graphs[g.Key] = &g
+	}
+	return p
+}
+
+// Plan returns the captured plan.
+func (p *Pool) Plan() Plan { return p.plan }
+
+// Lookup reports whether a captured graph covers the given execution:
+// the smallest captured bucket >= batchSize with the exact token shape.
+// A hit means the pass replays as a single graph launch; a miss falls
+// back to eager kernel launches.
+func (p *Pool) Lookup(kind Kind, batchSize, tokens int) (Key, bool) {
+	best := Key{}
+	found := false
+	for k := range p.graphs {
+		if k.Kind != kind || k.Tokens != tokens || k.Bucket < batchSize {
+			continue
+		}
+		if !found || k.Bucket < best.Bucket {
+			best = k
+			found = true
+		}
+	}
+	return best, found
+}
+
+// MemBytes returns the pool's total pinned memory.
+func (p *Pool) MemBytes() float64 { return p.plan.TotalMemBytes() }
+
+// Size returns the number of captured graphs.
+func (p *Pool) Size() int { return len(p.graphs) }

@@ -1,0 +1,136 @@
+package cudagraph
+
+import (
+	"testing"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/mab"
+	"fastrl/internal/specdec"
+)
+
+func testArchs() (gpu.Arch, gpu.Arch) {
+	return gpu.Llama8B, gpu.DraftArch(gpu.Llama8B)
+}
+
+func TestTable5MemoryOrdering(t *testing.T) {
+	// Table 5: single < bucketed << naive multi, with bucketed only a
+	// marginal increase over single and a multiple reduction vs naive.
+	target, draftArch := testArchs()
+	strategies := mab.DefaultStrategies()
+	thresholds := []int{1, 3, 9, 17}
+
+	single := SinglePlan(target, draftArch, 4, strategies[0], DefaultBuckets)
+	naive := NaiveMultiPlan(target, draftArch, 4, strategies, DefaultBuckets)
+	bucketed := BucketedPlan(target, draftArch, 4, strategies, thresholds, DefaultBuckets)
+	t.Logf("single=%.2fGB bucketed=%.2fGB naive=%.2fGB",
+		single.TotalMemBytes()/1e9, bucketed.TotalMemBytes()/1e9, naive.TotalMemBytes()/1e9)
+
+	s, n, b := single.TotalMemBytes(), naive.TotalMemBytes(), bucketed.TotalMemBytes()
+	if !(s < b && b < n) {
+		t.Fatalf("memory ordering violated: single=%.2fGB bucketed=%.2fGB naive=%.2fGB",
+			s/1e9, b/1e9, n/1e9)
+	}
+	if n/b < 2 {
+		t.Fatalf("bucketed should reduce naive memory by >= 2x, got %.2fx (naive %.2fGB, bucketed %.2fGB)",
+			n/b, n/1e9, b/1e9)
+	}
+	if b/s > 2 {
+		t.Fatalf("bucketed should be a marginal increase over single, got %.2fx", b/s)
+	}
+	// Ballpark of the paper's absolute numbers (GB scale, not MB or TB).
+	if s < 1e9 || s > 40e9 {
+		t.Fatalf("single-strategy footprint %.2fGB outside plausible range", s/1e9)
+	}
+}
+
+func TestBucketedMergesSharedShapes(t *testing.T) {
+	target, draftArch := testArchs()
+	// Two strategies sharing TopK must share draft graphs.
+	strategies := []specdec.Params{
+		{DraftDepth: 10, TopK: 8, TokensToVerify: 48},
+		{DraftDepth: 8, TopK: 8, TokensToVerify: 32},
+	}
+	plan := BucketedPlan(target, draftArch, 4, strategies, []int{1, 3}, DefaultBuckets)
+	draftKeys := map[Key]int{}
+	for _, g := range plan.Graphs {
+		if g.Key.Kind == KindDraft {
+			draftKeys[g.Key]++
+		}
+	}
+	for k, c := range draftKeys {
+		if c > 1 {
+			t.Fatalf("draft graph %v captured %d times", k, c)
+		}
+	}
+}
+
+func TestBucketedRestrictsBatchRange(t *testing.T) {
+	target, draftArch := testArchs()
+	strategies := mab.DefaultStrategies()
+	plan := BucketedPlan(target, draftArch, 1, strategies, []int{1, 3, 9, 17}, DefaultBuckets)
+	pool := NewPool(plan)
+	// The deepest group (verify=24) serves batches 1..2 (plus one padding
+	// bucket); no batch-32 target graph with 24 tokens should exist.
+	if _, ok := pool.Lookup(KindTarget, 32, 24); ok {
+		t.Fatal("deep-tree graph captured for large batches")
+	}
+	// But the shallow group (verify=4) must cover batch 32.
+	if _, ok := pool.Lookup(KindTarget, 32, 4); !ok {
+		t.Fatal("shallow strategy missing large-batch graph")
+	}
+	// And the deep group must cover batch 1.
+	if _, ok := pool.Lookup(KindTarget, 1, 24); !ok {
+		t.Fatal("deep strategy missing batch-1 graph")
+	}
+}
+
+func TestPoolLookupPicksSmallestCoveringBucket(t *testing.T) {
+	target, draftArch := testArchs()
+	plan := SinglePlan(target, draftArch, 1, specdec.Params{DraftDepth: 4, TopK: 4, TokensToVerify: 8}, DefaultBuckets)
+	pool := NewPool(plan)
+	k, ok := pool.Lookup(KindTarget, 5, 8)
+	if !ok {
+		t.Fatal("lookup miss for covered batch size")
+	}
+	if k.Bucket != 8 {
+		t.Fatalf("lookup picked bucket %d for batch 5, want 8", k.Bucket)
+	}
+	if _, ok := pool.Lookup(KindTarget, 64, 8); ok {
+		t.Fatal("lookup should miss beyond the largest captured bucket")
+	}
+	if _, ok := pool.Lookup(KindTarget, 4, 99); ok {
+		t.Fatal("lookup should miss for uncaptured token shape")
+	}
+}
+
+func TestNaiveGrowsLinearly(t *testing.T) {
+	target, draftArch := testArchs()
+	strategies := mab.DefaultStrategies()
+	two := NaiveMultiPlan(target, draftArch, 1, strategies[:2], DefaultBuckets)
+	four := NaiveMultiPlan(target, draftArch, 1, strategies, DefaultBuckets)
+	ratio := four.TotalMemBytes() / two.TotalMemBytes()
+	if ratio < 1.5 {
+		t.Fatalf("naive multi-strategy memory should grow near-linearly, got %.2fx for 2x strategies", ratio)
+	}
+}
+
+func TestCaptureCost(t *testing.T) {
+	target, draftArch := testArchs()
+	plan := SinglePlan(target, draftArch, 1, specdec.Params{DraftDepth: 4, TopK: 4, TokensToVerify: 8}, DefaultBuckets)
+	if plan.CaptureCost() <= 0 {
+		t.Fatal("capture cost must be positive")
+	}
+	if got := NewPool(plan).Size(); got != len(plan.Graphs) {
+		t.Fatalf("pool size %d != plan graphs %d", got, len(plan.Graphs))
+	}
+}
+
+func TestTPShardsGraphMemory(t *testing.T) {
+	target, draftArch := testArchs()
+	s := specdec.Params{DraftDepth: 4, TopK: 4, TokensToVerify: 8}
+	tp1 := SinglePlan(target, draftArch, 1, s, DefaultBuckets).TotalMemBytes()
+	tp4 := SinglePlan(target, draftArch, 4, s, DefaultBuckets).TotalMemBytes()
+	if tp4 >= tp1 {
+		t.Fatalf("TP=4 per-GPU graph memory %.2fGB should be below TP=1 %.2fGB", tp4/1e9, tp1/1e9)
+	}
+}

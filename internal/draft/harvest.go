@@ -1,0 +1,42 @@
+package draft
+
+import (
+	"fastrl/internal/model"
+)
+
+// HarvestExamples recomputes drafter training examples from a finished (or
+// partial) sequence, exactly as the RL inference stage does when it
+// prefills responses through the target model: for every generated
+// position it records the context, the target's hidden sketch, the
+// target's next-token distribution, and the token actually produced.
+//
+// withDist controls whether the full target distribution is stored (needed
+// by KD objectives; costs vocab floats per position).
+func HarvestExamples(target *model.LM, seq model.Context, withDist bool) []*Example {
+	n := len(seq.Tokens)
+	if seq.PromptLen >= n {
+		return nil
+	}
+	vocab := target.Config().Vocab
+	out := make([]*Example, 0, n-seq.PromptLen)
+	for pos := seq.PromptLen; pos < n; pos++ {
+		ctx := model.Context{Tokens: seq.Tokens[:pos], PromptLen: seq.PromptLen}
+		// Two fused sketches cover both the Eagle (1 sketch) and Eagle-3
+		// (2 sketches) drafter inputs.
+		hidden := model.FusedHidden(target, ctx, 2)
+		ex := &Example{
+			Tokens:    seq.Tokens[:pos:pos],
+			PromptLen: seq.PromptLen,
+			Hidden:    hidden,
+			TargetTok: seq.Tokens[pos],
+			SeqLen:    n - seq.PromptLen,
+		}
+		if withDist {
+			dist := make([]float32, vocab)
+			target.Probs(ctx, nil, 1, dist)
+			ex.Target = dist
+		}
+		out = append(out, ex)
+	}
+	return out
+}

@@ -1,0 +1,390 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"fastrl/internal/draft"
+	"fastrl/internal/gpu"
+	"fastrl/internal/metrics"
+	"fastrl/internal/model"
+	"fastrl/internal/reward"
+	"fastrl/internal/rl"
+	"fastrl/internal/specdec"
+	"fastrl/internal/tokenizer"
+	"fastrl/internal/workload"
+)
+
+func init() {
+	register("fig15", "Drafter top-3 accuracy during adaptive training across target updates", runFig15)
+	register("tab6", "Adaptive drafter accept lengths: Target-Base vs Target-R, RL-training vs downstream", runTab6)
+	register("fig16", "Token accept rate by draft index: vanilla vs adaptive drafter", runFig16)
+	register("tab7", "SD methods in TLT: Eagle vs HASS vs Eagle-3 (accept length, throughput, training cost)", runTab7)
+	register("tab8", "OSD-style training impact on small-LM and Eagle drafters", runTab8)
+}
+
+// rlShift applies RL steps to a bench's target, returning the rollouts'
+// tasks for data harvesting.
+func rlShift(b *bench, steps int, rng *rand.Rand) {
+	cfg := rl.DefaultConfig()
+	cfg.PromptsPerStep = 10
+	cfg.GroupSize = 6
+	tr := rl.NewTrainer(cfg, b.target, reward.NewVerifier(b.tk))
+	for i := 0; i < steps; i++ {
+		tr.TrainStep(b.gen.Sample(cfg.PromptsPerStep), 64, b.tk.Eos(), rng)
+	}
+}
+
+func runFig15(opts Options) (*Result, error) {
+	b := newBench(gpu.Qwen7B, seedOr(opts, 15), opts.Quick)
+	rng := rand.New(rand.NewSource(seedOr(opts, 15) ^ 0x99))
+	targetSteps := 6
+	batchesPerStep := 8
+	if opts.Quick {
+		targetSteps, batchesPerStep = 3, 4
+	}
+	cfg := rl.DefaultConfig()
+	cfg.PromptsPerStep = 8
+	cfg.GroupSize = 6
+	tr := rl.NewTrainer(cfg, b.target, reward.NewVerifier(b.tk))
+
+	var acc metrics.Series
+	acc.Name = "drafter-top3-accuracy"
+	var updates metrics.Series
+	updates.Name = "target-update-batch-indices"
+	batchIdx := 0
+	for step := 0; step < targetSteps; step++ {
+		// Fresh evaluation and training data from the current target.
+		eval := b.freshExamples(10, int64(step)*31+7)
+		train := b.freshExamples(24, int64(step)*17+3)
+		for batch := 0; batch < batchesPerStep; batch++ {
+			acc.Add(float64(batchIdx), b.eagle.TopKAccuracy(eval, 3))
+			b.eagle.Train(train, nil, rng)
+			batchIdx++
+		}
+		acc.Add(float64(batchIdx), b.eagle.TopKAccuracy(eval, 3))
+		// Target model update (RL step) causes the accuracy dip.
+		tr.TrainStep(b.gen.Sample(cfg.PromptsPerStep), 64, b.tk.Eos(), rng)
+		updates.Add(float64(batchIdx), 1)
+	}
+	return &Result{
+		Series: []metrics.Series{acc, updates},
+		Notes: []string{
+			"accuracy trends upward; target updates cause dips that recover within a few drafter batches (paper Fig. 15)",
+		},
+	}, nil
+}
+
+// acceptOn measures the accept length of a drafter against a target over a
+// task set.
+func acceptOn(target *model.LM, dr draft.Drafter, tk interface{ Eos() int }, tasks []workload.Task, rounds int, seed int64) float64 {
+	eng := &specdec.Engine{Target: target, Temp: 0.9, EosID: tk.Eos()}
+	p := specdec.Params{DraftDepth: 6, TopK: 6, TokensToVerify: 24}
+	rng := rand.New(rand.NewSource(seed))
+	var acceptSum, n int
+	for n < rounds {
+		for _, task := range tasks {
+			seq := append([]int(nil), task.Prompt...)
+			for r := 0; r < 6 && n < rounds; r++ {
+				res := eng.Step(dr, seq, len(task.Prompt), p, rng)
+				seq = append(seq, res.Tokens...)
+				acceptSum += res.AcceptLen
+				n++
+				if res.Eos {
+					break
+				}
+			}
+			if n >= rounds {
+				break
+			}
+		}
+	}
+	return float64(acceptSum)/float64(n) + 1
+}
+
+func runTab6(opts Options) (*Result, error) {
+	seed := seedOr(opts, 6)
+	b := newBench(gpu.Qwen7B, seed, opts.Quick)
+	rng := rand.New(rand.NewSource(seed ^ 0x66))
+	rounds := 80
+	rlSteps := 15
+	if opts.Quick {
+		rounds, rlSteps = 30, 6
+	}
+
+	trainTasks := b.gen.SampleSeeded(8, seed^0x6a)
+	heldOut := workload.HeldOut(b.tk, 32, seed).Sample(8)
+
+	baseTrain := acceptOn(b.target, b.eagle, b.tk, trainTasks, rounds, seed+1)
+	baseDown := acceptOn(b.target, b.eagle, b.tk, heldOut, rounds, seed+2)
+
+	// RL-shift the target, then adaptively retrain the drafter on fresh
+	// data from the updated target.
+	rlShift(b, rlSteps, rng)
+	fresh := b.freshExamples(60, seed+3)
+	epochs := 3
+	if opts.Quick {
+		epochs = 2
+	}
+	for e := 0; e < epochs; e++ {
+		b.eagle.Train(fresh, nil, rng)
+	}
+	rTrain := acceptOn(b.target, b.eagle, b.tk, trainTasks, rounds, seed+4)
+	rDown := acceptOn(b.target, b.eagle, b.tk, heldOut, rounds, seed+5)
+
+	tbl := &metrics.Table{Header: []string{"", "RL Training", "Downstream"}}
+	tbl.AddRow("Target-Base accept length", metrics.F(baseTrain, 2), metrics.F(baseDown, 2))
+	tbl.AddRow("Target-R accept length", metrics.F(rTrain, 2), metrics.F(rDown, 2))
+	return &Result{
+		Tables: []*metrics.Table{tbl},
+		Notes: []string{
+			"adaptive training maintains alignment with the evolving target; Target-R accept lengths exceed Target-Base as RL sharpens the policy (paper Table 6)",
+			"downstream (held-out) accept lengths trail the RL-training distribution, as in the paper",
+		},
+	}, nil
+}
+
+func runFig16(opts Options) (*Result, error) {
+	seed := seedOr(opts, 16)
+	b := newBench(gpu.Qwen7B, seed, opts.Quick)
+	rng := rand.New(rand.NewSource(seed ^ 0xf16))
+	vanilla := b.eagle.Clone() // frozen at the base target
+
+	rlSteps := 15
+	rounds := 200
+	if opts.Quick {
+		rlSteps, rounds = 12, 100
+	}
+	rlShift(b, rlSteps, rng)
+	fresh := b.freshExamples(60, seed+9)
+	for e := 0; e < 3; e++ {
+		b.eagle.Train(fresh, nil, rng)
+	}
+
+	measure := func(dr draft.Drafter, name string) metrics.Series {
+		eng := &specdec.Engine{Target: b.target, Temp: 0.9, EosID: -1}
+		p := specdec.Params{DraftDepth: 8, TopK: 4, TokensToVerify: 32}
+		r := rand.New(rand.NewSource(seed + 77))
+		const maxIdx = 8
+		reach := make([]int, maxIdx+1)
+		accept := make([]int, maxIdx+1)
+		n := 0
+		for n < rounds {
+			for _, task := range b.gen.SampleSeeded(4, seed^0x6b) {
+				seq := append([]int(nil), task.Prompt...)
+				for rr := 0; rr < 8 && n < rounds; rr++ {
+					res := eng.Step(dr, seq, len(task.Prompt), p, r)
+					seq = append(seq, res.Tokens...)
+					for i := 1; i <= maxIdx; i++ {
+						if res.AcceptLen >= i-1 {
+							reach[i]++
+						}
+						if res.AcceptLen >= i {
+							accept[i]++
+						}
+					}
+					n++
+				}
+				if n >= rounds {
+					break
+				}
+			}
+		}
+		var s metrics.Series
+		s.Name = name
+		for i := 1; i <= maxIdx; i++ {
+			if reach[i] > 0 {
+				s.Add(float64(i), 100*float64(accept[i])/float64(reach[i]))
+			}
+		}
+		return s
+	}
+	v := measure(vanilla, "vanilla-drafter")
+	a := measure(b.eagle, "adaptive-drafter")
+	return &Result{
+		Series: []metrics.Series{v, a},
+		Notes: []string{
+			"accept rate (%) by draft token index on the post-RL rollout distribution",
+			"the adaptive drafter sustains higher accept rates at distant indices (paper Fig. 16)",
+		},
+	}, nil
+}
+
+func runTab7(opts Options) (*Result, error) {
+	seed := seedOr(opts, 7)
+	tk, target, gen := tab78Target(seed)
+	dev := gpu.NewDevice(gpu.H100, 2)
+	rounds := 80
+	prompts, epochs := 100, 3
+	if opts.Quick {
+		rounds, prompts, epochs = 30, 40, 2
+	}
+	corpus := harvestCorpus(target, gen, tk.Eos(), prompts, seed+1)
+	tasks := gen.SampleSeeded(8, seed^0x6c)
+
+	// Baseline throughput without SD.
+	vanillaRate := 1 / vanillaStepCost(dev, target.Arch(), 1, 1024)
+
+	tbl := &metrics.Table{Header: []string{"Method", "Accept Len", "Throughput (tok/s)", "Speedup", "Training Cost"}}
+	tbl.AddRow("Base (No-SD)", "1.00", metrics.F(vanillaRate, 1), "1.00x", "-")
+
+	var eagleCost int
+	type variant struct {
+		name string
+		cfg  draft.EagleConfig
+	}
+	for _, v := range []variant{
+		{"Eagle", draft.EagleDefault(tk.VocabSize(), gpu.Qwen7B)},
+		{"HASS", draft.HASSConfig(tk.VocabSize(), gpu.Qwen7B)},
+		{"Eagle-3", draft.Eagle3Config(tk.VocabSize(), gpu.Qwen7B)},
+	} {
+		dr := draft.NewEagle(v.cfg)
+		rng := rand.New(rand.NewSource(seed ^ 0x70))
+		for e := 0; e < epochs; e++ {
+			dr.Train(corpus, target, rng)
+		}
+		accept, tput := measureDrafterRate(target, dr, dev, tasks, rounds, seed+11)
+		if v.name == "Eagle" {
+			eagleCost = dr.TrainedPasses
+		}
+		cost := float64(dr.TrainedPasses) / float64(maxI(eagleCost, 1))
+		tbl.AddRow(v.name, metrics.F(accept, 2), metrics.F(tput, 1),
+			metrics.F(tput/vanillaRate, 2)+"x", metrics.F(cost, 1)+"x")
+	}
+	return &Result{
+		Tables: []*metrics.Table{tbl},
+		Notes: []string{
+			"HASS and Eagle-3 buy slightly higher accept lengths at multiples of Eagle's training cost (paper Table 7)",
+			"TLT defaults to Eagle: comparable performance at the lowest spot-training budget",
+		},
+	}, nil
+}
+
+func runTab8(opts Options) (*Result, error) {
+	seed := seedOr(opts, 8)
+	tk, target, gen := tab78Target(seed)
+	dev := gpu.NewDevice(gpu.H100, 2)
+	rounds := 60
+	prompts := 80
+	if opts.Quick {
+		rounds, prompts = 25, 30
+	}
+	corpus := harvestCorpus(target, gen, tk.Eos(), prompts, seed+1)
+	tasks := gen.SampleSeeded(8, seed^0x6c)
+
+	tbl := &metrics.Table{Header: []string{"Draft Model", "Original Accept", "Original Thpt", "Trained Accept", "Trained Thpt", "+OSD Accept", "+OSD Thpt"}}
+
+	// Small-LM drafter (Qwen2.5-0.5B analogue): pre-aligned by family
+	// pretraining, improved by SFT, improved further by OSD-style soft KD.
+	small := draft.NewSmallLM("Qwen2.5-0.5B", tk.VocabSize(), gpu.Qwen05B, seed^3)
+	// "Same family" pre-alignment: brief distillation on base-model text.
+	pre := corpus[:len(corpus)/2]
+	small.Distill(pre, 0.25, false)
+	row := measureTab8Row(target, small, dev, tasks, rounds, seed,
+		func() { small.Distill(corpus, 0.3, false) }, // SFT
+		func() { small.Distill(corpus, 0.3, true) },  // OSD soft KD
+	)
+	tbl.AddRow(append([]string{"Qwen2.5-0.5B"}, row...)...)
+
+	// Eagle drafter: untrained original, then SFT, then KD.
+	ecfg := draft.EagleDefault(tk.VocabSize(), gpu.Qwen7B)
+	ecfg.Objective = draft.ObjectiveSFT
+	eagle := draft.NewEagle(ecfg)
+	rng := rand.New(rand.NewSource(seed ^ 0x88))
+	kdCfg := ecfg
+	kdCfg.Objective = draft.ObjectiveKD
+	row = measureTab8Row(target, eagle, dev, tasks, rounds, seed,
+		func() {
+			for e := 0; e < 2; e++ {
+				eagle.Train(corpus, nil, rng)
+			}
+		},
+		func() {
+			// OSD-style: switch to soft KD on the full distribution.
+			kd := draft.NewEagle(kdCfg)
+			kd.CopyWeightsFrom(eagle)
+			for e := 0; e < 2; e++ {
+				kd.Train(corpus, nil, rng)
+			}
+			eagle.CopyWeightsFrom(kd)
+		},
+	)
+	tbl.AddRow(append([]string{"Eagle"}, row...)...)
+	return &Result{
+		Tables: []*metrics.Table{tbl},
+		Notes: []string{
+			"OSD-style distillation (soft KD on the full target distribution) improves both drafter families beyond SFT (paper Table 8)",
+		},
+	}, nil
+}
+
+func measureTab8Row(target *model.LM, dr draft.Drafter, dev *gpu.Device, tasks []workload.Task, rounds int, seed int64, sft, osd func()) []string {
+	a0, t0 := measureDrafterRate(target, dr, dev, tasks, rounds, seed+21)
+	sft()
+	a1, t1 := measureDrafterRate(target, dr, dev, tasks, rounds, seed+22)
+	osd()
+	a2, t2 := measureDrafterRate(target, dr, dev, tasks, rounds, seed+23)
+	return []string{
+		metrics.F(a0, 2), metrics.F(t0, 1),
+		metrics.F(a1, 2), metrics.F(t1, 1),
+		metrics.F(a2, 2), metrics.F(t2, 1),
+	}
+}
+
+// measureDrafterRate returns (accept length, tokens/sec) at BS=1 with the
+// drafter, using the shared round cost model.
+func measureDrafterRate(target *model.LM, dr draft.Drafter, dev *gpu.Device, tasks []workload.Task, rounds int, seed int64) (float64, float64) {
+	eng := &specdec.Engine{Target: target, Temp: 0.9, EosID: -1}
+	p := specdec.Params{DraftDepth: 6, TopK: 6, TokensToVerify: 24}
+	rng := rand.New(rand.NewSource(seed))
+	draftArch := dr.Arch()
+	if draftArch.Layers == 0 {
+		draftArch = gpu.DraftArch(target.Arch())
+	}
+	var acceptSum, tokSum int
+	var sdTime float64
+	n := 0
+	for n < rounds {
+		for _, task := range tasks {
+			seq := append([]int(nil), task.Prompt...)
+			for r := 0; r < 6 && n < rounds; r++ {
+				res := eng.Step(dr, seq, len(task.Prompt), p, rng)
+				seq = append(seq, res.Tokens...)
+				acceptSum += res.AcceptLen
+				tokSum += len(res.Tokens)
+				// Multi-layer small-LM drafters pay per-layer sequential
+				// cost; single-layer Eagle drafters one layer.
+				cost := sdRoundCost(dev, target.Arch(), draftArch, 1, 1024, res.FrontierPerDepth, res.VerifiedTokens)
+				sdTime += cost
+				n++
+			}
+			if n >= rounds {
+				break
+			}
+		}
+	}
+	accept := float64(acceptSum)/float64(n) + 1
+	return accept, float64(tokSum) / sdTime
+}
+
+func tab78Target(seed int64) (*tokenizer.Tokenizer, *model.LM, *workload.TaskGen) {
+	b := newBench(gpu.Qwen7B, seed, false)
+	return b.tk, b.target, b.gen
+}
+
+func harvestCorpus(target *model.LM, gen *workload.TaskGen, eos int, prompts int, seed int64) []*draft.Example {
+	rng := rand.New(rand.NewSource(seed))
+	var out []*draft.Example
+	for _, task := range gen.Sample(prompts) {
+		seq := model.Generate(target, task.Prompt, nil, 0.9, 64, eos, rng)
+		out = append(out, draft.HarvestExamples(target,
+			model.Context{Tokens: seq, PromptLen: len(task.Prompt)}, true)...)
+	}
+	return out
+}
+
+func maxI(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

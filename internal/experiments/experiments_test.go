@@ -1,0 +1,230 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+
+	"fastrl/internal/metrics"
+)
+
+// TestAllExperimentsRunQuick executes every registered experiment in quick
+// mode: each must complete and produce at least one table or series.
+func TestAllExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment sweep")
+	}
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			r, err := Run(id, Options{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(r.Tables) == 0 && len(r.Series) == 0 {
+				t.Fatalf("%s produced no output", id)
+			}
+			if r.Title == "" {
+				t.Fatalf("%s missing title", id)
+			}
+			if s := r.String(); !strings.Contains(s, id) {
+				t.Fatalf("%s render missing id", id)
+			}
+		})
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("nope", Options{}); err == nil {
+		t.Fatal("expected error for unknown experiment")
+	}
+}
+
+func TestIDsCoverPaperArtefacts(t *testing.T) {
+	want := []string{
+		"fig1a", "fig2", "fig3a", "fig5c", "fig11", "fig12", "fig13",
+		"fig14", "fig15", "fig16", "fig17",
+		"tab1", "tab2", "tab3", "tab4", "tab5", "tab6", "tab7", "tab8",
+		"abl-elastic", "abl-mab", "abl-buffer", "abl-tree", "abl-spot",
+	}
+	have := map[string]bool{}
+	for _, id := range IDs() {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+}
+
+// parseX extracts the numeric multiplier from a "1.23x" cell.
+func parseX(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(cell, "x"), 64)
+	if err != nil {
+		t.Fatalf("cell %q not a multiplier: %v", cell, err)
+	}
+	return v
+}
+
+func parseF(t *testing.T, cell string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(cell, 64)
+	if err != nil {
+		t.Fatalf("cell %q not a number: %v", cell, err)
+	}
+	return v
+}
+
+// TestFig11Shape asserts the headline ordering: TLT > TLT-Base > VeRL >
+// Open-R1 on the geomean row.
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := Run("fig11", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.Tables[0] // H100
+	gm := tbl.Rows[len(tbl.Rows)-1]
+	if gm[0] != "Geomean" {
+		t.Fatalf("last row is %v", gm)
+	}
+	openr1, verl, tltBase, tlt := parseF(t, gm[1]), parseF(t, gm[2]), parseF(t, gm[3]), parseF(t, gm[4])
+	if verl != 1.0 {
+		t.Fatalf("VeRL should normalise to 1.0, got %v", verl)
+	}
+	if !(tlt > tltBase && tltBase > verl && verl > openr1) {
+		t.Fatalf("ordering violated: openr1=%v verl=%v tltbase=%v tlt=%v", openr1, verl, tltBase, tlt)
+	}
+	if tlt < 1.15 {
+		t.Fatalf("TLT geomean speedup %v too small", tlt)
+	}
+	t.Logf("geomean speedups: Open-R1 %.2f, VeRL %.2f, TLT-Base %.2f, TLT %.2f", openr1, verl, tltBase, tlt)
+}
+
+// TestTab4Shape asserts SD speedup decreases with batch size and that the
+// optimal verify count shrinks as batches grow.
+func TestTab4Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := Run("tab4", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tbl := r.Tables[0]
+	first := parseX(t, tbl.Rows[0][1])
+	lastRow := tbl.Rows[len(tbl.Rows)-1]
+	last := parseX(t, lastRow[1])
+	if last >= first {
+		t.Fatalf("speedup should fall with batch size: %v -> %v", first, last)
+	}
+	// At batch 1 SD must win clearly.
+	if first < 1.2 {
+		t.Fatalf("batch-1 SD speedup %v too small", first)
+	}
+}
+
+// TestTab5Shape asserts the memory ordering of Table 5.
+func TestTab5Shape(t *testing.T) {
+	r, err := Run("tab5", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows := r.Tables[0].Rows
+	gb := func(row []string) float64 {
+		return parseF(t, strings.TrimSuffix(row[1], " GB"))
+	}
+	single, naive, bucketed := gb(rows[0]), gb(rows[1]), gb(rows[2])
+	if !(single < bucketed && bucketed < naive) {
+		t.Fatalf("ordering violated: %v %v %v", single, naive, bucketed)
+	}
+}
+
+// TestFig16Shape asserts the adaptive drafter dominates the vanilla one at
+// deep draft indices.
+func TestFig16Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := Run("fig16", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	vanilla, adaptive := r.Series[0], r.Series[1]
+	// Compare mean accept rates over indices 2-6: the vanilla drafter's
+	// root-conditioned features keep index 1 competitive even when stale
+	// (as in the paper, where the gap opens at distant indices).
+	mean := func(s metrics.Series) float64 {
+		var sum float64
+		var n int
+		for i := range s.Y {
+			if s.X[i] >= 2 && s.X[i] <= 6 {
+				sum += s.Y[i]
+				n++
+			}
+		}
+		if n == 0 {
+			return 0
+		}
+		return sum / float64(n)
+	}
+	vm, am := mean(vanilla), mean(adaptive)
+	if am <= vm {
+		t.Fatalf("adaptive drafter mean accept rate %.1f%% should exceed vanilla %.1f%%", am, vm)
+	}
+	t.Logf("mean accept rate: vanilla %.1f%%, adaptive %.1f%%", vm, am)
+}
+
+// TestFig14Speedup asserts the case-study speedup is material.
+func TestFig14Speedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := Run("fig14", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, n := range r.Notes {
+		if strings.Contains(n, "speedup") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("fig14 missing speedup note")
+	}
+	// Running counts must be non-increasing over time in both series.
+	for _, s := range r.Series {
+		for i := 1; i < len(s.Y); i++ {
+			if s.Y[i] > s.Y[i-1] {
+				t.Fatalf("series %s: running count rose", s.Name)
+			}
+		}
+	}
+}
+
+// TestFig12Overlap asserts the reward curves track each other.
+func TestFig12Overlap(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long experiment")
+	}
+	r, err := Run("fig12", Options{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != 2 || len(r.Series[0].Y) != len(r.Series[1].Y) {
+		t.Fatalf("expected two aligned series")
+	}
+}
+
+func TestDiscussionExperimentsRegistered(t *testing.T) {
+	for _, id := range []string{"disc-multiturn", "disc-uniform", "disc-earlystop"} {
+		if Title(id) == "" {
+			t.Errorf("discussion experiment %s not registered", id)
+		}
+	}
+}

@@ -1,0 +1,6 @@
+package experiments
+
+import "math/rand"
+
+// newRand builds a deterministic RNG for an experiment sub-measurement.
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }

@@ -1,0 +1,270 @@
+// Package gpu models GPU hardware and the roofline cost of LLM kernels.
+//
+// The simulator has no real accelerator, so every latency in the system is
+// derived from a roofline model: a kernel's execution time is the maximum
+// of its compute time (FLOPs / peak FLOPS) and its memory time (bytes
+// moved / HBM bandwidth), plus a per-kernel launch overhead that CUDAGraph
+// replay removes. This reproduces the mechanism behind the paper's
+// speedups — autoregressive decode is memory-bound at small batch sizes,
+// so verifying k drafted tokens in one pass costs roughly one decode step.
+package gpu
+
+import (
+	"fmt"
+	"time"
+)
+
+// Spec describes one GPU's relevant capabilities.
+type Spec struct {
+	Name string
+	// PeakTFLOPS is the dense BF16 tensor throughput in TFLOPS.
+	PeakTFLOPS float64
+	// MemBWGBs is HBM/GDDR bandwidth in GB/s.
+	MemBWGBs float64
+	// MemGB is device memory capacity in GB.
+	MemGB float64
+	// LaunchOverhead is the fixed CPU-side cost of launching one kernel.
+	LaunchOverhead time.Duration
+}
+
+// Catalogue of GPUs used in the paper's evaluation (Tables 2, 3; Fig. 11).
+// Numbers are public datasheet values; only their ratios matter to the
+// experiment shapes.
+var (
+	B200    = Spec{Name: "B200", PeakTFLOPS: 2250, MemBWGBs: 8000, MemGB: 192, LaunchOverhead: 4 * time.Microsecond}
+	H100    = Spec{Name: "H100", PeakTFLOPS: 989, MemBWGBs: 3350, MemGB: 80, LaunchOverhead: 4 * time.Microsecond}
+	A100    = Spec{Name: "A100", PeakTFLOPS: 312, MemBWGBs: 2039, MemGB: 80, LaunchOverhead: 4 * time.Microsecond}
+	RTX5090 = Spec{Name: "RTX 5090", PeakTFLOPS: 210, MemBWGBs: 1792, MemGB: 32, LaunchOverhead: 5 * time.Microsecond}
+	RTX4090 = Spec{Name: "RTX 4090", PeakTFLOPS: 165, MemBWGBs: 1008, MemGB: 24, LaunchOverhead: 5 * time.Microsecond}
+	RTX3090 = Spec{Name: "RTX 3090", PeakTFLOPS: 71, MemBWGBs: 936, MemGB: 24, LaunchOverhead: 6 * time.Microsecond}
+)
+
+// Catalogue lists all modelled GPUs in descending capability order.
+func Catalogue() []Spec {
+	return []Spec{B200, H100, A100, RTX5090, RTX4090, RTX3090}
+}
+
+// ByName returns the spec for a catalogue GPU.
+func ByName(name string) (Spec, error) {
+	for _, s := range Catalogue() {
+		if s.Name == name {
+			return s, nil
+		}
+	}
+	return Spec{}, fmt.Errorf("gpu: unknown GPU %q", name)
+}
+
+// Arch describes a transformer architecture for cost purposes. The token
+// semantics of the simulated model live in internal/model; Arch only
+// drives FLOP/byte accounting.
+type Arch struct {
+	Name       string
+	Layers     int
+	HiddenDim  int
+	VocabSize  int
+	ParamCount float64 // total parameters
+	BytesPer   float64 // bytes per parameter (2 for BF16)
+}
+
+// NewArch derives a dense-transformer architecture descriptor. Parameter
+// count is approximated as 12*L*H^2 (attention + MLP) plus embedding and
+// head, the standard estimate for decoder-only models.
+func NewArch(name string, layers, hidden, vocab int) Arch {
+	params := 12*float64(layers)*float64(hidden)*float64(hidden) +
+		2*float64(vocab)*float64(hidden)
+	return Arch{
+		Name:       name,
+		Layers:     layers,
+		HiddenDim:  hidden,
+		VocabSize:  vocab,
+		ParamCount: params,
+		BytesPer:   2,
+	}
+}
+
+// Model architectures referenced in the evaluation. Vocabulary sizes follow
+// the public configs; they only affect the LM-head term of the cost model.
+var (
+	Qwen7B     = NewArch("Qwen2.5-7B", 28, 3584, 152064)
+	DeepSeek7B = NewArch("DeepSeek-R1-Distill-Qwen-7B", 28, 3584, 152064)
+	Qwen32B    = NewArch("Qwen2.5-32B", 64, 5120, 152064)
+	Llama70B   = NewArch("Llama-3.3-70B-Instruct", 80, 8192, 128256)
+	Llama8B    = NewArch("Llama-3-8B", 32, 4096, 128256)
+	Qwen05B    = NewArch("Qwen2.5-0.5B", 24, 896, 151936)
+)
+
+// DraftArch returns the single-layer Eagle-style drafter architecture for a
+// target: one decoder block with the target's hidden dimension, reusing the
+// target's (frozen) embedding and LM head. Parameter count excludes the
+// embedding table: embedding lookups gather rows rather than streaming the
+// table, so only the decoder layer and the LM head contribute to the
+// per-pass roofline cost.
+func DraftArch(target Arch) Arch {
+	h := float64(target.HiddenDim)
+	a := Arch{
+		Name:       target.Name + "-drafter",
+		Layers:     1,
+		HiddenDim:  target.HiddenDim,
+		VocabSize:  target.VocabSize,
+		ParamCount: 12*h*h + float64(target.VocabSize)*h,
+		BytesPer:   2,
+	}
+	return a
+}
+
+// WeightBytes returns resident weight bytes for the architecture.
+func (a Arch) WeightBytes() float64 { return a.ParamCount * a.BytesPer }
+
+// DecodeFLOPs returns FLOPs for one forward pass over n tokens (batch
+// positions in a decode step, or sequence positions in prefill). The usual
+// 2*params multiply-accumulate estimate.
+func (a Arch) DecodeFLOPs(nTokens int) float64 {
+	return 2 * a.ParamCount * float64(nTokens)
+}
+
+// KVBytesPerToken returns KV-cache bytes appended per generated token.
+func (a Arch) KVBytesPerToken() float64 {
+	// 2 (K and V) * layers * hidden * bytes.
+	return 2 * float64(a.Layers) * float64(a.HiddenDim) * a.BytesPer
+}
+
+// Device is a GPU (or TP group of GPUs acting as one device) executing
+// kernels under the roofline model.
+type Device struct {
+	Spec Spec
+	// TP is the tensor-parallel degree: weights and bandwidth are sharded
+	// across TP GPUs, with a small per-layer communication penalty.
+	TP int
+}
+
+// NewDevice creates a device with the given tensor-parallel degree
+// (minimum 1).
+func NewDevice(spec Spec, tp int) *Device {
+	if tp < 1 {
+		tp = 1
+	}
+	return &Device{Spec: spec, TP: tp}
+}
+
+// tpCommPenalty is the fractional latency overhead added per doubling of
+// tensor-parallel degree (all-reduce cost at decode batch sizes).
+const tpCommPenalty = 0.06
+
+func (d *Device) tpFactor() float64 {
+	f := 1.0
+	for n := d.TP; n > 1; n /= 2 {
+		f += tpCommPenalty
+	}
+	return f
+}
+
+// StepCost is a breakdown of one kernel-sequence execution.
+type StepCost struct {
+	Compute time.Duration
+	Memory  time.Duration
+	Launch  time.Duration
+	// Bound reports which roofline regime dominated: "compute" or "memory".
+	Bound string
+}
+
+// Total returns the modelled wall time of the step.
+func (c StepCost) Total() time.Duration {
+	t := c.Compute
+	if c.Memory > t {
+		t = c.Memory
+	}
+	return t + c.Launch
+}
+
+// ForwardOpts parameterises a forward-pass cost query.
+type ForwardOpts struct {
+	// Tokens is the total number of token positions processed in the pass
+	// (batchSize for vanilla decode; batchSize*tokensToVerify for a
+	// speculative verification pass; prompt length for prefill).
+	Tokens int
+	// KVTokens is the total resident KV-cache length across the batch, used
+	// for attention memory traffic.
+	KVTokens int
+	// CUDAGraph indicates launch overheads are amortised by graph replay.
+	CUDAGraph bool
+	// KernelsPerLayer overrides the default kernel count per decoder layer
+	// when not using CUDAGraph (attention, MLP, norms, rotary...).
+	KernelsPerLayer int
+}
+
+const defaultKernelsPerLayer = 12
+
+// Forward returns the roofline cost of one forward pass of arch a on the
+// device.
+//
+// Memory traffic: every pass must stream the full weight set once
+// (decode-style execution; weights dominate at small token counts) plus
+// the KV cache it attends over and the activations it writes. Compute:
+// 2*params*tokens FLOPs. The max of the two plus launch overhead is the
+// step time. This yields the classic roofline crossover: at small token
+// counts the pass is memory-bound, so extra tokens are nearly free — the
+// property speculative decoding exploits.
+func (d *Device) Forward(a Arch, o ForwardOpts) StepCost {
+	if o.Tokens <= 0 {
+		return StepCost{}
+	}
+	flops := a.DecodeFLOPs(o.Tokens)
+	computeSec := flops / (d.Spec.PeakTFLOPS * 1e12 * float64(d.TP))
+	// Weight streaming is sharded across TP devices; each device streams
+	// its shard in parallel.
+	weightBytes := a.WeightBytes() / float64(d.TP)
+	kvBytes := a.KVBytesPerToken() * float64(o.KVTokens) / float64(d.TP)
+	actBytes := float64(o.Tokens) * float64(a.HiddenDim) * a.BytesPer * float64(a.Layers)
+	memSec := (weightBytes + kvBytes + actBytes) / (d.Spec.MemBWGBs * 1e9)
+
+	kpl := o.KernelsPerLayer
+	if kpl <= 0 {
+		kpl = defaultKernelsPerLayer
+	}
+	var launch time.Duration
+	if o.CUDAGraph {
+		// Graph replay: one launch for the whole graph.
+		launch = d.Spec.LaunchOverhead
+	} else {
+		launch = time.Duration(a.Layers*kpl+2) * d.Spec.LaunchOverhead
+	}
+
+	compute := secToDur(computeSec * d.tpFactor())
+	memory := secToDur(memSec * d.tpFactor())
+	bound := "memory"
+	if compute > memory {
+		bound = "compute"
+	}
+	return StepCost{Compute: compute, Memory: memory, Launch: launch, Bound: bound}
+}
+
+// TrainStepCost returns the cost of one optimiser step over nTokens tokens:
+// forward + backward ≈ 3× forward FLOPs, plus optimiser state traffic
+// (Adam: ~4 extra weight-sized streams in mixed precision).
+func (d *Device) TrainStepCost(a Arch, nTokens int) time.Duration {
+	fwd := d.Forward(a, ForwardOpts{Tokens: nTokens})
+	computeSec := 3 * a.DecodeFLOPs(nTokens) / (d.Spec.PeakTFLOPS * 1e12 * float64(d.TP))
+	memSec := 5 * a.WeightBytes() / float64(d.TP) / (d.Spec.MemBWGBs * 1e9)
+	c := secToDur(computeSec * d.tpFactor())
+	m := secToDur(memSec * d.tpFactor())
+	t := c
+	if m > t {
+		t = m
+	}
+	return t + fwd.Launch*2
+}
+
+// AchievedTFLOPS returns the effective tensor throughput of a forward pass,
+// the quantity plotted in the paper's roofline figure (Fig. 5(c)).
+func (d *Device) AchievedTFLOPS(a Arch, o ForwardOpts) float64 {
+	cost := d.Forward(a, o)
+	total := cost.Total().Seconds()
+	if total <= 0 {
+		return 0
+	}
+	return a.DecodeFLOPs(o.Tokens) / total / 1e12
+}
+
+func secToDur(s float64) time.Duration {
+	return time.Duration(s * float64(time.Second))
+}

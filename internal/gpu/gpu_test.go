@@ -1,0 +1,171 @@
+package gpu
+
+import (
+	"testing"
+	"time"
+)
+
+func TestCatalogueLookup(t *testing.T) {
+	for _, s := range Catalogue() {
+		got, err := ByName(s.Name)
+		if err != nil {
+			t.Fatalf("ByName(%q): %v", s.Name, err)
+		}
+		if got.Name != s.Name {
+			t.Fatalf("ByName(%q) returned %q", s.Name, got.Name)
+		}
+	}
+	if _, err := ByName("TPUv9"); err == nil {
+		t.Fatal("expected error for unknown GPU")
+	}
+}
+
+func TestArchParamCounts(t *testing.T) {
+	// Dense-transformer estimates should land near the nominal sizes.
+	cases := []struct {
+		arch Arch
+		minB float64
+		maxB float64
+	}{
+		{Qwen7B, 4e9, 9e9},
+		{Qwen32B, 20e9, 40e9},
+		{Llama70B, 60e9, 90e9},
+		{Qwen05B, 0.2e9, 1e9},
+	}
+	for _, c := range cases {
+		if c.arch.ParamCount < c.minB || c.arch.ParamCount > c.maxB {
+			t.Errorf("%s: param estimate %.2fB outside [%.1fB, %.1fB]",
+				c.arch.Name, c.arch.ParamCount/1e9, c.minB/1e9, c.maxB/1e9)
+		}
+	}
+}
+
+func TestDraftArchIsSingleLayer(t *testing.T) {
+	d := DraftArch(Qwen32B)
+	if d.Layers != 1 {
+		t.Fatalf("draft arch layers = %d, want 1", d.Layers)
+	}
+	if d.ParamCount >= Qwen32B.ParamCount/10 {
+		t.Fatalf("draft model not lightweight: %.2fB params", d.ParamCount/1e9)
+	}
+}
+
+func TestDecodeMemoryBoundAtSmallBatch(t *testing.T) {
+	dev := NewDevice(H100, 1)
+	small := dev.Forward(Qwen7B, ForwardOpts{Tokens: 1, KVTokens: 1024})
+	if small.Bound != "memory" {
+		t.Fatalf("single-token decode should be memory bound, got %q", small.Bound)
+	}
+	big := dev.Forward(Qwen7B, ForwardOpts{Tokens: 4096, KVTokens: 1024})
+	if big.Bound != "compute" {
+		t.Fatalf("4096-token pass should be compute bound, got %q", big.Bound)
+	}
+}
+
+func TestVerifyTokensNearlyFreeAtSmallBatch(t *testing.T) {
+	// The roofline property speculative decoding exploits: verifying 8
+	// tokens costs well under 8x a single-token step.
+	dev := NewDevice(H100, 1)
+	one := dev.Forward(Qwen7B, ForwardOpts{Tokens: 1, KVTokens: 2048, CUDAGraph: true}).Total()
+	eight := dev.Forward(Qwen7B, ForwardOpts{Tokens: 8, KVTokens: 2048, CUDAGraph: true}).Total()
+	ratio := float64(eight) / float64(one)
+	if ratio > 1.5 {
+		t.Fatalf("verify cost ratio %0.2f, want near 1 (memory bound)", ratio)
+	}
+}
+
+func TestCUDAGraphRemovesLaunchOverhead(t *testing.T) {
+	dev := NewDevice(H100, 1)
+	with := dev.Forward(Qwen7B, ForwardOpts{Tokens: 1, KVTokens: 128, CUDAGraph: true})
+	without := dev.Forward(Qwen7B, ForwardOpts{Tokens: 1, KVTokens: 128})
+	if with.Launch >= without.Launch {
+		t.Fatalf("CUDAGraph launch %v not below eager launch %v", with.Launch, without.Launch)
+	}
+	if without.Total() <= with.Total() {
+		t.Fatalf("eager total %v should exceed graph total %v", without.Total(), with.Total())
+	}
+}
+
+func TestTPReducesLatency(t *testing.T) {
+	tp1 := NewDevice(H100, 1).Forward(Qwen32B, ForwardOpts{Tokens: 1, KVTokens: 1024}).Total()
+	tp4 := NewDevice(H100, 4).Forward(Qwen32B, ForwardOpts{Tokens: 1, KVTokens: 1024}).Total()
+	if tp4 >= tp1 {
+		t.Fatalf("TP=4 latency %v not below TP=1 latency %v", tp4, tp1)
+	}
+	// But not superlinear.
+	if tp4 < tp1/8 {
+		t.Fatalf("TP=4 speedup implausibly high: %v vs %v", tp4, tp1)
+	}
+}
+
+func TestAchievedTFLOPSRooflineShape(t *testing.T) {
+	// Fig 5(c): achieved TFLOPS grows with tokens per pass and saturates.
+	dev := NewDevice(H100, 1)
+	prev := 0.0
+	for _, tokens := range []int{1, 8, 32, 128, 512} {
+		got := dev.AchievedTFLOPS(Qwen7B, ForwardOpts{Tokens: tokens, KVTokens: 1024, CUDAGraph: true})
+		if got < prev {
+			t.Fatalf("achieved TFLOPS not monotone at %d tokens: %v < %v", tokens, got, prev)
+		}
+		prev = got
+	}
+	if prev > H100.PeakTFLOPS {
+		t.Fatalf("achieved TFLOPS %v exceeds peak %v", prev, H100.PeakTFLOPS)
+	}
+}
+
+func TestDecodeLatencyFollowsBandwidth(t *testing.T) {
+	// At batch size 1 decode is memory bound everywhere, so step time
+	// ordering must follow HBM bandwidth, fastest first.
+	order := []Spec{B200, H100, A100, RTX5090, RTX4090, RTX3090}
+	var prev time.Duration
+	for i, s := range order {
+		d := NewDevice(s, 1).Forward(Qwen7B, ForwardOpts{Tokens: 1, KVTokens: 1024, CUDAGraph: true}).Total()
+		if i > 0 && d <= prev {
+			t.Fatalf("%s decode %v should be slower than previous GPU's %v", s.Name, d, prev)
+		}
+		prev = d
+	}
+}
+
+func TestRooflineCrossoverLowerOnWeakGPUs(t *testing.T) {
+	// GPUs with a lower FLOPS:bandwidth ratio become compute bound at
+	// smaller token counts, which is why large-batch SD saturates sooner
+	// on consumer cards.
+	crossover := func(s Spec) int {
+		dev := NewDevice(s, 1)
+		for tokens := 1; tokens <= 4096; tokens *= 2 {
+			if dev.Forward(Qwen7B, ForwardOpts{Tokens: tokens, KVTokens: 1024, CUDAGraph: true}).Bound == "compute" {
+				return tokens
+			}
+		}
+		return 1 << 20
+	}
+	if crossover(RTX3090) >= crossover(H100) {
+		t.Fatalf("RTX 3090 crossover %d should be below H100 crossover %d",
+			crossover(RTX3090), crossover(H100))
+	}
+}
+
+func TestTrainStepCostExceedsForward(t *testing.T) {
+	dev := NewDevice(H100, 1)
+	fwd := dev.Forward(Qwen7B, ForwardOpts{Tokens: 1024}).Total()
+	train := dev.TrainStepCost(Qwen7B, 1024)
+	if train <= fwd {
+		t.Fatalf("training step %v should cost more than forward %v", train, fwd)
+	}
+}
+
+func TestForwardZeroTokens(t *testing.T) {
+	dev := NewDevice(H100, 1)
+	if c := dev.Forward(Qwen7B, ForwardOpts{Tokens: 0}); c.Total() != 0 {
+		t.Fatalf("zero-token pass should be free, got %v", c.Total())
+	}
+}
+
+func TestStepCostTotal(t *testing.T) {
+	c := StepCost{Compute: 3 * time.Millisecond, Memory: 5 * time.Millisecond, Launch: time.Millisecond}
+	if c.Total() != 6*time.Millisecond {
+		t.Fatalf("Total = %v, want 6ms", c.Total())
+	}
+}

@@ -1,0 +1,31 @@
+package mab
+
+import (
+	"testing"
+	"time"
+)
+
+func BenchmarkSelect(b *testing.B) {
+	s := MustNew(DefaultStrategies(), DefaultConfig())
+	for _, a := range s.Arms() {
+		for i := 0; i < 8; i++ {
+			s.Record(a, 5*time.Millisecond, []int{2, 3}, 2)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Select(1 + i%32)
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	s := MustNew(DefaultStrategies(), DefaultConfig())
+	arm := s.Arms()[0]
+	accepts := []int{2, 3, 1, 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Record(arm, 5*time.Millisecond, accepts, 4)
+	}
+}

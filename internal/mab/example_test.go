@@ -1,0 +1,36 @@
+package mab_test
+
+import (
+	"fmt"
+	"time"
+
+	"fastrl/internal/mab"
+	"fastrl/internal/specdec"
+)
+
+// Example demonstrates Algorithm 1: strategies grouped by TokensToVerify
+// map to batch-size buckets, and within a bucket the selector exploits the
+// best windowed median reward.
+func Example() {
+	arms := []specdec.Params{
+		{DraftDepth: 6, TopK: 6, TokensToVerify: 24}, // small batches
+		{DraftDepth: 4, TopK: 6, TokensToVerify: 24},
+		{DraftDepth: 3, TopK: 2, TokensToVerify: 4}, // large batches
+		{DraftDepth: 2, TopK: 2, TokensToVerify: 4},
+	}
+	sel := mab.MustNew(arms, mab.Config{
+		Epsilon: 0, Window: 8, Thresholds: []int{1, 9}, Seed: 1,
+	})
+	// Feed rewards: the deep tree pays off at batch size 1.
+	for i := 0; i < 8; i++ {
+		sel.Record(arms[0], 10*time.Millisecond, []int{4}, 1)
+		sel.Record(arms[1], 10*time.Millisecond, []int{2}, 1)
+	}
+	best := sel.Select(1)
+	fmt.Printf("batch 1 -> depth %d, verify %d\n", best.DraftDepth, best.TokensToVerify)
+	big := sel.Select(16)
+	fmt.Printf("batch 16 -> verify %d group\n", big.TokensToVerify)
+	// Output:
+	// batch 1 -> depth 6, verify 24
+	// batch 16 -> verify 4 group
+}

@@ -1,0 +1,235 @@
+// Package mab implements the Bucketed-Epsilon-Greedy (BEG) multi-armed
+// bandit selector of Algorithm 1 in the paper: speculative-decoding
+// strategies are grouped by TokensToVerify, each group is mapped to a
+// batch-size bucket, and within a bucket an ε-greedy policy selects the
+// strategy maximising the median reward over a sliding window.
+package mab
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fastrl/internal/metrics"
+	"fastrl/internal/specdec"
+)
+
+// Config parameterises the selector.
+type Config struct {
+	// Epsilon is the exploration probability.
+	Epsilon float64
+	// Window is the sliding-window size of the per-arm reward deques.
+	Window int
+	// Thresholds are the ascending batch-size bucket lower bounds
+	// t_1 < t_2 < ... < t_m; bucket i covers [t_i, t_{i+1}-1] and the last
+	// bucket extends to infinity. Strategy groups (sorted by descending
+	// TokensToVerify) map to buckets in order: big trees serve small
+	// batches.
+	Thresholds []int
+	// Seed drives the exploration RNG.
+	Seed int64
+}
+
+// DefaultConfig mirrors the paper's settings.
+func DefaultConfig() Config {
+	return Config{Epsilon: 0.1, Window: 32, Thresholds: []int{1, 3, 9, 17}, Seed: 1}
+}
+
+// group is one TokensToVerify class of strategies.
+type group struct {
+	verifyTokens int
+	arms         []specdec.Params
+}
+
+// Selector is the BEG-MAB strategy selector.
+type Selector struct {
+	cfg     Config
+	groups  []group // sorted by TokensToVerify, descending
+	rewards map[specdec.Params]*metrics.Window
+	accepts map[specdec.Params]*metrics.Window
+	rng     *rand.Rand
+
+	// Counters for diagnostics.
+	Explorations  int
+	Exploitations int
+}
+
+// New builds a selector over the given strategy set. Strategies are
+// grouped by TokensToVerify (descending) and groups are assigned to
+// batch-size buckets in threshold order. It is an error to provide more
+// thresholds than groups or no strategies.
+func New(arms []specdec.Params, cfg Config) (*Selector, error) {
+	if len(arms) == 0 {
+		return nil, fmt.Errorf("mab: no strategies")
+	}
+	if cfg.Epsilon < 0 || cfg.Epsilon > 1 {
+		return nil, fmt.Errorf("mab: epsilon %v out of [0,1]", cfg.Epsilon)
+	}
+	if cfg.Window < 1 {
+		cfg.Window = 16
+	}
+	if len(cfg.Thresholds) == 0 {
+		cfg.Thresholds = []int{1}
+	}
+	if cfg.Thresholds[0] != 1 {
+		return nil, fmt.Errorf("mab: first threshold must be 1, got %d", cfg.Thresholds[0])
+	}
+	for i := 1; i < len(cfg.Thresholds); i++ {
+		if cfg.Thresholds[i] <= cfg.Thresholds[i-1] {
+			return nil, fmt.Errorf("mab: thresholds not ascending: %v", cfg.Thresholds)
+		}
+	}
+
+	byVerify := make(map[int][]specdec.Params)
+	for _, a := range arms {
+		byVerify[a.TokensToVerify] = append(byVerify[a.TokensToVerify], a)
+	}
+	var groups []group
+	for v, as := range byVerify {
+		groups = append(groups, group{verifyTokens: v, arms: as})
+	}
+	sort.Slice(groups, func(i, j int) bool { return groups[i].verifyTokens > groups[j].verifyTokens })
+	if len(cfg.Thresholds) > len(groups) {
+		return nil, fmt.Errorf("mab: %d thresholds for %d strategy groups", len(cfg.Thresholds), len(groups))
+	}
+
+	s := &Selector{
+		cfg:     cfg,
+		groups:  groups,
+		rewards: make(map[specdec.Params]*metrics.Window, len(arms)),
+		accepts: make(map[specdec.Params]*metrics.Window, len(arms)),
+		rng:     rand.New(rand.NewSource(cfg.Seed)),
+	}
+	for _, a := range arms {
+		s.rewards[a] = metrics.NewWindow(cfg.Window)
+		s.accepts[a] = metrics.NewWindow(cfg.Window)
+	}
+	return s, nil
+}
+
+// MustNew is New but panics on configuration errors (static strategy sets).
+func MustNew(arms []specdec.Params, cfg Config) *Selector {
+	s, err := New(arms, cfg)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// bucketIndex maps a batch size to its group index. Groups beyond the
+// threshold list collapse into the last bucket.
+func (s *Selector) bucketIndex(batchSize int) int {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	idx := 0
+	for i, t := range s.cfg.Thresholds {
+		if batchSize >= t {
+			idx = i
+		}
+	}
+	if idx >= len(s.groups) {
+		idx = len(s.groups) - 1
+	}
+	return idx
+}
+
+// Candidates returns the strategy group serving the given batch size.
+func (s *Selector) Candidates(batchSize int) []specdec.Params {
+	return s.groups[s.bucketIndex(batchSize)].arms
+}
+
+// Select implements SelectStrategy of Algorithm 1.
+func (s *Selector) Select(batchSize int) specdec.Params {
+	v := s.Candidates(batchSize)
+	if len(v) == 1 {
+		return v[0]
+	}
+	if s.rng.Float64() < s.cfg.Epsilon {
+		s.Explorations++
+		return v[s.rng.Intn(len(v))]
+	}
+	s.Exploitations++
+	best := v[0]
+	bestMedian := -1.0
+	for _, a := range v {
+		w := s.rewards[a]
+		if w.Len() == 0 {
+			// Unexplored arms are tried eagerly so medians initialise.
+			return a
+		}
+		if m := w.Median(); m > bestMedian {
+			bestMedian = m
+			best = a
+		}
+	}
+	return best
+}
+
+// Record implements Record of Algorithm 1: the reward is the effective
+// generation rate (accepted tokens + the bonus token, per sequence, times
+// batch size, over elapsed time).
+func (s *Selector) Record(p specdec.Params, elapsed time.Duration, acceptLens []int, batchSize int) {
+	if batchSize < 1 || elapsed <= 0 {
+		return
+	}
+	var sum int
+	for _, a := range acceptLens {
+		sum += a
+	}
+	acceptLen := float64(sum)/float64(batchSize) + 1
+	reward := acceptLen * float64(batchSize) / elapsed.Seconds()
+	if w, ok := s.rewards[p]; ok {
+		w.Push(reward)
+	}
+	if w, ok := s.accepts[p]; ok {
+		w.Push(acceptLen)
+	}
+}
+
+// MedianReward returns the windowed median reward of an arm (0 if never
+// recorded).
+func (s *Selector) MedianReward(p specdec.Params) float64 {
+	if w, ok := s.rewards[p]; ok {
+		return w.Median()
+	}
+	return 0
+}
+
+// MeanAcceptLen returns the windowed mean accept length of an arm.
+func (s *Selector) MeanAcceptLen(p specdec.Params) float64 {
+	if w, ok := s.accepts[p]; ok {
+		return w.Mean()
+	}
+	return 0
+}
+
+// Arms returns all strategies known to the selector, grouped and ordered
+// by descending TokensToVerify.
+func (s *Selector) Arms() []specdec.Params {
+	var out []specdec.Params
+	for _, g := range s.groups {
+		out = append(out, g.arms...)
+	}
+	return out
+}
+
+// DefaultStrategies returns the default strategy ladder: deeper, wider
+// trees for tiny batches down to shallow cheap trees for batches near the
+// elastic SD threshold (the structure of Fig. 10's S1..S4). Depths are
+// calibrated to the simulator's drafter acceptance profile; each
+// TokensToVerify group carries two drafting depths so the BEG-MAB tuner
+// has a real choice per batch-size bucket.
+func DefaultStrategies() []specdec.Params {
+	return []specdec.Params{
+		{DraftDepth: 6, TopK: 6, TokensToVerify: 24},
+		{DraftDepth: 4, TopK: 6, TokensToVerify: 24},
+		{DraftDepth: 5, TopK: 4, TokensToVerify: 16},
+		{DraftDepth: 3, TopK: 4, TokensToVerify: 16},
+		{DraftDepth: 4, TopK: 3, TokensToVerify: 8},
+		{DraftDepth: 2, TopK: 3, TokensToVerify: 8},
+		{DraftDepth: 3, TopK: 2, TokensToVerify: 4},
+		{DraftDepth: 2, TopK: 2, TokensToVerify: 4},
+	}
+}

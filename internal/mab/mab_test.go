@@ -1,0 +1,195 @@
+package mab
+
+import (
+	"testing"
+	"time"
+
+	"fastrl/internal/specdec"
+)
+
+func TestGroupingAndBuckets(t *testing.T) {
+	s := MustNew(DefaultStrategies(), DefaultConfig())
+	// Batch 1 -> deepest group (verify 24); batch 32 -> shallowest (verify 4).
+	if got := s.Candidates(1)[0].TokensToVerify; got != 24 {
+		t.Fatalf("batch 1 candidates verify %d tokens, want 24", got)
+	}
+	if got := s.Candidates(2)[0].TokensToVerify; got != 24 {
+		t.Fatalf("batch 2 candidates verify %d tokens, want 24", got)
+	}
+	if got := s.Candidates(3)[0].TokensToVerify; got != 16 {
+		t.Fatalf("batch 3 candidates verify %d tokens, want 16", got)
+	}
+	if got := s.Candidates(100)[0].TokensToVerify; got != 4 {
+		t.Fatalf("batch 100 candidates verify %d tokens, want 4", got)
+	}
+	// Degenerate batch sizes clamp.
+	if got := s.Candidates(0)[0].TokensToVerify; got != 24 {
+		t.Fatalf("batch 0 candidates verify %d tokens, want 24", got)
+	}
+	// Every group carries two drafting depths for the tuner to choose from.
+	for _, bs := range []int{1, 4, 12, 40} {
+		if got := len(s.Candidates(bs)); got != 2 {
+			t.Fatalf("batch %d: %d candidates, want 2", bs, got)
+		}
+	}
+}
+
+func TestSingleCandidateIsFixed(t *testing.T) {
+	arms := []specdec.Params{
+		{DraftDepth: 6, TopK: 6, TokensToVerify: 24},
+		{DraftDepth: 3, TopK: 2, TokensToVerify: 4},
+	}
+	cfg := Config{Epsilon: 0.5, Window: 8, Thresholds: []int{1, 9}, Seed: 3}
+	s := MustNew(arms, cfg)
+	// Each group has exactly one arm here, so selection is deterministic
+	// regardless of epsilon.
+	for i := 0; i < 50; i++ {
+		if got := s.Select(1); got.TokensToVerify != 24 {
+			t.Fatalf("Select(1) = %+v", got)
+		}
+	}
+	if s.Explorations != 0 {
+		t.Fatalf("single-arm selection should never count as exploration")
+	}
+}
+
+func multiArmSelector(t *testing.T, eps float64) *Selector {
+	t.Helper()
+	arms := []specdec.Params{
+		{DraftDepth: 10, TopK: 8, TokensToVerify: 48},
+		{DraftDepth: 6, TopK: 4, TokensToVerify: 48},
+		{DraftDepth: 12, TopK: 12, TokensToVerify: 48},
+	}
+	cfg := Config{Epsilon: eps, Window: 16, Thresholds: []int{1}, Seed: 3}
+	return MustNew(arms, cfg)
+}
+
+func TestExploitationPicksBestMedian(t *testing.T) {
+	s := multiArmSelector(t, 0) // no exploration
+	arms := s.Arms()
+	// Arm 1 is clearly best.
+	for i := 0; i < 20; i++ {
+		s.Record(arms[0], 10*time.Millisecond, []int{2}, 1)
+		s.Record(arms[1], 10*time.Millisecond, []int{8}, 1)
+		s.Record(arms[2], 10*time.Millisecond, []int{4}, 1)
+	}
+	if got := s.Select(1); !got.Equal(arms[1]) {
+		t.Fatalf("Select picked %+v, want best arm %+v", got, arms[1])
+	}
+	if s.Exploitations == 0 {
+		t.Fatal("exploitation counter not incremented")
+	}
+}
+
+func TestUnexploredArmsTriedFirst(t *testing.T) {
+	s := multiArmSelector(t, 0)
+	arms := s.Arms()
+	s.Record(arms[0], 10*time.Millisecond, []int{5}, 1)
+	// arms[1] and arms[2] have no history; selection must try one of them.
+	got := s.Select(1)
+	if got.Equal(arms[0]) {
+		t.Fatalf("Select should try unexplored arms before exploiting, got %+v", got)
+	}
+}
+
+func TestExplorationFraction(t *testing.T) {
+	s := multiArmSelector(t, 0.3)
+	arms := s.Arms()
+	for _, a := range arms {
+		for i := 0; i < 5; i++ {
+			s.Record(a, 10*time.Millisecond, []int{3}, 1)
+		}
+	}
+	const n = 5000
+	for i := 0; i < n; i++ {
+		s.Select(1)
+	}
+	frac := float64(s.Explorations) / float64(s.Explorations+s.Exploitations)
+	if frac < 0.25 || frac > 0.35 {
+		t.Fatalf("exploration fraction %.3f, want ~0.3", frac)
+	}
+}
+
+func TestSlidingWindowAdaptsToNonstationaryRewards(t *testing.T) {
+	s := multiArmSelector(t, 0)
+	arms := s.Arms()
+	// Phase 1: arm 0 best.
+	for i := 0; i < 20; i++ {
+		s.Record(arms[0], 10*time.Millisecond, []int{9}, 1)
+		s.Record(arms[1], 10*time.Millisecond, []int{2}, 1)
+		s.Record(arms[2], 10*time.Millisecond, []int{1}, 1)
+	}
+	if got := s.Select(1); !got.Equal(arms[0]) {
+		t.Fatalf("phase 1: Select picked %+v", got)
+	}
+	// Phase 2: regime change — arm 2 becomes best. The window must forget
+	// phase 1 within Window observations.
+	for i := 0; i < 20; i++ {
+		s.Record(arms[0], 10*time.Millisecond, []int{1}, 1)
+		s.Record(arms[2], 10*time.Millisecond, []int{9}, 1)
+	}
+	if got := s.Select(1); !got.Equal(arms[2]) {
+		t.Fatalf("phase 2: Select picked %+v, want regime-change winner", got)
+	}
+}
+
+func TestRewardFormula(t *testing.T) {
+	s := multiArmSelector(t, 0)
+	arm := s.Arms()[0]
+	// 4 sequences, total accept 8 -> accept len 8/4+1 = 3; reward =
+	// 3 * 4 / 0.01s = 1200 tokens/s.
+	s.Record(arm, 10*time.Millisecond, []int{2, 2, 2, 2}, 4)
+	if got := s.MedianReward(arm); got < 1199 || got > 1201 {
+		t.Fatalf("reward = %v, want 1200", got)
+	}
+	if got := s.MeanAcceptLen(arm); got != 3 {
+		t.Fatalf("accept len = %v, want 3", got)
+	}
+}
+
+func TestRecordIgnoresDegenerateInput(t *testing.T) {
+	s := multiArmSelector(t, 0)
+	arm := s.Arms()[0]
+	s.Record(arm, 0, []int{1}, 1)
+	s.Record(arm, time.Millisecond, []int{1}, 0)
+	if s.MedianReward(arm) != 0 {
+		t.Fatal("degenerate records should be dropped")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	arms := DefaultStrategies()
+	if _, err := New(nil, DefaultConfig()); err == nil {
+		t.Fatal("expected error for empty arm set")
+	}
+	bad := DefaultConfig()
+	bad.Epsilon = 1.5
+	if _, err := New(arms, bad); err == nil {
+		t.Fatal("expected error for bad epsilon")
+	}
+	bad = DefaultConfig()
+	bad.Thresholds = []int{2, 4}
+	if _, err := New(arms, bad); err == nil {
+		t.Fatal("expected error when first threshold != 1")
+	}
+	bad = DefaultConfig()
+	bad.Thresholds = []int{1, 8, 4}
+	if _, err := New(arms, bad); err == nil {
+		t.Fatal("expected error for non-ascending thresholds")
+	}
+	bad = DefaultConfig()
+	bad.Thresholds = []int{1, 2, 3, 4, 5, 6}
+	if _, err := New(arms, bad); err == nil {
+		t.Fatal("expected error for more thresholds than groups")
+	}
+}
+
+func TestArmsOrderedByVerifyTokens(t *testing.T) {
+	s := MustNew(DefaultStrategies(), DefaultConfig())
+	arms := s.Arms()
+	for i := 1; i < len(arms); i++ {
+		if arms[i].TokensToVerify > arms[i-1].TokensToVerify {
+			t.Fatalf("arms not ordered by descending verify tokens: %v", arms)
+		}
+	}
+}

@@ -1,0 +1,104 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/tokenizer"
+)
+
+func benchLM(b *testing.B) (*LM, *tokenizer.Tokenizer, []int) {
+	b.Helper()
+	tk := tokenizer.New()
+	cfg := DefaultConfig(tk.VocabSize(), gpu.Qwen7B)
+	cfg.Buckets = 1 << 12
+	var digits []int
+	for d := 0; d <= 9; d++ {
+		digits = append(digits, tk.Digit(d))
+	}
+	lm := New(cfg, &GrammarPrior{AnswerID: tk.Answer(), EosID: tk.Eos(), DigitIDs: digits})
+	ctx := []int{tk.Bos(), tk.Digit(3), tk.MustID("+"), tk.Digit(4), tk.MustID("="), tk.MustID("so")}
+	return lm, tk, ctx
+}
+
+func BenchmarkLogits(b *testing.B) {
+	lm, _, ctx := benchLM(b)
+	dst := make([]float32, lm.Config().Vocab)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.Logits(Context{Tokens: ctx, PromptLen: 5}, nil, dst)
+	}
+}
+
+func BenchmarkProbsWithBias(b *testing.B) {
+	lm, tk, ctx := benchLM(b)
+	dst := make([]float32, lm.Config().Vocab)
+	bias := map[int]float32{tk.Eos(): -4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.Probs(Context{Tokens: ctx, PromptLen: 5}, bias, 0.9, dst)
+	}
+}
+
+func BenchmarkHiddenSketch(b *testing.B) {
+	lm, _, ctx := benchLM(b)
+	dst := make([]float32, HiddenDim)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.Hidden(Context{Tokens: ctx, PromptLen: 5}, dst)
+	}
+}
+
+func BenchmarkPolicyGradientStep(b *testing.B) {
+	lm, tk, _ := benchLM(b)
+	rng := rand.New(rand.NewSource(1))
+	prompt := []int{tk.Bos(), tk.Digit(3), tk.MustID("+"), tk.Digit(4), tk.MustID("=")}
+	seq := Generate(lm, prompt, nil, 0.9, 64, tk.Eos(), rng)
+	ctx := Context{Tokens: seq, PromptLen: len(prompt)}
+	ref := lm.Clone()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		lm.PolicyGradientStep(ctx, 0.5, 0.05, 0.9, ref, 0.15)
+	}
+}
+
+func BenchmarkGenerate64(b *testing.B) {
+	lm, tk, _ := benchLM(b)
+	rng := rand.New(rand.NewSource(1))
+	prompt := []int{tk.Bos(), tk.Digit(3), tk.MustID("+"), tk.Digit(4), tk.MustID("=")}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Generate(lm, prompt, nil, 0.9, 64, tk.Eos(), rng)
+	}
+}
+
+func BenchmarkTableAccumulate(b *testing.B) {
+	tb := NewTable(1<<14, 97)
+	feats := []int{3, 99, 2048, 8000, 16000}
+	dst := make([]float32, 97)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tb.Accumulate(feats, dst)
+	}
+}
+
+func BenchmarkSoftmax(b *testing.B) {
+	logits := make([]float32, 97)
+	rng := rand.New(rand.NewSource(2))
+	for i := range logits {
+		logits[i] = float32(rng.NormFloat64() * 3)
+	}
+	probs := make([]float32, 97)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Softmax(logits, 0.9, probs)
+	}
+}

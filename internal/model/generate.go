@@ -1,0 +1,23 @@
+package model
+
+import "math/rand"
+
+// Generate autoregressively samples a continuation of prompt until eos is
+// produced or maxNew tokens have been generated, returning the full
+// sequence (prompt + generated). bias is the optional per-token logit
+// bias; temp the sampling temperature (0 = greedy). Generation is the
+// reference (non-speculative) decode path; speculative decoding must be
+// distributionally indistinguishable from it.
+func Generate(m *LM, prompt []int, bias map[int]float32, temp float64, maxNew int, eos int, rng *rand.Rand) []int {
+	tokens := append([]int(nil), prompt...)
+	probs := make([]float32, m.Config().Vocab)
+	for n := 0; n < maxNew; n++ {
+		m.Probs(Context{Tokens: tokens, PromptLen: len(prompt)}, bias, temp, probs)
+		tok := SampleProbs(probs, rng)
+		tokens = append(tokens, tok)
+		if eos >= 0 && tok == eos {
+			break
+		}
+	}
+	return tokens
+}

@@ -1,0 +1,198 @@
+// Package model implements the simulated target language model.
+//
+// The target LM is a featurised softmax model: hashed n-gram context
+// features (plus prompt-conditioned features standing in for attention to
+// the prompt) index rows of a weight table whose sum gives next-token
+// logits. The model is small enough to train by SGD inside tests, yet has
+// the properties the paper's system dynamics depend on: a genuine
+// probability distribution per step, genuine distribution shift under RL
+// policy-gradient updates, and an internal "hidden state" that Eagle-style
+// drafters can condition on.
+package model
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Table is a dense weight matrix of feature rows over the vocabulary with
+// the row operations needed for inference and SGD. Row 0 is reserved as
+// the bias row and is always active.
+type Table struct {
+	Vocab int
+	Rows  int
+	w     []float32 // Rows*Vocab, row-major
+}
+
+// NewTable allocates a zeroed table.
+func NewTable(rows, vocab int) *Table {
+	if rows < 1 || vocab < 1 {
+		panic(fmt.Sprintf("model: invalid table shape %dx%d", rows, vocab))
+	}
+	return &Table{Vocab: vocab, Rows: rows, w: make([]float32, rows*vocab)}
+}
+
+// Randomize fills the table with Gaussian noise of the given scale. Larger
+// scales yield more peaked (lower-entropy) next-token distributions.
+func (t *Table) Randomize(rng *rand.Rand, scale float64) {
+	for i := range t.w {
+		t.w[i] = float32(rng.NormFloat64() * scale)
+	}
+}
+
+// Row returns a mutable view of row r.
+func (t *Table) Row(r int) []float32 {
+	return t.w[r*t.Vocab : (r+1)*t.Vocab]
+}
+
+// Accumulate adds the given feature rows (plus the bias row 0) into dst,
+// which must have length Vocab. dst is zeroed first.
+func (t *Table) Accumulate(features []int, dst []float32) {
+	if len(dst) != t.Vocab {
+		panic("model: logits buffer has wrong length")
+	}
+	copy(dst, t.Row(0))
+	for _, f := range features {
+		row := t.Row(f)
+		for v := range dst {
+			dst[v] += row[v]
+		}
+	}
+}
+
+// AddGrad applies dst-row updates: for every active feature row (and the
+// bias row), w[f][v] += lr * grad[v].
+func (t *Table) AddGrad(features []int, grad []float32, lr float32) {
+	apply := func(r int) {
+		row := t.Row(r)
+		for v := range row {
+			row[v] += lr * grad[v]
+		}
+	}
+	apply(0)
+	for _, f := range features {
+		apply(f)
+	}
+}
+
+// Clone deep-copies the table.
+func (t *Table) Clone() *Table {
+	c := NewTable(t.Rows, t.Vocab)
+	copy(c.w, t.w)
+	return c
+}
+
+// CopyFrom overwrites this table's weights from src (shapes must match).
+func (t *Table) CopyFrom(src *Table) {
+	if t.Rows != src.Rows || t.Vocab != src.Vocab {
+		panic("model: table shape mismatch in CopyFrom")
+	}
+	copy(t.w, src.w)
+}
+
+// Weights exposes the raw weight slice (for checkpointing).
+func (t *Table) Weights() []float32 { return t.w }
+
+// L2Distance returns the Euclidean distance between two same-shaped
+// tables, a cheap drift measure between model versions.
+func (t *Table) L2Distance(o *Table) float64 {
+	if t.Rows != o.Rows || t.Vocab != o.Vocab {
+		panic("model: table shape mismatch in L2Distance")
+	}
+	var s float64
+	for i := range t.w {
+		d := float64(t.w[i] - o.w[i])
+		s += d * d
+	}
+	return math.Sqrt(s)
+}
+
+// Softmax writes softmax(logits/temp) into probs. A temperature of zero
+// (or below) produces a one-hot argmax distribution, matching greedy
+// decoding semantics.
+func Softmax(logits []float32, temp float64, probs []float32) {
+	if len(probs) != len(logits) {
+		panic("model: probs buffer has wrong length")
+	}
+	if temp <= 0 {
+		best := 0
+		for i, l := range logits {
+			if l > logits[best] {
+				best = i
+			}
+		}
+		for i := range probs {
+			probs[i] = 0
+		}
+		probs[best] = 1
+		return
+	}
+	maxL := logits[0]
+	for _, l := range logits[1:] {
+		if l > maxL {
+			maxL = l
+		}
+	}
+	var sum float64
+	for i, l := range logits {
+		e := math.Exp(float64(l-maxL) / temp)
+		probs[i] = float32(e)
+		sum += e
+	}
+	inv := float32(1 / sum)
+	for i := range probs {
+		probs[i] *= inv
+	}
+}
+
+// SampleProbs draws a token index from a probability vector.
+func SampleProbs(probs []float32, rng *rand.Rand) int {
+	u := rng.Float64()
+	var cum float64
+	for i, p := range probs {
+		cum += float64(p)
+		if u < cum {
+			return i
+		}
+	}
+	return len(probs) - 1
+}
+
+// Argmax returns the index of the largest probability.
+func Argmax(probs []float32) int {
+	best := 0
+	for i, p := range probs {
+		if p > probs[best] {
+			best = i
+		}
+	}
+	return best
+}
+
+// TopK returns the indices of the k largest entries, descending. k is
+// clamped to len(probs).
+func TopK(probs []float32, k int) []int {
+	if k > len(probs) {
+		k = len(probs)
+	}
+	idx := make([]int, 0, k)
+	used := make([]bool, len(probs))
+	for n := 0; n < k; n++ {
+		best := -1
+		for i, p := range probs {
+			if used[i] {
+				continue
+			}
+			if best < 0 || p > probs[best] {
+				best = i
+			}
+		}
+		if best < 0 {
+			break
+		}
+		used[best] = true
+		idx = append(idx, best)
+	}
+	return idx
+}

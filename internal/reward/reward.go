@@ -1,0 +1,75 @@
+// Package reward implements the rule-based reward policy of the GRPO
+// pipeline: responses are scored by exact answer verification (plus a
+// small format term), with no learned value model — as in DeepSeek-R1
+// style reasoning RL.
+package reward
+
+import (
+	"fastrl/internal/tokenizer"
+	"fastrl/internal/workload"
+)
+
+// Weights for the rule components.
+const (
+	// CorrectReward is granted when the final answer matches ground truth.
+	CorrectReward = 1.0
+	// FormatReward is granted when the response is well-formed (an answer
+	// marker followed by a digit), independent of correctness.
+	FormatReward = 0.1
+)
+
+// Verifier scores responses against tasks.
+type Verifier struct {
+	tk *tokenizer.Tokenizer
+}
+
+// NewVerifier builds a verifier over the shared vocabulary.
+func NewVerifier(tk *tokenizer.Tokenizer) *Verifier {
+	return &Verifier{tk: tk}
+}
+
+// ExtractAnswer returns the digit following the last answer marker, or
+// (-1, false) when the response is malformed.
+func (v *Verifier) ExtractAnswer(response []int) (int, bool) {
+	ans := v.tk.Answer()
+	for i := len(response) - 1; i >= 0; i-- {
+		if response[i] != ans {
+			continue
+		}
+		if i+1 < len(response) {
+			if d, ok := v.tk.IsDigit(response[i+1]); ok {
+				return d, true
+			}
+		}
+		return -1, false
+	}
+	return -1, false
+}
+
+// Score computes the rule-based reward of a response for a task.
+func (v *Verifier) Score(task workload.Task, response []int) float64 {
+	d, ok := v.ExtractAnswer(response)
+	if !ok {
+		return 0
+	}
+	r := FormatReward
+	if d == task.Answer {
+		r += CorrectReward
+	}
+	return r
+}
+
+// Accuracy returns the fraction of responses answering their task
+// correctly (ignoring format-only scores).
+func (v *Verifier) Accuracy(tasks []workload.Task, responses [][]int) float64 {
+	if len(tasks) == 0 || len(tasks) != len(responses) {
+		return 0
+	}
+	correct := 0
+	for i, task := range tasks {
+		if d, ok := v.ExtractAnswer(responses[i]); ok && d == task.Answer {
+			correct++
+		}
+	}
+	return float64(correct) / float64(len(tasks))
+}

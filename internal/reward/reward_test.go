@@ -1,0 +1,72 @@
+package reward
+
+import (
+	"testing"
+
+	"fastrl/internal/tokenizer"
+	"fastrl/internal/workload"
+)
+
+func TestExtractAnswer(t *testing.T) {
+	tk := tokenizer.New()
+	v := NewVerifier(tk)
+	cases := []struct {
+		name string
+		resp []int
+		want int
+		ok   bool
+	}{
+		{"simple", []int{tk.Answer(), tk.Digit(7), tk.Eos()}, 7, true},
+		{"with reasoning", []int{tk.MustID("so"), tk.Digit(3), tk.Answer(), tk.Digit(4), tk.Eos()}, 4, true},
+		{"last marker wins", []int{tk.Answer(), tk.Digit(1), tk.Answer(), tk.Digit(2), tk.Eos()}, 2, true},
+		{"marker then junk", []int{tk.Answer(), tk.MustID("so")}, -1, false},
+		{"marker at end", []int{tk.MustID("so"), tk.Answer()}, -1, false},
+		{"no marker", []int{tk.Digit(5), tk.Eos()}, -1, false},
+		{"empty", nil, -1, false},
+	}
+	for _, c := range cases {
+		got, ok := v.ExtractAnswer(c.resp)
+		if ok != c.ok || (ok && got != c.want) {
+			t.Errorf("%s: ExtractAnswer = %d,%v want %d,%v", c.name, got, ok, c.want, c.ok)
+		}
+	}
+}
+
+func TestScore(t *testing.T) {
+	tk := tokenizer.New()
+	v := NewVerifier(tk)
+	task := workload.Task{Answer: 7}
+
+	correct := []int{tk.Answer(), tk.Digit(7), tk.Eos()}
+	if got := v.Score(task, correct); got != CorrectReward+FormatReward {
+		t.Fatalf("correct response score %v", got)
+	}
+	wrong := []int{tk.Answer(), tk.Digit(3), tk.Eos()}
+	if got := v.Score(task, wrong); got != FormatReward {
+		t.Fatalf("wrong-answer score %v", got)
+	}
+	malformed := []int{tk.Digit(7)}
+	if got := v.Score(task, malformed); got != 0 {
+		t.Fatalf("malformed score %v", got)
+	}
+}
+
+func TestAccuracy(t *testing.T) {
+	tk := tokenizer.New()
+	v := NewVerifier(tk)
+	tasks := []workload.Task{{Answer: 1}, {Answer: 2}, {Answer: 3}}
+	responses := [][]int{
+		{tk.Answer(), tk.Digit(1)},
+		{tk.Answer(), tk.Digit(9)},
+		{tk.Answer(), tk.Digit(3)},
+	}
+	if got := v.Accuracy(tasks, responses); got < 0.66 || got > 0.67 {
+		t.Fatalf("accuracy %v, want 2/3", got)
+	}
+	if v.Accuracy(nil, nil) != 0 {
+		t.Fatal("empty accuracy should be 0")
+	}
+	if v.Accuracy(tasks, responses[:2]) != 0 {
+		t.Fatal("mismatched lengths should be 0")
+	}
+}

@@ -1,0 +1,284 @@
+// Package rl implements the reasoning-RL training algorithms: GRPO (the
+// paper's primary algorithm) plus the RLOO, REINFORCE and REINFORCE++
+// variants it claims compatibility with (§7). The package contains the
+// algorithmic core — group sampling, advantage estimation, the
+// inference stage (reference-model KL), and policy updates — while
+// system-level scheduling (which engine decodes the rollouts, what the
+// step costs) is composed by callers.
+package rl
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"fastrl/internal/model"
+	"fastrl/internal/reward"
+	"fastrl/internal/workload"
+)
+
+// Algo selects the RL algorithm variant.
+type Algo int
+
+const (
+	// GRPO: group-relative advantages normalised by the group stddev.
+	GRPO Algo = iota
+	// RLOO: leave-one-out baseline within the group.
+	RLOO
+	// REINFORCE: global EMA baseline.
+	REINFORCE
+	// REINFORCEPP: batch-mean baseline with global normalisation.
+	REINFORCEPP
+)
+
+func (a Algo) String() string {
+	switch a {
+	case GRPO:
+		return "grpo"
+	case RLOO:
+		return "rloo"
+	case REINFORCE:
+		return "reinforce"
+	case REINFORCEPP:
+		return "reinforce++"
+	}
+	return fmt.Sprintf("algo(%d)", int(a))
+}
+
+// Rollout is one generated response with its task.
+type Rollout struct {
+	Task     workload.Task
+	Response []int
+	// Full is prompt + response.
+	Full      []int
+	PromptLen int
+	Reward    float64
+	Advantage float64
+}
+
+// Config parameterises the trainer.
+type Config struct {
+	Algo Algo
+	// GroupSize is the number of responses per prompt (GRPO group).
+	GroupSize int
+	// PromptsPerStep is the number of distinct prompts per RL step.
+	PromptsPerStep int
+	// Temp is the sampling temperature.
+	Temp float64
+	// LR is the policy learning rate.
+	LR float64
+	// KLCoef weights the reference-model KL penalty.
+	KLCoef float64
+	// BaselineDecay is the EMA decay for the REINFORCE baseline.
+	BaselineDecay float64
+}
+
+// DefaultConfig mirrors the paper's GRPO settings at simulator scale.
+func DefaultConfig() Config {
+	return Config{
+		Algo:           GRPO,
+		GroupSize:      8,
+		PromptsPerStep: 16,
+		Temp:           0.9,
+		LR:             0.05,
+		KLCoef:         0.15,
+		BaselineDecay:  0.9,
+	}
+}
+
+// Trainer holds the RL state: policy, frozen reference, verifier.
+type Trainer struct {
+	cfg      Config
+	Policy   *model.LM
+	Ref      *model.LM
+	Verifier *reward.Verifier
+	baseline float64 // REINFORCE EMA
+	Step     int
+}
+
+// NewTrainer freezes the current policy weights as the reference model.
+func NewTrainer(cfg Config, policy *model.LM, v *reward.Verifier) *Trainer {
+	if cfg.GroupSize < 1 {
+		cfg.GroupSize = 1
+	}
+	return &Trainer{cfg: cfg, Policy: policy, Ref: policy.Clone(), Verifier: v}
+}
+
+// Config returns the trainer configuration.
+func (t *Trainer) Config() Config { return t.cfg }
+
+// ScoreGroups computes rewards for rollouts grouped by prompt: groups[i]
+// holds GroupSize rollouts of one task.
+func (t *Trainer) ScoreGroups(groups [][]*Rollout) {
+	for _, g := range groups {
+		for _, r := range g {
+			r.Reward = t.Verifier.Score(r.Task, r.Response)
+		}
+	}
+}
+
+// ComputeAdvantages fills rollout advantages per the configured algorithm.
+func (t *Trainer) ComputeAdvantages(groups [][]*Rollout) {
+	switch t.cfg.Algo {
+	case GRPO:
+		for _, g := range groups {
+			mean, std := rewardStats(g)
+			for _, r := range g {
+				r.Advantage = (r.Reward - mean) / (std + 1e-4)
+			}
+		}
+	case RLOO:
+		for _, g := range groups {
+			n := float64(len(g))
+			if n < 2 {
+				for _, r := range g {
+					r.Advantage = 0
+				}
+				continue
+			}
+			var sum float64
+			for _, r := range g {
+				sum += r.Reward
+			}
+			for _, r := range g {
+				r.Advantage = r.Reward - (sum-r.Reward)/(n-1)
+			}
+		}
+	case REINFORCE:
+		for _, g := range groups {
+			for _, r := range g {
+				r.Advantage = r.Reward - t.baseline
+				t.baseline = t.cfg.BaselineDecay*t.baseline + (1-t.cfg.BaselineDecay)*r.Reward
+			}
+		}
+	case REINFORCEPP:
+		var all []*Rollout
+		for _, g := range groups {
+			all = append(all, g...)
+		}
+		mean, std := rewardStats(all)
+		for _, r := range all {
+			r.Advantage = (r.Reward - mean) / (std + 1e-4)
+		}
+	}
+}
+
+func rewardStats(g []*Rollout) (mean, std float64) {
+	if len(g) == 0 {
+		return 0, 0
+	}
+	for _, r := range g {
+		mean += r.Reward
+	}
+	mean /= float64(len(g))
+	for _, r := range g {
+		d := r.Reward - mean
+		std += d * d
+	}
+	std = math.Sqrt(std / float64(len(g)))
+	return mean, std
+}
+
+// InferenceTokens returns the total response tokens the inference stage
+// prefills through both policy and reference models.
+func InferenceTokens(groups [][]*Rollout) int {
+	var n int
+	for _, g := range groups {
+		for _, r := range g {
+			n += len(r.Response)
+		}
+	}
+	return n
+}
+
+// ApplyUpdates runs the training stage: one policy-gradient step per
+// rollout with a nonzero advantage, with the KL penalty against the
+// frozen reference. Returns the mean observed KL estimate.
+func (t *Trainer) ApplyUpdates(groups [][]*Rollout) float64 {
+	var klSum float64
+	var n int
+	for _, g := range groups {
+		for _, r := range g {
+			if r.Advantage == 0 {
+				continue
+			}
+			ctx := model.Context{Tokens: r.Full, PromptLen: r.PromptLen}
+			kl := t.Policy.PolicyGradientStep(ctx, r.Advantage, t.cfg.LR, t.cfg.Temp, t.Ref, t.cfg.KLCoef)
+			klSum += kl
+			n++
+		}
+	}
+	t.Step++
+	if n == 0 {
+		return 0
+	}
+	return klSum / float64(n)
+}
+
+// StepSummary aggregates one step's learning metrics.
+type StepSummary struct {
+	Step       int
+	MeanReward float64
+	Accuracy   float64
+	MeanKL     float64
+	// MeanLen and MaxLen summarise response lengths.
+	MeanLen float64
+	MaxLen  int
+}
+
+// Summarize computes the step summary from scored groups.
+func Summarize(step int, groups [][]*Rollout, meanKL float64) StepSummary {
+	s := StepSummary{Step: step, MeanKL: meanKL}
+	var n, correct int
+	var lenSum float64
+	for _, g := range groups {
+		for _, r := range g {
+			s.MeanReward += r.Reward
+			n++
+			lenSum += float64(len(r.Response))
+			if len(r.Response) > s.MaxLen {
+				s.MaxLen = len(r.Response)
+			}
+			if r.Reward >= reward.CorrectReward {
+				correct++
+			}
+		}
+	}
+	if n > 0 {
+		s.MeanReward /= float64(n)
+		s.Accuracy = float64(correct) / float64(n)
+		s.MeanLen = lenSum / float64(n)
+	}
+	return s
+}
+
+// GenerateGroupsDirect rolls out groups with plain autoregressive
+// sampling, bypassing any engine — the algorithmic reference path used in
+// tests and losslessness comparisons.
+func (t *Trainer) GenerateGroupsDirect(tasks []workload.Task, maxNew int, eos int, rng *rand.Rand) [][]*Rollout {
+	groups := make([][]*Rollout, 0, len(tasks))
+	for _, task := range tasks {
+		g := make([]*Rollout, 0, t.cfg.GroupSize)
+		for i := 0; i < t.cfg.GroupSize; i++ {
+			full := model.Generate(t.Policy, task.Prompt, nil, t.cfg.Temp, maxNew, eos, rng)
+			g = append(g, &Rollout{
+				Task:      task,
+				Full:      full,
+				Response:  full[len(task.Prompt):],
+				PromptLen: len(task.Prompt),
+			})
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// TrainStep runs one full direct-path RL step (rollout → score →
+// advantages → update) and returns its summary.
+func (t *Trainer) TrainStep(tasks []workload.Task, maxNew, eos int, rng *rand.Rand) StepSummary {
+	groups := t.GenerateGroupsDirect(tasks, maxNew, eos, rng)
+	t.ScoreGroups(groups)
+	t.ComputeAdvantages(groups)
+	kl := t.ApplyUpdates(groups)
+	return Summarize(t.Step, groups, kl)
+}

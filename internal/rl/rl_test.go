@@ -1,0 +1,201 @@
+package rl
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/model"
+	"fastrl/internal/reward"
+	"fastrl/internal/tokenizer"
+	"fastrl/internal/workload"
+)
+
+func newTrainer(t testing.TB, cfg Config) (*Trainer, *workload.TaskGen, *tokenizer.Tokenizer) {
+	t.Helper()
+	tk := tokenizer.New()
+	mcfg := model.DefaultConfig(tk.VocabSize(), gpu.Qwen7B)
+	mcfg.Buckets = 1 << 10
+	var digits []int
+	for d := 0; d <= 9; d++ {
+		digits = append(digits, tk.Digit(d))
+	}
+	lm := model.New(mcfg, &model.GrammarPrior{AnswerID: tk.Answer(), EosID: tk.Eos(), DigitIDs: digits})
+	gen := workload.NewTaskGen(tk, 30, 5)
+	return NewTrainer(cfg, lm, reward.NewVerifier(tk)), gen, tk
+}
+
+func TestGRPOAdvantagesZeroMeanUnitishScale(t *testing.T) {
+	tr, _, _ := newTrainer(t, DefaultConfig())
+	g := []*Rollout{
+		{Reward: 1.1}, {Reward: 0.1}, {Reward: 0.1}, {Reward: 1.1},
+	}
+	tr.ComputeAdvantages([][]*Rollout{g})
+	var sum float64
+	for _, r := range g {
+		sum += r.Advantage
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("GRPO advantages should sum to ~0, got %v", sum)
+	}
+	if g[0].Advantage <= 0 || g[1].Advantage >= 0 {
+		t.Fatalf("advantage signs wrong: %+v", g)
+	}
+	// Uniform rewards give ~zero advantages (std floor keeps it finite).
+	flat := []*Rollout{{Reward: 0.5}, {Reward: 0.5}}
+	tr.ComputeAdvantages([][]*Rollout{flat})
+	if math.Abs(flat[0].Advantage) > 1e-6 {
+		t.Fatalf("flat group advantage %v, want 0", flat[0].Advantage)
+	}
+}
+
+func TestRLOOAdvantages(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algo = RLOO
+	tr, _, _ := newTrainer(t, cfg)
+	g := []*Rollout{{Reward: 1}, {Reward: 0}, {Reward: 0.5}}
+	tr.ComputeAdvantages([][]*Rollout{g})
+	// r0 - mean(r1,r2) = 1 - 0.25 = 0.75
+	if math.Abs(g[0].Advantage-0.75) > 1e-9 {
+		t.Fatalf("RLOO advantage %v, want 0.75", g[0].Advantage)
+	}
+	// Singleton group degenerates to zero.
+	single := []*Rollout{{Reward: 1}}
+	tr.ComputeAdvantages([][]*Rollout{single})
+	if single[0].Advantage != 0 {
+		t.Fatalf("singleton RLOO advantage %v", single[0].Advantage)
+	}
+}
+
+func TestREINFORCEBaselineTracks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algo = REINFORCE
+	tr, _, _ := newTrainer(t, cfg)
+	g := []*Rollout{{Reward: 1}, {Reward: 1}, {Reward: 1}}
+	tr.ComputeAdvantages([][]*Rollout{g})
+	// First advantage vs zero baseline, later ones vs a risen baseline.
+	if g[0].Advantage != 1 {
+		t.Fatalf("first advantage %v", g[0].Advantage)
+	}
+	if g[2].Advantage >= g[0].Advantage {
+		t.Fatalf("baseline did not rise: %v vs %v", g[2].Advantage, g[0].Advantage)
+	}
+}
+
+func TestREINFORCEPPGlobalNormalization(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Algo = REINFORCEPP
+	tr, _, _ := newTrainer(t, cfg)
+	g1 := []*Rollout{{Reward: 1}, {Reward: 0}}
+	g2 := []*Rollout{{Reward: 1}, {Reward: 0}}
+	tr.ComputeAdvantages([][]*Rollout{g1, g2})
+	var sum float64
+	for _, r := range append(g1, g2...) {
+		sum += r.Advantage
+	}
+	if math.Abs(sum) > 1e-6 {
+		t.Fatalf("global advantages should sum to ~0, got %v", sum)
+	}
+}
+
+func TestRewardsImproveOverTraining(t *testing.T) {
+	// The end-to-end learning check: mean reward on the task pool rises
+	// over RL steps (Fig. 12's premise).
+	tr, gen, tk := newTrainer(t, DefaultConfig())
+	rng := rand.New(rand.NewSource(11))
+
+	var first, last float64
+	const steps = 12
+	for step := 0; step < steps; step++ {
+		tasks := gen.Sample(tr.Config().PromptsPerStep)
+		sum := tr.TrainStep(tasks, 60, tk.Eos(), rng)
+		if step == 0 {
+			first = sum.MeanReward
+		}
+		last = sum.MeanReward
+	}
+	if last <= first {
+		t.Fatalf("reward did not improve: %.3f -> %.3f", first, last)
+	}
+	t.Logf("reward %.3f -> %.3f over %d steps", first, last, steps)
+}
+
+func TestKLStaysBounded(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.KLCoef = 0.1
+	tr, gen, tk := newTrainer(t, cfg)
+	rng := rand.New(rand.NewSource(13))
+	var lastKL float64
+	for step := 0; step < 6; step++ {
+		tasks := gen.Sample(8)
+		s := tr.TrainStep(tasks, 50, tk.Eos(), rng)
+		lastKL = s.MeanKL
+	}
+	if math.IsNaN(lastKL) || lastKL < 0 || lastKL > 50 {
+		t.Fatalf("KL estimate out of range: %v", lastKL)
+	}
+}
+
+func TestInferenceTokens(t *testing.T) {
+	groups := [][]*Rollout{
+		{{Response: make([]int, 5)}, {Response: make([]int, 7)}},
+		{{Response: make([]int, 3)}},
+	}
+	if got := InferenceTokens(groups); got != 15 {
+		t.Fatalf("InferenceTokens = %d, want 15", got)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	groups := [][]*Rollout{{
+		{Reward: 1.1, Response: make([]int, 10)},
+		{Reward: 0.1, Response: make([]int, 30)},
+	}}
+	s := Summarize(3, groups, 0.5)
+	if s.Step != 3 || s.MeanKL != 0.5 {
+		t.Fatalf("summary header wrong: %+v", s)
+	}
+	if math.Abs(s.MeanReward-0.6) > 1e-9 {
+		t.Fatalf("mean reward %v", s.MeanReward)
+	}
+	if s.Accuracy != 0.5 {
+		t.Fatalf("accuracy %v", s.Accuracy)
+	}
+	if s.MaxLen != 30 || s.MeanLen != 20 {
+		t.Fatalf("length stats %v/%v", s.MeanLen, s.MaxLen)
+	}
+}
+
+func TestAlgoStrings(t *testing.T) {
+	for algo, want := range map[Algo]string{
+		GRPO: "grpo", RLOO: "rloo", REINFORCE: "reinforce", REINFORCEPP: "reinforce++",
+	} {
+		if algo.String() != want {
+			t.Fatalf("%d.String() = %q", int(algo), algo.String())
+		}
+	}
+}
+
+func TestAllAlgosLearn(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long learning test")
+	}
+	for _, algo := range []Algo{GRPO, RLOO, REINFORCEPP} {
+		cfg := DefaultConfig()
+		cfg.Algo = algo
+		tr, gen, tk := newTrainer(t, cfg)
+		rng := rand.New(rand.NewSource(17))
+		var first, last float64
+		for step := 0; step < 10; step++ {
+			s := tr.TrainStep(gen.Sample(12), 60, tk.Eos(), rng)
+			if step == 0 {
+				first = s.MeanReward
+			}
+			last = s.MeanReward
+		}
+		if last <= first {
+			t.Errorf("%v: reward did not improve: %.3f -> %.3f", algo, first, last)
+		}
+	}
+}

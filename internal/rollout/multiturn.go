@@ -1,0 +1,58 @@
+package rollout
+
+import "time"
+
+// ToolProfile models multi-turn tool-calling rollouts (paper §7): after
+// every Every generated tokens the request performs a GPU-free tool call
+// of the given Latency, during which its KV cache stays resident but it
+// does not decode. Tool waits shrink the active decoding batch, creating
+// exactly the small-batch regime where speculative decoding shines.
+type ToolProfile struct {
+	// Every is the token period between tool calls (0 disables).
+	Every int
+	// Latency is the tool execution time per call.
+	Latency time.Duration
+	// MaxCalls caps the number of tool calls (0 = unlimited).
+	MaxCalls int
+}
+
+// Enabled reports whether the profile triggers tool calls.
+func (t ToolProfile) Enabled() bool { return t.Every > 0 && t.Latency > 0 }
+
+// toolState tracks a request's tool-call progress.
+type toolState struct {
+	// resumeAt is the virtual time the current tool call completes.
+	resumeAt time.Duration
+	// nextAt is the generated-token count triggering the next call.
+	nextAt int
+	calls  int
+}
+
+// maybeStartToolCall checks whether the request just crossed a tool-call
+// boundary and, if so, parks it until now+latency. Returns true when a
+// call started.
+func (r *Request) maybeStartToolCall(now time.Duration) bool {
+	if !r.Tool.Enabled() || r.Done {
+		return false
+	}
+	if r.tool.nextAt == 0 {
+		r.tool.nextAt = r.Tool.Every
+	}
+	if r.Generated() < r.tool.nextAt {
+		return false
+	}
+	if r.Tool.MaxCalls > 0 && r.tool.calls >= r.Tool.MaxCalls {
+		return false
+	}
+	r.tool.calls++
+	r.tool.nextAt += r.Tool.Every
+	r.tool.resumeAt = now + r.Tool.Latency
+	return true
+}
+
+// waitingUntil returns the request's tool resume time (zero when not
+// waiting).
+func (r *Request) waitingUntil() time.Duration { return r.tool.resumeAt }
+
+// ToolCalls returns the number of tool calls the request has made.
+func (r *Request) ToolCalls() int { return r.tool.calls }

@@ -1,0 +1,196 @@
+// Package serving implements the deployment scenario of paper §7: the
+// drafter that TLT trained for free during RL is served with adaptive
+// speculative decoding against the frozen policy. Unlike the rollout
+// engine (which simulates one synchronous training worker), the server
+// runs real concurrent replica goroutines with a shared request queue and
+// reports latency percentiles — the shape of an online inference service.
+package serving
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"sync"
+	"time"
+
+	"fastrl/internal/draft"
+	"fastrl/internal/metrics"
+	"fastrl/internal/model"
+	"fastrl/internal/rollout"
+	"fastrl/internal/workload"
+)
+
+// Config parameterises the server.
+type Config struct {
+	// Engine configures each replica's rollout engine (device, SD
+	// threshold, strategies).
+	Engine rollout.Config
+	// Replicas is the number of concurrent model replicas (each one
+	// worker goroutine with its own engine and virtual clock).
+	Replicas int
+	// QueueDepth bounds the admission queue.
+	QueueDepth int
+	// AnswerID / EosID configure request control tokens.
+	AnswerID int
+	EosID    int
+}
+
+// Request is one serving job.
+type Request struct {
+	Prompt []int
+	MaxNew int
+	// Prior optionally shapes the response length.
+	Prior workload.LengthPrior
+	// Seed drives the per-request sampling stream.
+	Seed int64
+}
+
+// Response is the served completion.
+type Response struct {
+	Tokens []int
+	// Latency is the modelled service latency: queueing (wall) plus the
+	// replica's virtual decode time for this request.
+	Latency time.Duration
+	// DecodeTime is the virtual decode component alone.
+	DecodeTime time.Duration
+	// AcceptLen is the mean SD accept length (0 without SD).
+	AcceptLen float64
+	Err       error
+}
+
+type job struct {
+	req      Request
+	enqueued time.Time
+	done     chan Response
+}
+
+// Server is a concurrent SD inference service over a frozen target.
+type Server struct {
+	cfg     Config
+	target  *model.LM
+	drafter draft.Drafter
+	queue   chan *job
+	wg      sync.WaitGroup
+	mu      sync.Mutex
+	lats    []float64
+	served  int
+	stopped bool
+}
+
+// New builds a server. drafter may be nil (vanilla decoding).
+func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
+	if cfg.Replicas < 1 {
+		cfg.Replicas = 1
+	}
+	if cfg.QueueDepth < 1 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Engine.Device == nil {
+		return nil, fmt.Errorf("serving: engine device required")
+	}
+	s := &Server{
+		cfg:     cfg,
+		target:  target,
+		drafter: drafter,
+		queue:   make(chan *job, cfg.QueueDepth),
+	}
+	for r := 0; r < cfg.Replicas; r++ {
+		s.wg.Add(1)
+		go s.replica(r)
+	}
+	return s, nil
+}
+
+// replica is one serving worker: it owns a rollout engine and drains the
+// shared queue.
+func (s *Server) replica(id int) {
+	defer s.wg.Done()
+	eng, err := rollout.New(s.cfg.Engine, s.target, s.drafter)
+	if err != nil {
+		// Configuration errors surface on every job this replica takes.
+		for j := range s.queue {
+			j.done <- Response{Err: err}
+		}
+		return
+	}
+	for j := range s.queue {
+		before := eng.Clock.Now()
+		req := rollout.NewRequest(0, j.req.Prompt, j.req.MaxNew, j.req.Prior, s.cfg.AnswerID, s.cfg.EosID)
+		stats := eng.Run([]*rollout.Request{req}, rand.New(rand.NewSource(j.req.Seed)))
+		decode := eng.Clock.Now() - before
+		resp := Response{
+			Tokens:     req.Response(),
+			DecodeTime: decode,
+			Latency:    time.Since(j.enqueued) + decode,
+			AcceptLen:  stats.MeanAcceptLen(),
+		}
+		s.mu.Lock()
+		s.lats = append(s.lats, resp.Latency.Seconds())
+		s.served++
+		s.mu.Unlock()
+		j.done <- resp
+	}
+}
+
+// Submit enqueues a request and returns a channel delivering its response.
+// It fails fast when the context is cancelled or the server is stopped.
+func (s *Server) Submit(ctx context.Context, req Request) (<-chan Response, error) {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("serving: server stopped")
+	}
+	s.mu.Unlock()
+	j := &job{req: req, enqueued: time.Now(), done: make(chan Response, 1)}
+	select {
+	case s.queue <- j:
+		return j.done, nil
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+}
+
+// Serve submits and waits.
+func (s *Server) Serve(ctx context.Context, req Request) (Response, error) {
+	ch, err := s.Submit(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// Stop drains the queue and shuts the replicas down.
+func (s *Server) Stop() {
+	s.mu.Lock()
+	if s.stopped {
+		s.mu.Unlock()
+		return
+	}
+	s.stopped = true
+	s.mu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Stats summarises served traffic.
+type Stats struct {
+	Served int
+	P50    time.Duration
+	P95    time.Duration
+}
+
+// Stats returns latency percentiles over everything served so far.
+func (s *Server) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Served: s.served,
+		P50:    time.Duration(metrics.Percentile(s.lats, 50) * float64(time.Second)),
+		P95:    time.Duration(metrics.Percentile(s.lats, 95) * float64(time.Second)),
+	}
+}

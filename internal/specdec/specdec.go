@@ -1,0 +1,382 @@
+// Package specdec implements speculative decoding: linear and tree-based
+// drafting with lossless verification.
+//
+// Drafting selects candidate tokens deterministically (top-K of the draft
+// distribution, the Eagle-2 style confidence tree). Verification uses the
+// chain-rule scheme for deterministic candidate sets: at each tree
+// position with candidate set {x_1..x_k} (ordered by draft confidence),
+// candidate x_i is accepted with probability
+//
+//	p(x_i) / (1 - Σ_{j<i} p(x_j))
+//
+// and if all candidates are rejected the corrective token is sampled from
+// the target distribution restricted to non-candidates. The marginal of
+// the emitted token is exactly the target distribution p — speculative
+// decoding is mathematically lossless, the property the paper depends on
+// for lossless RL training. (With temperature 0 the scheme degenerates to
+// exact greedy equality.)
+package specdec
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"fastrl/internal/draft"
+	"fastrl/internal/model"
+)
+
+// Params is one speculative-decoding strategy: the MAB "arm".
+type Params struct {
+	// DraftDepth is the maximum number of sequential drafting steps.
+	DraftDepth int
+	// TopK is the branching factor of tree drafting (1 = linear).
+	TopK int
+	// TokensToVerify caps the number of tree nodes sent to the target for
+	// verification.
+	TokensToVerify int
+}
+
+// Equal reports whether two strategies are identical.
+func (p Params) Equal(o Params) bool { return p == o }
+
+// Result summarises one speculation round.
+type Result struct {
+	// Tokens are the tokens appended to the sequence: zero or more
+	// accepted drafted tokens plus exactly one token sampled from the
+	// target's (restricted) distribution. At least one token always lands
+	// per round, as in vanilla speculative decoding.
+	Tokens []int
+	// AcceptLen is the number of accepted drafted tokens (len(Tokens)-1,
+	// unless EOS cut the round short).
+	AcceptLen int
+	// DraftedNodes is the number of drafter forward evaluations spent.
+	DraftedNodes int
+	// FrontierPerDepth records the tree frontier width at each drafting
+	// depth, for drafting cost accounting.
+	FrontierPerDepth []int
+	// VerifiedTokens is the number of tree nodes the target scored in the
+	// verification pass.
+	VerifiedTokens int
+	// Eos reports whether an end-of-sequence token was emitted.
+	Eos bool
+}
+
+// Engine wraps a target model with sampling settings for speculation.
+type Engine struct {
+	Target *model.LM
+	// Temp is the sampling temperature (0 = greedy).
+	Temp float64
+	// Bias is an optional per-token logit bias applied to the target (the
+	// workload length prior). The drafter does not see it, exactly as a
+	// deployed drafter would not see serving-time logit processors.
+	Bias map[int]float32
+	// EosID terminates generation when emitted (set negative to disable).
+	EosID int
+}
+
+// node is one drafted token in the speculation tree.
+type node struct {
+	tok      int
+	parent   int // index into nodes; -1 for roots
+	depth    int
+	pathProb float64 // product of draft probabilities along the path
+	qProb    float64 // draft probability of this token at its parent
+	children []int
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// Step performs one draft-and-verify round for a single sequence.
+//
+// tokens is the verified sequence so far. The drafter proposes a
+// confidence tree of candidates conditioned on the target's hidden sketch
+// at the root, the target verifies the selected nodes in one (virtual)
+// pass, and the accepted prefix plus one corrective/bonus token is
+// returned.
+func (e *Engine) Step(d draft.Drafter, tokens []int, promptLen int, p Params, rng *rand.Rand) Result {
+	if p.DraftDepth < 1 {
+		p.DraftDepth = 1
+	}
+	if p.TopK < 1 {
+		p.TopK = 1
+	}
+	if p.TokensToVerify < 1 {
+		p.TokensToVerify = 1
+	}
+	vocab := e.Target.Config().Vocab
+	// Two fused sketches cover both Eagle (1) and Eagle-3 (2) inputs.
+	hidden := model.FusedHidden(e.Target, model.Context{Tokens: tokens, PromptLen: promptLen}, 2)
+
+	// ---- Drafting stage: build the candidate tree.
+	var nodes []node
+	var res Result
+	qBuf := make([]float32, vocab)
+	frontier := []int{-1} // -1 denotes the root context
+	seqBuf := make([]int, len(tokens), len(tokens)+p.DraftDepth+2)
+	copy(seqBuf, tokens)
+	for depth := 1; depth <= p.DraftDepth && len(frontier) > 0; depth++ {
+		res.FrontierPerDepth = append(res.FrontierPerDepth, len(frontier))
+		var next []int
+		for _, pi := range frontier {
+			ctx := e.pathContext(tokens, nodes, pi, seqBuf[:len(tokens)])
+			// Drafting state: at the root the drafter sees the target's
+			// hidden state exactly; deeper nodes draft in the rank-free
+			// mode the drafter was trained for via rank dropout (the root
+			// hidden state does not describe deeper positions).
+			h := hidden
+			if pi >= 0 {
+				h = &model.HiddenState{Sketch: hidden.Sketch}
+			}
+			d.Probs(ctx, promptLen, h, e.draftTemp(), qBuf)
+			e.applyBiasToDraft(qBuf)
+			res.DraftedNodes++
+			parentProb := 1.0
+			if pi >= 0 {
+				parentProb = nodes[pi].pathProb
+			}
+			kept := 0
+			for _, tok := range model.TopK(qBuf, p.TopK) {
+				if kept >= p.TopK {
+					break
+				}
+				qp := float64(qBuf[tok])
+				if qp <= 0 {
+					continue
+				}
+				kept++
+				ni := len(nodes)
+				nodes = append(nodes, node{
+					tok:      tok,
+					parent:   pi,
+					depth:    depth,
+					pathProb: parentProb * qp,
+					qProb:    qp,
+				})
+				next = append(next, ni)
+			}
+		}
+		// Depth-limited beam: only the TopK highest-path-probability nodes
+		// expand further, bounding drafting cost (Eagle-2 dynamic trees).
+		if len(next) > p.TopK {
+			sort.Slice(next, func(i, j int) bool {
+				return nodes[next[i]].pathProb > nodes[next[j]].pathProb
+			})
+			next = next[:p.TopK]
+		}
+		frontier = next
+	}
+
+	// ---- Candidate selection: keep the TokensToVerify highest-confidence
+	// nodes, closed under ancestry so every kept node's parent is kept.
+	keep := selectNodes(nodes, p.TokensToVerify)
+	var roots []int
+	for _, ni := range keep {
+		if nodes[ni].parent < 0 {
+			roots = append(roots, ni)
+		} else {
+			par := nodes[ni].parent
+			nodes[par].children = append(nodes[par].children, ni)
+		}
+	}
+	res.VerifiedTokens = len(keep) + 1 // +1: the root position is scored too
+
+	// ---- Verification stage: chain-rule rejection sampling down the tree.
+	pBuf := make([]float32, vocab)
+	accepted := make([]int, 0, p.DraftDepth+1)
+	ctx := seqBuf[:len(tokens)]
+	candidates := roots
+	for {
+		e.Target.Probs(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, pBuf)
+		chosen, corrective := verifyNode(pBuf, nodes, candidates, rng)
+		if chosen < 0 {
+			accepted = append(accepted, corrective)
+			res.Eos = e.EosID >= 0 && corrective == e.EosID
+			break
+		}
+		accepted = append(accepted, nodes[chosen].tok)
+		ctx = append(ctx, nodes[chosen].tok)
+		res.AcceptLen++
+		if e.EosID >= 0 && nodes[chosen].tok == e.EosID {
+			res.Eos = true
+			break
+		}
+		candidates = nodes[chosen].children
+		if len(candidates) == 0 {
+			// Deepest accepted node: sample the bonus token from the
+			// target distribution at the new context.
+			e.Target.Probs(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, pBuf)
+			bonus := model.SampleProbs(pBuf, rng)
+			accepted = append(accepted, bonus)
+			res.Eos = e.EosID >= 0 && bonus == e.EosID
+			break
+		}
+	}
+	res.Tokens = accepted
+	return res
+}
+
+// applyBiasToDraft reweights a draft proposal by the engine's logit bias,
+// mirroring how serving engines apply sampling parameters to the draft
+// model as well as the target. Since the drafter emits probabilities, the
+// bias is folded in multiplicatively: q'(v) ∝ q(v)·exp(bias_v/temp).
+// Verification does not depend on q, so exactness is unaffected — this
+// only improves candidate selection.
+func (e *Engine) applyBiasToDraft(q []float32) {
+	if len(e.Bias) == 0 {
+		return
+	}
+	temp := e.draftTemp()
+	var sum float64
+	for id, b := range e.Bias {
+		if id >= 0 && id < len(q) {
+			q[id] *= float32(mathExp(float64(b) / temp))
+		}
+	}
+	for _, v := range q {
+		sum += float64(v)
+	}
+	if sum <= 0 {
+		return
+	}
+	inv := float32(1 / sum)
+	for i := range q {
+		q[i] *= inv
+	}
+}
+
+// draftTemp returns the temperature the drafter proposes at. Greedy target
+// decoding still drafts at a mild temperature so confidence ordering is
+// informative; verification keeps the output exact.
+func (e *Engine) draftTemp() float64 {
+	if e.Temp <= 0 {
+		return 1
+	}
+	return e.Temp
+}
+
+// pathContext reconstructs the token context for a node by walking to the
+// root. buf must contain the verified prefix.
+func (e *Engine) pathContext(tokens []int, nodes []node, ni int, buf []int) []int {
+	if ni < 0 {
+		return buf
+	}
+	var rev [64]int
+	n := 0
+	for i := ni; i >= 0 && n < len(rev); i = nodes[i].parent {
+		rev[n] = nodes[i].tok
+		n++
+	}
+	ctx := buf
+	for i := n - 1; i >= 0; i-- {
+		ctx = append(ctx, rev[i])
+	}
+	return ctx
+}
+
+// selectNodes returns the indices of up to k nodes with the highest path
+// probability, closed under ancestry.
+func selectNodes(nodes []node, k int) []int {
+	if len(nodes) == 0 {
+		return nil
+	}
+	order := make([]int, len(nodes))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return nodes[order[i]].pathProb > nodes[order[j]].pathProb
+	})
+	chosen := make(map[int]bool, k)
+	var out []int
+	for _, ni := range order {
+		if len(chosen) >= k {
+			break
+		}
+		// Adding ni requires its uncovered ancestors too.
+		var chain []int
+		for i := ni; i >= 0 && !chosen[i]; i = nodes[i].parent {
+			chain = append(chain, i)
+		}
+		if len(chosen)+len(chain) > k {
+			continue
+		}
+		for _, i := range chain {
+			chosen[i] = true
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// verifyNode runs chain-rule verification at one tree position. p is the
+// target distribution at the position; candidates the drafted children
+// (distinct tokens). Candidate x_i (in draft-confidence order) is accepted
+// with probability p(x_i)/(1 - Σ_{j<i} p(x_j)); if all are rejected the
+// corrective token is sampled from p restricted to non-candidates. The
+// marginal over emitted tokens is exactly p.
+func verifyNode(p []float32, nodes []node, candidates []int, rng *rand.Rand) (chosenNode int, corrective int) {
+	if len(candidates) == 0 {
+		return -1, model.SampleProbs(p, rng)
+	}
+	sorted := append([]int(nil), candidates...)
+	sort.Slice(sorted, func(i, j int) bool {
+		return nodes[sorted[i]].qProb > nodes[sorted[j]].qProb
+	})
+	remaining := 1.0
+	for _, ci := range sorted {
+		tok := nodes[ci].tok
+		px := float64(p[tok])
+		if remaining <= 0 {
+			break
+		}
+		if rng.Float64()*remaining < px {
+			return ci, 0
+		}
+		remaining -= px
+		p[tok] = 0 // exclude from the corrective distribution
+	}
+	// All rejected: sample from p restricted to non-candidates. The
+	// candidate entries were zeroed above; SampleProbs tolerates the
+	// unnormalised remainder via explicit renormalisation.
+	var sum float64
+	for _, pv := range p {
+		sum += float64(pv)
+	}
+	if sum <= 0 {
+		// Target mass was entirely on candidates yet all were rejected —
+		// impossible mathematically, reachable only through float
+		// round-off. Fall back to the most confident candidate.
+		return sorted[0], 0
+	}
+	inv := float32(1 / sum)
+	for v := range p {
+		p[v] *= inv
+	}
+	return -1, model.SampleProbs(p, rng)
+}
+
+// VanillaStep performs one ordinary (non-speculative) decode step,
+// returning the sampled token. It exists so engines share sampling
+// semantics between SD and non-SD paths.
+func (e *Engine) VanillaStep(tokens []int, promptLen int, rng *rand.Rand) (int, bool) {
+	probs := make([]float32, e.Target.Config().Vocab)
+	e.Target.Probs(model.Context{Tokens: tokens, PromptLen: promptLen}, e.Bias, e.Temp, probs)
+	tok := model.SampleProbs(probs, rng)
+	return tok, e.EosID >= 0 && tok == e.EosID
+}
+
+func mathExp(x float64) float64 {
+	if x > 30 {
+		x = 30
+	}
+	if x < -30 {
+		x = -30
+	}
+	return math.Exp(x)
+}

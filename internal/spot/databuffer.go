@@ -1,0 +1,136 @@
+// Package spot implements the Spot Trainer of the Adaptive Drafter
+// (paper §4.2): preemptible drafter training on idle rollout GPUs, fed by
+// an online DataBuffer with one-step-off sampling, with zero-padding
+// sequence packing and selective asynchronous checkpointing.
+package spot
+
+import (
+	"math/rand"
+	"sort"
+	"sync"
+
+	"fastrl/internal/draft"
+)
+
+// Sequence is one response's drafter training data: the per-position
+// examples harvested from prefilling it through the target model.
+type Sequence struct {
+	Examples []*draft.Example
+}
+
+// Len returns the number of trainable positions.
+func (s Sequence) Len() int { return len(s.Examples) }
+
+// DataBuffer caches drafter training sequences across RL steps. It
+// decouples drafter training from rollout completion: training can start
+// on partial (early-finishing) responses of the current step, while long
+// sequences from the previous step compensate for the scarcity of
+// long-tail data in the current partial set ("one-step-off" sampling).
+type DataBuffer struct {
+	mu sync.Mutex
+	// cur holds sequences harvested in the current RL step.
+	cur []Sequence
+	// prev holds the previous step's sequences, sorted by length
+	// descending so long-tail responses are prioritised.
+	prev []Sequence
+	// Capacity bounds each side's sequence count (oldest evicted).
+	Capacity int
+	// LongFrac is the fraction of each sampled batch's token budget spent
+	// on the previous step's long sequences.
+	LongFrac float64
+}
+
+// NewDataBuffer creates a buffer with the given per-side capacity.
+func NewDataBuffer(capacity int) *DataBuffer {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &DataBuffer{Capacity: capacity, LongFrac: 0.3}
+}
+
+// Add appends a current-step sequence (as responses complete during
+// rollout, or as the inference stage prefills them).
+func (b *DataBuffer) Add(seq Sequence) {
+	if seq.Len() == 0 {
+		return
+	}
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.cur = append(b.cur, seq)
+	if over := len(b.cur) - b.Capacity; over > 0 {
+		b.cur = append([]Sequence(nil), b.cur[over:]...)
+	}
+}
+
+// StepEnd rotates the buffer at the RL step barrier: the current step's
+// sequences become the previous step's pool, prioritised by length.
+func (b *DataBuffer) StepEnd() {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.prev = b.cur
+	b.cur = nil
+	sort.SliceStable(b.prev, func(i, j int) bool {
+		return b.prev[i].Len() > b.prev[j].Len()
+	})
+	if len(b.prev) > b.Capacity {
+		b.prev = b.prev[:b.Capacity]
+	}
+}
+
+// Sizes returns (current, previous) sequence counts.
+func (b *DataBuffer) Sizes() (int, int) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return len(b.cur), len(b.prev)
+}
+
+// SampleBatch draws sequences totalling roughly tokenBudget positions,
+// mixing the current partial set with the previous step's long sequences.
+// With an empty current set it falls back entirely to the previous step
+// and vice versa; returns nil when the buffer is empty.
+func (b *DataBuffer) SampleBatch(tokenBudget int, rng *rand.Rand) []Sequence {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if tokenBudget < 1 || (len(b.cur) == 0 && len(b.prev) == 0) {
+		return nil
+	}
+	longBudget := int(float64(tokenBudget) * b.LongFrac)
+	if len(b.cur) == 0 {
+		longBudget = tokenBudget
+	}
+	if len(b.prev) == 0 {
+		longBudget = 0
+	}
+	var out []Sequence
+	used := 0
+	// Long samples: biased toward the head (longest) of prev.
+	for used < longBudget {
+		u := rng.Float64()
+		idx := int(u * u * float64(len(b.prev)))
+		if idx >= len(b.prev) {
+			idx = len(b.prev) - 1
+		}
+		out = append(out, b.prev[idx])
+		used += b.prev[idx].Len()
+	}
+	for used < tokenBudget && len(b.cur) > 0 {
+		s := b.cur[rng.Intn(len(b.cur))]
+		out = append(out, s)
+		used += s.Len()
+	}
+	return out
+}
+
+// MeanSampledLen estimates the mean sequence length of sampled batches,
+// for diagnostics of the one-step-off compensation.
+func (b *DataBuffer) MeanSampledLen(tokenBudget int, rng *rand.Rand) float64 {
+	batch := b.SampleBatch(tokenBudget, rng)
+	if len(batch) == 0 {
+		return 0
+	}
+	var s float64
+	for _, seq := range batch {
+		s += float64(seq.Len())
+	}
+	return s / float64(len(batch))
+}

@@ -1,0 +1,25 @@
+package spot_test
+
+import (
+	"fmt"
+
+	"fastrl/internal/spot"
+)
+
+// ExamplePack shows first-fit-decreasing sequence packing: five
+// variable-length responses fit two 100-token rows with no padding.
+func ExamplePack() {
+	rows, stats := spot.Pack([]int{60, 50, 40, 30, 20}, 100)
+	fmt.Printf("rows=%d real=%d pad=%d efficiency=%.2f\n",
+		len(rows), stats.RealTokens, stats.PadTokens, stats.Efficiency())
+	// Output: rows=2 real=200 pad=0 efficiency=1.00
+}
+
+// ExamplePadBatches shows the vanilla alternative: batches padded to the
+// batch maximum waste most of their compute on a long-tail batch.
+func ExamplePadBatches() {
+	stats := spot.PadBatches([]int{300, 20, 20, 20}, 4)
+	fmt.Printf("real=%d pad=%d efficiency=%.2f\n",
+		stats.RealTokens, stats.PadTokens, stats.Efficiency())
+	// Output: real=360 pad=840 efficiency=0.30
+}

@@ -1,0 +1,117 @@
+package spot
+
+// Sequence packing (paper §4.2, Fig. 17(b)): variable-length training
+// sequences are concatenated into fixed-capacity packed rows with
+// boundary markers replacing padding, so preemptible training windows
+// waste no compute on pad tokens.
+
+// PackedBatch is one packed row: sequence indices and their lengths,
+// concatenated up to the capacity.
+type PackedBatch struct {
+	// Items are indices into the original sequence list.
+	Items []int
+	// Lens are the corresponding sequence lengths (boundaries).
+	Lens []int
+	// Used is the total real tokens in the row.
+	Used int
+	// Capacity is the row size.
+	Capacity int
+}
+
+// Pad returns the wasted token slots in the row.
+func (p PackedBatch) Pad() int { return p.Capacity - p.Used }
+
+// PackStats summarises a packing.
+type PackStats struct {
+	Rows       int
+	RealTokens int
+	PadTokens  int
+}
+
+// Efficiency is real / (real + pad); 1.0 means no waste.
+func (s PackStats) Efficiency() float64 {
+	total := s.RealTokens + s.PadTokens
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RealTokens) / float64(total)
+}
+
+// Pack bins sequences of the given lengths into rows of the given
+// capacity using first-fit-decreasing, the standard sequence-packing
+// heuristic. Sequences longer than the capacity are truncated to fit
+// (one full row each).
+func Pack(lens []int, capacity int) ([]PackedBatch, PackStats) {
+	if capacity < 1 {
+		capacity = 1
+	}
+	order := make([]int, len(lens))
+	for i := range order {
+		order[i] = i
+	}
+	// Sort by length descending (insertion-stable for determinism).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && lens[order[j]] > lens[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	var rows []PackedBatch
+	for _, idx := range order {
+		l := lens[idx]
+		if l <= 0 {
+			continue
+		}
+		if l > capacity {
+			l = capacity
+		}
+		placed := false
+		for r := range rows {
+			if rows[r].Used+l <= capacity {
+				rows[r].Items = append(rows[r].Items, idx)
+				rows[r].Lens = append(rows[r].Lens, l)
+				rows[r].Used += l
+				placed = true
+				break
+			}
+		}
+		if !placed {
+			rows = append(rows, PackedBatch{
+				Items: []int{idx}, Lens: []int{l}, Used: l, Capacity: capacity,
+			})
+		}
+	}
+	var stats PackStats
+	stats.Rows = len(rows)
+	for _, r := range rows {
+		stats.RealTokens += r.Used
+		stats.PadTokens += r.Pad()
+	}
+	return rows, stats
+}
+
+// PadBatches models the vanilla alternative: sequences grouped into
+// batches of the given size, each padded to the batch maximum.
+func PadBatches(lens []int, batchSize int) PackStats {
+	if batchSize < 1 {
+		batchSize = 1
+	}
+	var stats PackStats
+	for i := 0; i < len(lens); i += batchSize {
+		end := i + batchSize
+		if end > len(lens) {
+			end = len(lens)
+		}
+		maxLen := 0
+		for _, l := range lens[i:end] {
+			if l > maxLen {
+				maxLen = l
+			}
+		}
+		for _, l := range lens[i:end] {
+			stats.RealTokens += l
+			stats.PadTokens += maxLen - l
+		}
+		stats.Rows += end - i
+	}
+	return stats
+}

@@ -1,0 +1,157 @@
+// Package tokenizer provides the small deterministic vocabulary shared by
+// the simulated target model, draft models, and workload generators.
+//
+// The vocabulary is word-level over a closed set of reasoning-flavoured
+// symbols (digits, operators, connective words, control tokens). Real
+// subword tokenisation is irrelevant to the systems questions the paper
+// studies; what matters is that prompts and responses are genuine token
+// sequences over a fixed vocabulary that both target and draft models
+// score.
+package tokenizer
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Reserved control tokens.
+const (
+	PadToken    = "<pad>"
+	BosToken    = "<bos>"
+	EosToken    = "<eos>"
+	AnswerToken = "<answer>"
+	WaitToken   = "wait"
+)
+
+// Tokenizer maps between token strings and ids. Immutable after New.
+type Tokenizer struct {
+	tokens []string
+	ids    map[string]int
+}
+
+// New builds the standard vocabulary.
+func New() *Tokenizer {
+	var tokens []string
+	add := func(ts ...string) { tokens = append(tokens, ts...) }
+
+	// Control tokens first so their ids are stable and small.
+	add(PadToken, BosToken, EosToken, AnswerToken)
+	// Digits.
+	for d := 0; d <= 9; d++ {
+		add(fmt.Sprintf("%d", d))
+	}
+	// Arithmetic and punctuation.
+	add("+", "-", "*", "/", "=", "(", ")", ",", ".", ":", "%")
+	// Reasoning-flavoured words seen in chains of thought.
+	add(WaitToken, "let", "me", "check", "again", "so", "we", "have",
+		"the", "first", "second", "next", "then", "step", "is", "sum",
+		"product", "carry", "digit", "equals", "compute", "count",
+		"therefore", "because", "now", "recall", "verify", "correct",
+		"mistake", "actually", "ok", "think", "term", "value", "result",
+		"total", "and", "of", "to", "a", "in", "final", "thus", "left",
+		"right", "side", "add", "subtract", "multiply", "divide", "mod",
+		"remainder", "letter", "word", "yes", "no", "done")
+
+	ids := make(map[string]int, len(tokens))
+	for i, t := range tokens {
+		if _, dup := ids[t]; dup {
+			panic(fmt.Sprintf("tokenizer: duplicate token %q", t))
+		}
+		ids[t] = i
+	}
+	return &Tokenizer{tokens: tokens, ids: ids}
+}
+
+// VocabSize returns the number of tokens in the vocabulary.
+func (t *Tokenizer) VocabSize() int { return len(t.tokens) }
+
+// Pad, Bos, Eos and Answer return the ids of the control tokens.
+func (t *Tokenizer) Pad() int    { return t.ids[PadToken] }
+func (t *Tokenizer) Bos() int    { return t.ids[BosToken] }
+func (t *Tokenizer) Eos() int    { return t.ids[EosToken] }
+func (t *Tokenizer) Answer() int { return t.ids[AnswerToken] }
+
+// Wait returns the id of the self-reflection marker token.
+func (t *Tokenizer) Wait() int { return t.ids[WaitToken] }
+
+// Digit returns the id for decimal digit d (0..9).
+func (t *Tokenizer) Digit(d int) int {
+	if d < 0 || d > 9 {
+		panic(fmt.Sprintf("tokenizer: digit out of range: %d", d))
+	}
+	return t.ids[fmt.Sprintf("%d", d)]
+}
+
+// IsDigit reports whether id is a digit token, returning its value.
+func (t *Tokenizer) IsDigit(id int) (int, bool) {
+	if id < 0 || id >= len(t.tokens) {
+		return 0, false
+	}
+	s := t.tokens[id]
+	if len(s) == 1 && s[0] >= '0' && s[0] <= '9' {
+		return int(s[0] - '0'), true
+	}
+	return 0, false
+}
+
+// ID returns the id for a token string.
+func (t *Tokenizer) ID(tok string) (int, error) {
+	id, ok := t.ids[tok]
+	if !ok {
+		return 0, fmt.Errorf("tokenizer: unknown token %q", tok)
+	}
+	return id, nil
+}
+
+// MustID is ID but panics on unknown tokens; for static program text.
+func (t *Tokenizer) MustID(tok string) int {
+	id, err := t.ID(tok)
+	if err != nil {
+		panic(err)
+	}
+	return id
+}
+
+// Token returns the string for an id.
+func (t *Tokenizer) Token(id int) string {
+	if id < 0 || id >= len(t.tokens) {
+		return fmt.Sprintf("<invalid:%d>", id)
+	}
+	return t.tokens[id]
+}
+
+// Encode tokenises a whitespace-separated string.
+func (t *Tokenizer) Encode(s string) ([]int, error) {
+	fields := strings.Fields(s)
+	out := make([]int, 0, len(fields))
+	for _, f := range fields {
+		id, err := t.ID(f)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, id)
+	}
+	return out, nil
+}
+
+// Decode renders ids as a whitespace-separated string.
+func (t *Tokenizer) Decode(ids []int) string {
+	parts := make([]string, len(ids))
+	for i, id := range ids {
+		parts[i] = t.Token(id)
+	}
+	return strings.Join(parts, " ")
+}
+
+// EncodeNumber emits the digit tokens of a non-negative integer.
+func (t *Tokenizer) EncodeNumber(n int) []int {
+	if n < 0 {
+		n = -n
+	}
+	s := fmt.Sprintf("%d", n)
+	out := make([]int, len(s))
+	for i := range s {
+		out[i] = t.Digit(int(s[i] - '0'))
+	}
+	return out
+}

@@ -1,0 +1,124 @@
+package tokenizer
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestRoundTrip(t *testing.T) {
+	tk := New()
+	for id := 0; id < tk.VocabSize(); id++ {
+		tok := tk.Token(id)
+		got, err := tk.ID(tok)
+		if err != nil {
+			t.Fatalf("ID(%q): %v", tok, err)
+		}
+		if got != id {
+			t.Fatalf("round trip failed for %q: %d != %d", tok, got, id)
+		}
+	}
+}
+
+func TestControlTokens(t *testing.T) {
+	tk := New()
+	ids := map[string]int{
+		PadToken:    tk.Pad(),
+		BosToken:    tk.Bos(),
+		EosToken:    tk.Eos(),
+		AnswerToken: tk.Answer(),
+		WaitToken:   tk.Wait(),
+	}
+	seen := map[int]string{}
+	for tok, id := range ids {
+		if prev, dup := seen[id]; dup {
+			t.Fatalf("control tokens %q and %q share id %d", tok, prev, id)
+		}
+		seen[id] = tok
+		if tk.Token(id) != tok {
+			t.Fatalf("Token(%d) = %q, want %q", id, tk.Token(id), tok)
+		}
+	}
+}
+
+func TestDigits(t *testing.T) {
+	tk := New()
+	for d := 0; d <= 9; d++ {
+		id := tk.Digit(d)
+		v, ok := tk.IsDigit(id)
+		if !ok || v != d {
+			t.Fatalf("IsDigit(Digit(%d)) = %d,%v", d, v, ok)
+		}
+	}
+	if _, ok := tk.IsDigit(tk.Eos()); ok {
+		t.Fatal("EOS misclassified as digit")
+	}
+	if _, ok := tk.IsDigit(-1); ok {
+		t.Fatal("negative id misclassified as digit")
+	}
+}
+
+func TestEncodeDecode(t *testing.T) {
+	tk := New()
+	ids, err := tk.Encode("compute 3 + 4 = <answer> 7 <eos>")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := tk.Decode(ids); got != "compute 3 + 4 = <answer> 7 <eos>" {
+		t.Fatalf("Decode = %q", got)
+	}
+	if _, err := tk.Encode("nonexistenttoken"); err == nil {
+		t.Fatal("expected error for unknown token")
+	}
+}
+
+func TestEncodeNumber(t *testing.T) {
+	tk := New()
+	cases := map[int]string{0: "0", 7: "7", 42: "4 2", 905: "9 0 5", -31: "3 1"}
+	for n, want := range cases {
+		if got := tk.Decode(tk.EncodeNumber(n)); got != want {
+			t.Fatalf("EncodeNumber(%d) = %q, want %q", n, got, want)
+		}
+	}
+}
+
+func TestEncodeNumberProperty(t *testing.T) {
+	tk := New()
+	f := func(n uint16) bool {
+		ids := tk.EncodeNumber(int(n))
+		// Every id decodes to a digit, and the digit string equals the number.
+		val := 0
+		for _, id := range ids {
+			d, ok := tk.IsDigit(id)
+			if !ok {
+				return false
+			}
+			val = val*10 + d
+		}
+		return val == int(n)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInvalidTokenRendering(t *testing.T) {
+	tk := New()
+	if got := tk.Token(-5); got != "<invalid:-5>" {
+		t.Fatalf("Token(-5) = %q", got)
+	}
+	if got := tk.Token(1 << 20); got == "" {
+		t.Fatal("out-of-range id should render a placeholder")
+	}
+}
+
+func TestDeterministicVocabulary(t *testing.T) {
+	a, b := New(), New()
+	if a.VocabSize() != b.VocabSize() {
+		t.Fatal("vocab size differs across constructions")
+	}
+	for i := 0; i < a.VocabSize(); i++ {
+		if a.Token(i) != b.Token(i) {
+			t.Fatalf("token %d differs: %q vs %q", i, a.Token(i), b.Token(i))
+		}
+	}
+}

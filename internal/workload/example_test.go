@@ -1,0 +1,58 @@
+package workload_test
+
+import (
+	"fmt"
+	"math/rand"
+
+	"fastrl/internal/tokenizer"
+	"fastrl/internal/workload"
+)
+
+// ExampleTaskGen shows the verifiable arithmetic-chain tasks that stand in
+// for the paper's math/code RL dataset.
+func ExampleTaskGen() {
+	tk := tokenizer.New()
+	gen := workload.NewTaskGen(tk, 4, 1)
+	task := gen.Pool()[0]
+	fmt.Printf("prompt: %s\nanswer digit: %d\n", tk.Decode(task.Prompt), task.Answer)
+	// Output:
+	// prompt: <bos> compute 7 + 7 + 9 + 1 =
+	// answer digit: 4
+}
+
+// ExampleLengthPrior shows the suppression-only length shaping: the prior
+// discourages ending before the target length and vanishes after it (the
+// hard cap handles the rest).
+func ExampleLengthPrior() {
+	p := workload.LengthPrior{TargetLen: 100, Sharpness: 25}
+	fmt.Printf("bias at 10 tokens:  %.1f\n", p.Bias(10))
+	fmt.Printf("bias at 100 tokens: %.1f\n", p.Bias(100))
+	fmt.Printf("bias at 300 tokens: %.1f\n", p.Bias(300))
+	fmt.Printf("hard cap: %d\n", p.HardCap(1024))
+	// Output:
+	// bias at 10 tokens:  -22.5
+	// bias at 100 tokens: 0.0
+	// bias at 300 tokens: 0.0
+	// hard cap: 129
+}
+
+// ExampleLengthSampler draws long-tail target lengths: the bulk sits near
+// the median while a heavy tail reaches the cap — the paper's Fig. 1(a)
+// distribution.
+func ExampleLengthSampler() {
+	s := workload.DefaultLengthSampler(2048)
+	rng := rand.New(rand.NewSource(7))
+	lens := s.SampleMany(10000, rng)
+	short, long := 0, 0
+	for _, l := range lens {
+		if l <= 64 {
+			short++
+		}
+		if l >= 1024 {
+			long++
+		}
+	}
+	fmt.Printf("short (<=64): %d%%  very long (>=1024): %d%%\n",
+		100*short/len(lens), 100*long/len(lens))
+	// Output: short (<=64): 15%  very long (>=1024): 4%
+}

@@ -1,0 +1,116 @@
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"fastrl/internal/metrics"
+)
+
+// TraceStep is one RL step's response-length summary, matching the fields
+// of the ByteDance production trace in paper Fig. 2.
+type TraceStep struct {
+	Step   int
+	Max    int
+	P75    int
+	Median int
+}
+
+// TraceConfig parameterises synthetic production-trace generation.
+type TraceConfig struct {
+	Steps int
+	// MaxLen is the configured generation cap (20,480 in the trace).
+	MaxLen int
+	// StartMedian / EndMedian shape the slow median growth over training
+	// (responses lengthen as the model learns to reason).
+	StartMedian float64
+	EndMedian   float64
+	Sigma       float64
+	TailProb    float64
+	TailAlpha   float64
+	// Responses per step (global batch x group size).
+	PerStep int
+	Seed    int64
+}
+
+// DefaultTraceConfig mirrors the Fig. 2 setting (Qwen2.5-32B, 385 steps,
+// 20,480-token cap).
+func DefaultTraceConfig() TraceConfig {
+	return TraceConfig{
+		Steps:       385,
+		MaxLen:      20480,
+		StartMedian: 900,
+		EndMedian:   2600,
+		Sigma:       0.75,
+		TailProb:    0.06,
+		TailAlpha:   1.05,
+		PerStep:     512,
+		Seed:        7,
+	}
+}
+
+// GenerateTrace synthesises a production-style trace: per-step response
+// length distributions whose median slowly grows while a persistent
+// long tail keeps hitting the configured cap — the paper's
+// "Under-Utilized Zone" between p75 and max.
+func GenerateTrace(cfg TraceConfig) []TraceStep {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	out := make([]TraceStep, 0, cfg.Steps)
+	for step := 0; step < cfg.Steps; step++ {
+		frac := float64(step) / math.Max(1, float64(cfg.Steps-1))
+		median := cfg.StartMedian + (cfg.EndMedian-cfg.StartMedian)*frac
+		s := LengthSampler{
+			Median:    median,
+			Sigma:     cfg.Sigma,
+			TailProb:  cfg.TailProb,
+			TailAlpha: cfg.TailAlpha,
+			MaxLen:    cfg.MaxLen,
+		}
+		lens := s.SampleMany(cfg.PerStep, rng)
+		out = append(out, TraceStep{
+			Step:   step,
+			Max:    maxOf(lens),
+			P75:    percentileInt(lens, 75),
+			Median: percentileInt(lens, 50),
+		})
+	}
+	return out
+}
+
+// UnderUtilizedFraction estimates the paper's headline waste metric: the
+// mean fraction of the step spent with ≤ 25% of requests still running
+// (the gap between p75 completion and the longest response), assuming
+// generation time proportional to length.
+func UnderUtilizedFraction(trace []TraceStep) float64 {
+	if len(trace) == 0 {
+		return 0
+	}
+	var s float64
+	for _, t := range trace {
+		if t.Max > 0 {
+			s += float64(t.Max-t.P75) / float64(t.Max)
+		}
+	}
+	return s / float64(len(trace))
+}
+
+func maxOf(xs []int) int {
+	m := 0
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func percentileInt(xs []int, p float64) int {
+	if len(xs) == 0 {
+		return 0
+	}
+	f := make([]float64, len(xs))
+	for i, x := range xs {
+		f[i] = float64(x)
+	}
+	return int(metrics.Percentile(f, p))
+}

@@ -1,0 +1,208 @@
+// Package workload generates the synthetic reasoning-RL workload: verifiable
+// arithmetic tasks, long-tail response-length priors, and production-style
+// training traces (paper Figs. 1(a) and 2).
+package workload
+
+import (
+	"math"
+	"math/rand"
+
+	"fastrl/internal/tokenizer"
+)
+
+// Task is one verifiable reasoning problem: a prompt and its ground-truth
+// answer digit. Answers are single digits (sums mod 10) so the rule-based
+// verifier is exact and the RL signal is dense enough to move the model
+// within tens of steps.
+type Task struct {
+	ID     int
+	Prompt []int
+	// Answer is the correct final digit.
+	Answer int
+	// Difficulty in [0,1] scales the length prior: harder problems think
+	// longer.
+	Difficulty float64
+}
+
+// TaskGen generates arithmetic-chain tasks over a fixed pool, mimicking an
+// RL dataset sampled with replacement.
+type TaskGen struct {
+	tk   *tokenizer.Tokenizer
+	pool []Task
+	rng  *rand.Rand
+}
+
+// NewTaskGen builds a pool of poolSize distinct tasks.
+func NewTaskGen(tk *tokenizer.Tokenizer, poolSize int, seed int64) *TaskGen {
+	rng := rand.New(rand.NewSource(seed))
+	g := &TaskGen{tk: tk, rng: rng}
+	for i := 0; i < poolSize; i++ {
+		g.pool = append(g.pool, g.makeTask(i))
+	}
+	return g
+}
+
+// makeTask constructs "compute a + b + ... =" with 2-4 terms.
+func (g *TaskGen) makeTask(id int) Task {
+	terms := 2 + g.rng.Intn(3)
+	prompt := []int{g.tk.Bos(), g.tk.MustID("compute")}
+	sum := 0
+	for t := 0; t < terms; t++ {
+		d := g.rng.Intn(10)
+		sum += d
+		prompt = append(prompt, g.tk.Digit(d))
+		if t < terms-1 {
+			prompt = append(prompt, g.tk.MustID("+"))
+		}
+	}
+	prompt = append(prompt, g.tk.MustID("="))
+	return Task{
+		ID:         id,
+		Prompt:     prompt,
+		Answer:     sum % 10,
+		Difficulty: float64(terms-2) / 2,
+	}
+}
+
+// Sample returns n tasks drawn uniformly from the pool, advancing the
+// generator's shared stream.
+func (g *TaskGen) Sample(n int) []Task {
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = g.pool[g.rng.Intn(len(g.pool))]
+	}
+	return out
+}
+
+// SampleSeeded returns n tasks drawn with a private stream, leaving the
+// generator's shared state untouched. Comparative experiments use it so
+// every system under test sees the identical workload regardless of how
+// much randomness other components consumed.
+func (g *TaskGen) SampleSeeded(n int, seed int64) []Task {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]Task, n)
+	for i := range out {
+		out[i] = g.pool[rng.Intn(len(g.pool))]
+	}
+	return out
+}
+
+// Pool returns the full task pool.
+func (g *TaskGen) Pool() []Task { return g.pool }
+
+// HeldOut builds a disjoint pool for downstream evaluation (same
+// distribution, different seed).
+func HeldOut(tk *tokenizer.Tokenizer, poolSize int, seed int64) *TaskGen {
+	return NewTaskGen(tk, poolSize, seed^0x5f5f5f5f)
+}
+
+// LengthPrior is the per-request response-length prior. The rollout engine
+// turns it into a dynamic EOS/answer logit bias: while the generated
+// length is below TargetLen the end is suppressed, above it the end is
+// encouraged. The distribution over TargetLen is what makes rollout
+// lengths long-tailed.
+type LengthPrior struct {
+	// TargetLen is the preferred response length in tokens.
+	TargetLen int
+	// Sharpness scales how strongly the prior pulls toward TargetLen.
+	Sharpness float64
+}
+
+// Bias returns the EOS-token logit bias after generating n tokens. The
+// prior only *suppresses* ending before TargetLen ("still thinking");
+// it never pushes the model to stop — a positive stop bias would teach
+// the policy, off-policy, that it may never end, and lengths explode
+// after a few RL updates. The upper end of each response is instead
+// enforced by the request's hard cap (HardCap).
+func (p LengthPrior) Bias(n int) float32 {
+	if p.TargetLen <= 0 || n >= p.TargetLen {
+		return 0
+	}
+	frac := float64(n-p.TargetLen) / float64(p.TargetLen)
+	b := p.Sharpness * frac
+	if b < -40 {
+		b = -40
+	}
+	return float32(b)
+}
+
+// HardCap returns the per-request generation cap implied by the prior:
+// TargetLen plus 25% slack, bounded by the global cap (which it returns
+// unchanged for a zero prior).
+func (p LengthPrior) HardCap(globalMax int) int {
+	if p.TargetLen <= 0 {
+		return globalMax
+	}
+	cap := p.TargetLen + p.TargetLen/4 + 4
+	if globalMax > 0 && cap > globalMax {
+		cap = globalMax
+	}
+	return cap
+}
+
+// LengthSampler draws long-tail target lengths: a lognormal body with a
+// Pareto tail, truncated at MaxLen — the shape observed in reasoning RL
+// rollouts (paper Fig. 1(a): most responses short, a few at the cap).
+type LengthSampler struct {
+	// Median is the body's median length.
+	Median float64
+	// Sigma is the lognormal shape (larger = heavier body spread).
+	Sigma float64
+	// TailProb is the probability a request comes from the Pareto tail.
+	TailProb float64
+	// TailAlpha is the Pareto exponent (smaller = heavier tail).
+	TailAlpha float64
+	// MaxLen truncates all lengths (the configured generation cap).
+	MaxLen int
+}
+
+// DefaultLengthSampler mirrors the paper's observed distributions scaled
+// to the simulator's response lengths.
+func DefaultLengthSampler(maxLen int) LengthSampler {
+	return LengthSampler{
+		Median:    float64(maxLen) / 16,
+		Sigma:     0.7,
+		TailProb:  0.08,
+		TailAlpha: 1.1,
+		MaxLen:    maxLen,
+	}
+}
+
+// Sample draws one target length.
+func (s LengthSampler) Sample(rng *rand.Rand) int {
+	var l float64
+	if rng.Float64() < s.TailProb {
+		// Pareto tail anchored at 4x the median.
+		x0 := 4 * s.Median
+		l = x0 * math.Pow(rng.Float64(), -1/s.TailAlpha)
+	} else {
+		l = s.Median * math.Exp(s.Sigma*rng.NormFloat64())
+	}
+	n := int(l)
+	if n < 4 {
+		n = 4
+	}
+	if s.MaxLen > 0 && n > s.MaxLen {
+		n = s.MaxLen
+	}
+	return n
+}
+
+// SampleMany draws n target lengths.
+func (s LengthSampler) SampleMany(n int, rng *rand.Rand) []int {
+	out := make([]int, n)
+	for i := range out {
+		out[i] = s.Sample(rng)
+	}
+	return out
+}
+
+// PriorFor builds the LengthPrior for a task: harder tasks think longer.
+func PriorFor(task Task, s LengthSampler, rng *rand.Rand) LengthPrior {
+	l := s.Sample(rng)
+	scaled := int(float64(l) * (1 + task.Difficulty))
+	if s.MaxLen > 0 && scaled > s.MaxLen {
+		scaled = s.MaxLen
+	}
+	return LengthPrior{TargetLen: scaled, Sharpness: 25}
+}

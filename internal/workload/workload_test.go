@@ -1,0 +1,223 @@
+package workload
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"fastrl/internal/metrics"
+	"fastrl/internal/tokenizer"
+)
+
+func TestTaskGeneration(t *testing.T) {
+	tk := tokenizer.New()
+	g := NewTaskGen(tk, 100, 1)
+	if len(g.Pool()) != 100 {
+		t.Fatalf("pool size %d", len(g.Pool()))
+	}
+	for _, task := range g.Pool() {
+		if task.Answer < 0 || task.Answer > 9 {
+			t.Fatalf("answer %d out of digit range", task.Answer)
+		}
+		// Recompute the sum from the prompt and check it matches.
+		sum := 0
+		for _, id := range task.Prompt {
+			if d, ok := tk.IsDigit(id); ok {
+				sum += d
+			}
+		}
+		if sum%10 != task.Answer {
+			t.Fatalf("task %d: prompt digits sum to %d mod 10, answer says %d",
+				task.ID, sum%10, task.Answer)
+		}
+		if task.Difficulty < 0 || task.Difficulty > 1 {
+			t.Fatalf("difficulty %v out of range", task.Difficulty)
+		}
+	}
+}
+
+func TestTaskSampling(t *testing.T) {
+	tk := tokenizer.New()
+	g := NewTaskGen(tk, 10, 1)
+	got := g.Sample(50)
+	if len(got) != 50 {
+		t.Fatalf("sampled %d", len(got))
+	}
+	seen := map[int]bool{}
+	for _, task := range got {
+		seen[task.ID] = true
+	}
+	if len(seen) < 2 {
+		t.Fatal("sampling looks degenerate")
+	}
+}
+
+func TestHeldOutDisjointSeed(t *testing.T) {
+	tk := tokenizer.New()
+	train := NewTaskGen(tk, 20, 1)
+	held := HeldOut(tk, 20, 1)
+	same := 0
+	for i := range train.Pool() {
+		a, b := train.Pool()[i].Prompt, held.Pool()[i].Prompt
+		if len(a) == len(b) {
+			eq := true
+			for j := range a {
+				if a[j] != b[j] {
+					eq = false
+					break
+				}
+			}
+			if eq {
+				same++
+			}
+		}
+	}
+	if same == len(train.Pool()) {
+		t.Fatal("held-out pool identical to training pool")
+	}
+}
+
+func TestLengthPriorBias(t *testing.T) {
+	p := LengthPrior{TargetLen: 100, Sharpness: 9}
+	if b := p.Bias(10); b >= 0 {
+		t.Fatalf("bias before target should suppress EOS: %v", b)
+	}
+	if b := p.Bias(100); b != 0 {
+		t.Fatalf("bias at target should be 0: %v", b)
+	}
+	// The prior never pushes the model to stop: past the target the bias
+	// vanishes and the hard cap takes over.
+	if b := p.Bias(300); b != 0 {
+		t.Fatalf("bias after target should be 0 (hard cap handles the end): %v", b)
+	}
+	// Clamped on the suppression side.
+	if b := (LengthPrior{TargetLen: 1 << 20, Sharpness: 1e9}).Bias(0); b < -40 {
+		t.Fatalf("bias unclamped: %v", b)
+	}
+	// Zero target disables.
+	if b := (LengthPrior{}).Bias(50); b != 0 {
+		t.Fatalf("zero prior bias = %v", b)
+	}
+}
+
+func TestLengthPriorHardCap(t *testing.T) {
+	p := LengthPrior{TargetLen: 100, Sharpness: 25}
+	if got := p.HardCap(1 << 20); got != 129 {
+		t.Fatalf("HardCap = %d, want 129", got)
+	}
+	if got := p.HardCap(110); got != 110 {
+		t.Fatalf("HardCap should respect the global cap: %d", got)
+	}
+	if got := (LengthPrior{}).HardCap(512); got != 512 {
+		t.Fatalf("zero prior HardCap = %d", got)
+	}
+}
+
+func TestLengthPriorBiasMonotone(t *testing.T) {
+	p := LengthPrior{TargetLen: 64, Sharpness: 9}
+	f := func(a, b uint16) bool {
+		x, y := int(a%2048), int(b%2048)
+		if x > y {
+			x, y = y, x
+		}
+		return p.Bias(x) <= p.Bias(y)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLengthSamplerLongTail(t *testing.T) {
+	s := DefaultLengthSampler(2048)
+	rng := rand.New(rand.NewSource(2))
+	lens := s.SampleMany(8000, rng)
+	f := make([]float64, len(lens))
+	capped := 0
+	for i, l := range lens {
+		if l < 4 || l > 2048 {
+			t.Fatalf("length %d outside [4, 2048]", l)
+		}
+		if l == 2048 {
+			capped++
+		}
+		f[i] = float64(l)
+	}
+	p50 := metrics.Percentile(f, 50)
+	p75 := metrics.Percentile(f, 75)
+	mx := metrics.Max(f)
+	// Long-tail shape: max far beyond p75, p75 modestly above median.
+	if mx < 4*p75 {
+		t.Fatalf("tail too light: max %v, p75 %v", mx, p75)
+	}
+	if p75 > 3*p50 {
+		t.Fatalf("body too skewed: p75 %v, p50 %v", p75, p50)
+	}
+	// A persistent fraction of requests should hit the cap (Fig. 2: max
+	// at the configured ceiling in most steps).
+	if capped == 0 {
+		t.Fatal("no requests hit the length cap")
+	}
+	if float64(capped)/float64(len(lens)) > 0.2 {
+		t.Fatalf("too many capped requests: %d", capped)
+	}
+}
+
+func TestPriorForDifficultyScaling(t *testing.T) {
+	tk := tokenizer.New()
+	s := DefaultLengthSampler(2048)
+	easy := Task{Difficulty: 0}
+	hard := Task{Difficulty: 1}
+	var easySum, hardSum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		easySum += float64(PriorFor(easy, s, rand.New(rand.NewSource(int64(i)))).TargetLen)
+		hardSum += float64(PriorFor(hard, s, rand.New(rand.NewSource(int64(i)))).TargetLen)
+	}
+	if hardSum <= easySum {
+		t.Fatalf("harder tasks should get longer priors: easy %.0f hard %.0f", easySum/n, hardSum/n)
+	}
+	_ = tk
+}
+
+func TestGenerateTraceShape(t *testing.T) {
+	cfg := DefaultTraceConfig()
+	cfg.Steps = 100
+	cfg.PerStep = 256
+	trace := GenerateTrace(cfg)
+	if len(trace) != 100 {
+		t.Fatalf("trace length %d", len(trace))
+	}
+	hitCap := 0
+	for _, s := range trace {
+		if s.Median > s.P75 || s.P75 > s.Max {
+			t.Fatalf("step %d: ordering violated: p50=%d p75=%d max=%d", s.Step, s.Median, s.P75, s.Max)
+		}
+		if s.Max == cfg.MaxLen {
+			hitCap++
+		}
+	}
+	// Fig 2: in most steps some response reaches the configured cap.
+	if float64(hitCap)/float64(len(trace)) < 0.5 {
+		t.Fatalf("cap hit in only %d/%d steps", hitCap, len(trace))
+	}
+	// Median grows over training.
+	if trace[len(trace)-1].Median <= trace[0].Median {
+		t.Fatalf("median did not grow: %d -> %d", trace[0].Median, trace[len(trace)-1].Median)
+	}
+}
+
+func TestUnderUtilizedFraction(t *testing.T) {
+	trace := []TraceStep{{Max: 100, P75: 25}, {Max: 100, P75: 75}}
+	got := UnderUtilizedFraction(trace)
+	if got != 0.5 {
+		t.Fatalf("under-utilized fraction %v, want 0.5", got)
+	}
+	if UnderUtilizedFraction(nil) != 0 {
+		t.Fatal("empty trace should be 0")
+	}
+	// The paper's headline: a large under-utilised zone.
+	real := GenerateTrace(DefaultTraceConfig())
+	if f := UnderUtilizedFraction(real); f < 0.4 {
+		t.Fatalf("synthetic trace under-utilisation %.2f too small to exhibit the long-tail problem", f)
+	}
+}
