@@ -3,16 +3,40 @@
 //
 //	tltbench -exp fig11
 //	tltbench -exp all -quick
+//	tltbench -exp all -quick -json   // also write BENCH_<date>.json
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"fastrl/internal/experiments"
 )
+
+// expPerf records one experiment's cost in the -json snapshot: wall time
+// plus heap allocation deltas from runtime.MemStats (each experiment run
+// counts as one "op").
+type expPerf struct {
+	ID     string `json:"id"`
+	Ns     int64  `json:"ns_per_op"`
+	Allocs uint64 `json:"allocs_per_op"`
+	Bytes  uint64 `json:"bytes_per_op"`
+}
+
+// benchSnapshot is the BENCH_<date>.json document tracking the repo's
+// perf trajectory in-tree.
+type benchSnapshot struct {
+	Date        string                  `json:"date"`
+	GoVersion   string                  `json:"go_version"`
+	GOMAXPROCS  int                     `json:"gomaxprocs"`
+	Quick       bool                    `json:"quick"`
+	Experiments []expPerf               `json:"experiments"`
+	HotPath     []experiments.PerfEntry `json:"hot_path"`
+}
 
 func main() {
 	var (
@@ -21,6 +45,7 @@ func main() {
 		seed    = flag.Int64("seed", 0, "override experiment seed (0 = default)")
 		list    = flag.Bool("list", false, "list available experiments")
 		verbose = flag.Bool("v", false, "verbose progress")
+		jsonOut = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot (ns/op and allocs/op per figure/table plus hot-path micro-benchmarks)")
 	)
 	flag.Parse()
 
@@ -30,7 +55,7 @@ func main() {
 			fmt.Printf("  %-12s %s\n", id, experiments.Title(id))
 		}
 		if *exp == "" {
-			fmt.Println("\nusage: tltbench -exp <id>|all [-quick] [-seed N]")
+			fmt.Println("\nusage: tltbench -exp <id>|all [-quick] [-seed N] [-json]")
 		}
 		return
 	}
@@ -40,16 +65,55 @@ func main() {
 	if *exp == "all" {
 		ids = experiments.IDs()
 	}
+	var perf []expPerf
 	for _, id := range ids {
+		var m0 runtime.MemStats
+		if *jsonOut {
+			runtime.ReadMemStats(&m0)
+		}
 		start := time.Now()
 		r, err := experiments.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tltbench: %v\n", err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		if *jsonOut {
+			var m1 runtime.MemStats
+			runtime.ReadMemStats(&m1)
+			perf = append(perf, expPerf{
+				ID:     id,
+				Ns:     elapsed.Nanoseconds(),
+				Allocs: m1.Mallocs - m0.Mallocs,
+				Bytes:  m1.TotalAlloc - m0.TotalAlloc,
+			})
+		}
 		fmt.Println(r)
 		if *verbose {
-			fmt.Printf("(%s completed in %v)\n\n", id, time.Since(start).Round(time.Millisecond))
+			fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
 		}
+	}
+
+	if *jsonOut {
+		snap := benchSnapshot{
+			Date:        time.Now().Format("2006-01-02"),
+			GoVersion:   runtime.Version(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
+			Quick:       *quick,
+			Experiments: perf,
+			HotPath:     experiments.PerfSnapshot(*quick),
+		}
+		name := fmt.Sprintf("BENCH_%s.json", snap.Date)
+		data, err := json.MarshalIndent(snap, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "tltbench: encode snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if err := os.WriteFile(name, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "tltbench: write snapshot: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s (%d experiments, %d hot-path benchmarks)\n", name, len(snap.Experiments), len(snap.HotPath))
 	}
 }

@@ -1,0 +1,3 @@
+module fastrl
+
+go 1.24

@@ -5,9 +5,15 @@
 package draft
 
 import (
+	"sync"
+
 	"fastrl/internal/gpu"
 	"fastrl/internal/model"
 )
+
+// scratchPool backs the scratch-free Probs wrappers so drafters shared
+// across replicas stay allocation-free without per-drafter mutable state.
+var scratchPool = sync.Pool{New: func() any { return model.NewScratch() }}
 
 // Drafter produces a proposal distribution for the next token.
 //
@@ -22,6 +28,18 @@ type Drafter interface {
 	// Layers value marks a model-free drafter with no GPU forward cost.
 	Arch() gpu.Arch
 	Probs(tokens []int, promptLen int, hidden *model.HiddenState, temp float64, dst []float32)
+}
+
+// BufferedDrafter is implemented by drafters that can score into
+// caller-owned scratch. The speculation engine prefers this entry so the
+// drafting stage of a round performs zero heap allocations; drafters
+// without it (e.g. the model-free n-gram drafter, which needs no logits
+// buffer) are called through Probs.
+type BufferedDrafter interface {
+	Drafter
+	// ProbsBuf is Probs using sc for intermediate buffers (logits); dst
+	// still receives the distribution.
+	ProbsBuf(tokens []int, promptLen int, hidden *model.HiddenState, temp float64, dst []float32, sc *model.Scratch)
 }
 
 // Observer is implemented by drafters that learn online from observed

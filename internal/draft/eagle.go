@@ -224,9 +224,17 @@ func hashPair(a, b uint64) uint64 {
 
 // Probs implements Drafter.
 func (e *Eagle) Probs(tokens []int, promptLen int, hidden *model.HiddenState, temp float64, dst []float32) {
+	sc := scratchPool.Get().(*model.Scratch)
+	e.ProbsBuf(tokens, promptLen, hidden, temp, dst, sc)
+	scratchPool.Put(sc)
+}
+
+// ProbsBuf implements draft.BufferedDrafter: Probs scoring into a
+// caller-owned scratch, allocation-free in steady state.
+func (e *Eagle) ProbsBuf(tokens []int, promptLen int, hidden *model.HiddenState, temp float64, dst []float32, sc *model.Scratch) {
 	var featBuf [80]int
 	feats := e.features(tokens, promptLen, hidden, featBuf[:0])
-	logits := make([]float32, e.cfg.Vocab)
+	logits := sc.Logits(e.cfg.Vocab)
 	e.table.Accumulate(feats, logits)
 	model.Softmax(logits, temp, dst)
 }

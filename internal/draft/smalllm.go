@@ -49,6 +49,11 @@ func (s *SmallLM) Probs(tokens []int, promptLen int, hidden *model.HiddenState, 
 	s.lm.Probs(model.Context{Tokens: tokens, PromptLen: promptLen}, nil, temp, dst)
 }
 
+// ProbsBuf implements draft.BufferedDrafter.
+func (s *SmallLM) ProbsBuf(tokens []int, promptLen int, hidden *model.HiddenState, temp float64, dst []float32, sc *model.Scratch) {
+	s.lm.ProbsScratch(model.Context{Tokens: tokens, PromptLen: promptLen}, nil, temp, dst, sc)
+}
+
 // Distill performs one KD pass aligning the small LM to the target on the
 // example contexts: soft cross-entropy toward the target distribution
 // when available (OSD-style), one-hot toward the sampled token otherwise

@@ -57,8 +57,7 @@ func runAblElastic(opts Options) (*Result, error) {
 		nReqs, maxNew = 32, 128
 	}
 	tbl := &metrics.Table{Header: []string{"SD activation", "Rollout time", "Speedup vs no-SD"}}
-	base, _ := ablRollout(b, func(c *rollout.Config) { c.SDThreshold = -1 }, nReqs, maxNew, 41)
-	for _, v := range []struct {
+	variants := []struct {
 		name      string
 		threshold int
 	}{
@@ -66,9 +65,14 @@ func runAblElastic(opts Options) (*Result, error) {
 		{"always on", 0},
 		{"elastic threshold 32 (TLT)", 32},
 		{"elastic threshold 8", 8},
-	} {
-		el, _ := ablRollout(b, func(c *rollout.Config) { c.SDThreshold = v.threshold }, nReqs, maxNew, 41)
-		tbl.AddRow(v.name, fmt.Sprintf("%v", el.Round(time.Millisecond)), metrics.F(base.Seconds()/el.Seconds(), 2)+"x")
+	}
+	times := make([]time.Duration, len(variants))
+	forEach(len(variants), func(i int) {
+		times[i], _ = ablRollout(b, func(c *rollout.Config) { c.SDThreshold = variants[i].threshold }, nReqs, maxNew, 41)
+	})
+	base := times[0] // "off" is the no-SD baseline
+	for i, v := range variants {
+		tbl.AddRow(v.name, fmt.Sprintf("%v", times[i].Round(time.Millisecond)), metrics.F(base.Seconds()/times[i].Seconds(), 2)+"x")
 	}
 	return &Result{
 		Tables: []*metrics.Table{tbl},
@@ -85,21 +89,26 @@ func runAblMAB(opts Options) (*Result, error) {
 	}
 	tbl := &metrics.Table{Header: []string{"Tuner", "Steady-state tok/s (BS=2)"}}
 
-	// BEG-MAB over the full ladder.
-	tput, _ := b.steadyState(dev, nil, 2, iters, 0, nil, 0.9)
-	tbl.AddRow("BEG-MAB (TLT)", metrics.F(tput, 1))
-
-	// Fixed strategies: each arm alone.
-	var best float64
-	for _, p := range []specdec.Params{
+	fixed := []specdec.Params{
 		{DraftDepth: 6, TopK: 6, TokensToVerify: 24},
 		{DraftDepth: 3, TopK: 2, TokensToVerify: 4},
-	} {
-		t2, _ := b.steadyState(dev, nil, 2, iters, 0, []specdec.Params{p}, 0.9)
-		if t2 > best {
-			best = t2
+	}
+	// Arm 0 is BEG-MAB over the full ladder; the rest are fixed strategies.
+	tputs := make([]float64, 1+len(fixed))
+	forEach(len(tputs), func(i int) {
+		if i == 0 {
+			tputs[0], _ = b.steadyState(dev, nil, 2, iters, 0, nil, 0.9)
+			return
 		}
-		tbl.AddRow(fmt.Sprintf("fixed {d=%d,k=%d,v=%d}", p.DraftDepth, p.TopK, p.TokensToVerify), metrics.F(t2, 1))
+		tputs[i], _ = b.steadyState(dev, nil, 2, iters, 0, []specdec.Params{fixed[i-1]}, 0.9)
+	})
+	tbl.AddRow("BEG-MAB (TLT)", metrics.F(tputs[0], 1))
+	var best float64
+	for i, p := range fixed {
+		if tputs[i+1] > best {
+			best = tputs[i+1]
+		}
+		tbl.AddRow(fmt.Sprintf("fixed {d=%d,k=%d,v=%d}", p.DraftDepth, p.TopK, p.TokensToVerify), metrics.F(tputs[i+1], 1))
 	}
 	tbl.AddRow("oracle (best fixed)", metrics.F(best, 1))
 	return &Result{
@@ -162,12 +171,16 @@ func runAblTree(opts Options) (*Result, error) {
 		iters = 100
 	}
 	tbl := &metrics.Table{Header: []string{"Drafting", "Steady-state tok/s (BS=1)", "Accept length"}}
-	linear, la := b.steadyState(dev, nil, 1, iters, 0,
-		[]specdec.Params{{DraftDepth: 6, TopK: 1, TokensToVerify: 6}}, 0.9)
-	tree, ta := b.steadyState(dev, nil, 1, iters, 0,
-		[]specdec.Params{{DraftDepth: 6, TopK: 6, TokensToVerify: 24}}, 0.9)
-	tbl.AddRow("linear (topK=1)", metrics.F(linear, 1), metrics.F(la, 2))
-	tbl.AddRow("tree (topK=6)", metrics.F(tree, 1), metrics.F(ta, 2))
+	arms := []specdec.Params{
+		{DraftDepth: 6, TopK: 1, TokensToVerify: 6},
+		{DraftDepth: 6, TopK: 6, TokensToVerify: 24},
+	}
+	var tput, accept [2]float64
+	forEach(len(arms), func(i int) {
+		tput[i], accept[i] = b.steadyState(dev, nil, 1, iters, 0, []specdec.Params{arms[i]}, 0.9)
+	})
+	tbl.AddRow("linear (topK=1)", metrics.F(tput[0], 1), metrics.F(accept[0], 2))
+	tbl.AddRow("tree (topK=6)", metrics.F(tput[1], 1), metrics.F(accept[1], 2))
 	return &Result{
 		Tables: []*metrics.Table{tbl},
 		Notes:  []string{"tree drafting verifies multiple paths per round and accepts more tokens (paper §5.1, Fig. 9)"},

@@ -1,0 +1,90 @@
+package experiments
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/model"
+	"fastrl/internal/specdec"
+)
+
+// PerfEntry is one hot-path measurement in a BENCH_<date>.json snapshot.
+type PerfEntry struct {
+	Name        string  `json:"name"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// PerfSnapshot micro-benchmarks the speculation hot path with
+// testing.Benchmark so cmd/tltbench -json can record the repository's
+// perf trajectory (ns/op and allocs/op) in-tree alongside the per-figure
+// timings. The batched/sequential pair documents the win of batched tree
+// verification; the steady-state entries must stay at 0 allocs/op.
+func PerfSnapshot(quick bool) []PerfEntry {
+	b := newBench(gpu.Qwen7B, 7, quick)
+	prompt := b.gen.SampleSeeded(1, 0x99)[0].Prompt
+	p := specdec.Params{DraftDepth: 6, TopK: 6, TokensToVerify: 24}
+
+	mk := func(name string, fn func(n int)) PerfEntry {
+		r := testing.Benchmark(func(tb *testing.B) {
+			tb.ReportAllocs()
+			tb.ResetTimer()
+			fn(tb.N)
+		})
+		return PerfEntry{
+			Name:        name,
+			NsPerOp:     float64(r.NsPerOp()),
+			AllocsPerOp: r.AllocsPerOp(),
+			BytesPerOp:  r.AllocedBytesPerOp(),
+		}
+	}
+
+	var entries []PerfEntry
+	{
+		eng := &specdec.Engine{Target: b.target, Temp: 0.9, EosID: -1}
+		rng := rand.New(rand.NewSource(1))
+		entries = append(entries, mk("specdec/round-tree-batched", func(n int) {
+			for i := 0; i < n; i++ {
+				eng.Step(b.eagle, prompt, len(prompt), p, rng)
+			}
+		}))
+	}
+	{
+		eng := &specdec.Engine{Target: b.target, Temp: 0.9, EosID: -1}
+		rng := rand.New(rand.NewSource(1))
+		entries = append(entries, mk("specdec/round-tree-sequential", func(n int) {
+			for i := 0; i < n; i++ {
+				eng.StepSequential(b.eagle, prompt, len(prompt), p, rng)
+			}
+		}))
+	}
+	{
+		eng := &specdec.Engine{Target: b.target, Temp: 0.9, EosID: -1}
+		rng := rand.New(rand.NewSource(1))
+		entries = append(entries, mk("specdec/vanilla-step", func(n int) {
+			for i := 0; i < n; i++ {
+				eng.VanillaStep(prompt, len(prompt), rng)
+			}
+		}))
+	}
+	{
+		const batch = 32
+		vocab := b.target.Config().Vocab
+		sc := model.NewScratch()
+		ctxs := make([]model.Context, batch)
+		rows := make([][]float32, batch)
+		arena := make([]float32, batch*vocab)
+		for i := range ctxs {
+			ctxs[i] = model.Context{Tokens: prompt, PromptLen: len(prompt)}
+			rows[i] = arena[i*vocab : (i+1)*vocab]
+		}
+		entries = append(entries, mk("model/probs-batch-32", func(n int) {
+			for i := 0; i < n; i++ {
+				b.target.ProbsBatch(ctxs, nil, 0.9, rows, sc)
+			}
+		}))
+	}
+	return entries
+}

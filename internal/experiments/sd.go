@@ -103,14 +103,23 @@ func runFig13(opts Options) (*Result, error) {
 	}
 	acceptTbl := &metrics.Table{Header: append([]string{"draft depth \\ verify"}, intHeaders(verifies)...)}
 	speedTbl := &metrics.Table{Header: append([]string{"draft depth \\ verify"}, intHeaders(verifies)...)}
-	for _, d := range depths {
+	// All (depth, verify) arms are independent (per-arm seeds); run them
+	// across the worker pool and assemble rows afterwards in order.
+	type cell struct{ accept, speedup float64 }
+	grid := make([]cell, len(depths)*len(verifies))
+	forEach(len(grid), func(i int) {
+		d, v := depths[i/len(verifies)], verifies[i%len(verifies)]
+		p := specdec.Params{DraftDepth: d, TopK: 8, TokensToVerify: v}
+		accept, speedup := measureStrategy(b, dev, p, 0, rounds)
+		grid[i] = cell{accept, speedup}
+	})
+	for di, d := range depths {
 		arow := []string{fmt.Sprintf("%d", d)}
 		srow := []string{fmt.Sprintf("%d", d)}
-		for _, v := range verifies {
-			p := specdec.Params{DraftDepth: d, TopK: 8, TokensToVerify: v}
-			accept, speedup := measureStrategy(b, dev, p, 0, rounds)
-			arow = append(arow, metrics.F(accept, 2))
-			srow = append(srow, metrics.F(speedup, 2)+"x")
+		for vi := range verifies {
+			c := grid[di*len(verifies)+vi]
+			arow = append(arow, metrics.F(c.accept, 2))
+			srow = append(srow, metrics.F(c.speedup, 2)+"x")
 		}
 		acceptTbl.AddRow(arow...)
 		speedTbl.AddRow(srow...)
@@ -134,10 +143,15 @@ func runTab1(opts Options) (*Result, error) {
 		rounds = 20
 	}
 	tbl := &metrics.Table{Header: []string{"TopK", "Accept Length", "Speedup"}}
-	for _, k := range topKs {
-		p := specdec.Params{DraftDepth: 12, TopK: k, TokensToVerify: 64}
+	type cell struct{ accept, speedup float64 }
+	cells := make([]cell, len(topKs))
+	forEach(len(topKs), func(i int) {
+		p := specdec.Params{DraftDepth: 12, TopK: topKs[i], TokensToVerify: 64}
 		accept, speedup := measureStrategy(b, dev, p, 0, rounds)
-		tbl.AddRow(fmt.Sprintf("%d", k), metrics.F(accept, 2), metrics.F(speedup, 2)+"x")
+		cells[i] = cell{accept, speedup}
+	})
+	for i, k := range topKs {
+		tbl.AddRow(fmt.Sprintf("%d", k), metrics.F(cells[i].accept, 2), metrics.F(cells[i].speedup, 2)+"x")
 	}
 	return &Result{
 		Tables: []*metrics.Table{tbl},
@@ -152,16 +166,19 @@ func runTab2(opts Options) (*Result, error) {
 		iters = 120
 	}
 	tbl := &metrics.Table{Header: []string{"GPU Type", "w/ SD (tok/s)", "w/o SD (tok/s)", "Speedup"}}
-	prevSpeedup := 0.0
-	for _, spec := range gpu.Catalogue() {
-		dev := gpu.NewDevice(spec, 1)
+	specs := gpu.Catalogue()
+	type cell struct{ sd, van float64 }
+	cells := make([]cell, len(specs))
+	forEach(len(specs), func(i int) {
+		dev := gpu.NewDevice(specs[i], 1)
 		sd, _ := b.steadyState(dev, nil, 1, iters, 0, nil, 0.9)
 		van, _ := b.steadyState(dev, nil, 1, iters/2, -1, nil, 0.9)
-		sp := sd / van
-		tbl.AddRow(spec.Name, metrics.F(sd, 1), metrics.F(van, 1), metrics.F(sp, 2)+"x")
-		prevSpeedup = sp
+		cells[i] = cell{sd, van}
+	})
+	for i, spec := range specs {
+		c := cells[i]
+		tbl.AddRow(spec.Name, metrics.F(c.sd, 1), metrics.F(c.van, 1), metrics.F(c.sd/c.van, 2)+"x")
 	}
-	_ = prevSpeedup
 	return &Result{
 		Tables: []*metrics.Table{tbl},
 		Notes:  []string{"SD helps everywhere; fixed host overheads amortise better on slower GPUs, so consumer cards see larger relative gains (paper Table 2)"},
@@ -180,7 +197,9 @@ func runTab4(opts Options) (*Result, error) {
 		iters = 60
 	}
 	tbl := &metrics.Table{Header: append([]string{"Batch Size \\ verify"}, intHeaders(verifies)...)}
-	for _, bs := range batches {
+	rows := make([][]string, len(batches))
+	forEach(len(batches), func(i int) {
+		bs := batches[i]
 		row := []string{fmt.Sprintf("%d", bs)}
 		van, _ := b.steadyState(dev, nil, bs, iters/2, -1, nil, 0.9)
 		for _, v := range verifies {
@@ -188,6 +207,9 @@ func runTab4(opts Options) (*Result, error) {
 			sd, _ := b.steadyState(dev, nil, bs, iters, 0, p, 0.9)
 			row = append(row, metrics.F(sd/van, 2)+"x")
 		}
+		rows[i] = row
+	})
+	for _, row := range rows {
 		tbl.AddRow(row...)
 	}
 	return &Result{

@@ -24,20 +24,37 @@ type HiddenState struct {
 // number of fused sketches (Eagle uses 1, Eagle-3 2; callers typically
 // request 2 so either drafter can consume it).
 func FusedHidden(m *LM, ctx Context, sketches int) *HiddenState {
+	sc := scratchPool.Get().(*Scratch)
+	h := FusedHiddenInto(m, ctx, sketches, &HiddenState{}, sc)
+	scratchPool.Put(sc)
+	return h
+}
+
+// FusedHiddenInto is FusedHidden writing into h, reusing its Sketch and
+// TopTokens buffers so a speculation engine computes the drafting-root
+// state every round without allocating.
+func FusedHiddenInto(m *LM, ctx Context, sketches int, h *HiddenState, sc *Scratch) *HiddenState {
 	if sketches < 1 {
 		sketches = 1
 	}
-	h := &HiddenState{Sketch: make([]float32, sketches*HiddenDim)}
+	need := sketches * HiddenDim
+	if cap(h.Sketch) < need {
+		h.Sketch = make([]float32, need)
+	}
+	h.Sketch = h.Sketch[:need]
+	for i := range h.Sketch {
+		h.Sketch[i] = 0
+	}
 	for s := 0; s < sketches; s++ {
 		n := len(ctx.Tokens) - s
 		if n < 0 {
 			break
 		}
 		sub := Context{Tokens: ctx.Tokens[:n], PromptLen: ctx.PromptLen}
-		m.Hidden(sub, h.Sketch[s*HiddenDim:(s+1)*HiddenDim])
+		m.HiddenScratch(sub, h.Sketch[s*HiddenDim:(s+1)*HiddenDim], sc)
 	}
-	probs := make([]float32, m.Config().Vocab)
-	m.Probs(ctx, nil, 1, probs)
-	h.TopTokens = TopK(probs, NumRankTokens)
+	probs := sc.probsBuf(m.cfg.Vocab)
+	m.ProbsScratch(ctx, nil, 1, probs, sc)
+	h.TopTokens = TopKInto(probs, NumRankTokens, h.TopTokens[:0])
 	return h
 }

@@ -13,6 +13,12 @@ import (
 // consumed by Eagle-style drafters.
 const HiddenDim = 32
 
+// maxFeatures bounds the active feature rows per context
+// (len(Orders)+len(PromptOrders)). The scoring hot paths stage features
+// in [maxFeatures]int stack buffers; New rejects configs that exceed it
+// so the zero-allocation contract cannot silently break.
+const maxFeatures = 8
+
 // Config parameterises a target LM.
 type Config struct {
 	// Vocab is the vocabulary size.
@@ -97,6 +103,12 @@ func New(cfg Config, grammar *GrammarPrior) *LM {
 	if cfg.Vocab <= 0 || cfg.Buckets <= 0 {
 		panic("model: invalid config")
 	}
+	if len(cfg.Orders)+len(cfg.PromptOrders) > maxFeatures {
+		// The scoring hot paths stage features in fixed stack buffers of
+		// this size; exceeding it would silently spill to the heap and
+		// break the zero-allocation contract.
+		panic("model: too many feature orders (raise maxFeatures)")
+	}
 	rows := 1 + (len(cfg.Orders)+len(cfg.PromptOrders))*cfg.Buckets
 	m := &LM{cfg: cfg, table: NewTable(rows, cfg.Vocab)}
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -151,21 +163,24 @@ func (m *LM) Table() *Table { return m.table }
 // Features computes the active feature rows for a context. The returned
 // slice is valid until the next call with the same dst.
 func (m *LM) Features(ctx Context, dst []int) []int {
+	return m.featuresHashed(ctx.Tokens, ctx.PromptHash(), dst)
+}
+
+// featuresHashed computes feature rows with a precomputed prompt hash, so
+// batched scoring can share the hash across contexts with a common prompt.
+func (m *LM) featuresHashed(tokens []int, promptHash uint64, dst []int) []int {
 	dst = dst[:0]
-	n := len(ctx.Tokens)
 	base := 1
 	for _, k := range m.cfg.Orders {
-		h := hashTokens(tail(ctx.Tokens, k), uint64(k)*0x100000001b3)
+		h := hashTokens(tail(tokens, k), uint64(k)*0x100000001b3)
 		dst = append(dst, base+int(h%uint64(m.cfg.Buckets)))
 		base += m.cfg.Buckets
 	}
-	ph := ctx.PromptHash()
 	for _, k := range m.cfg.PromptOrders {
-		h := hashTokens(tail(ctx.Tokens, k), uint64(k)*0x100000001b3) ^ ph
+		h := hashTokens(tail(tokens, k), uint64(k)*0x100000001b3) ^ promptHash
 		dst = append(dst, base+int(h%uint64(m.cfg.Buckets)))
 		base += m.cfg.Buckets
 	}
-	_ = n
 	return dst
 }
 
@@ -174,7 +189,7 @@ func (m *LM) Features(ctx Context, dst []int) []int {
 // use it to impose per-request length priors (e.g. discouraging EOS for
 // hard problems) without touching model weights.
 func (m *LM) Logits(ctx Context, bias map[int]float32, dst []float32) {
-	var featBuf [8]int
+	var featBuf [maxFeatures]int
 	feats := m.Features(ctx, featBuf[:0])
 	m.table.Accumulate(feats, dst)
 	if len(bias) > 0 {
@@ -193,30 +208,22 @@ func (m *LM) Logits(ctx Context, bias map[int]float32, dst []float32) {
 	}
 }
 
-// Probs computes the next-token distribution at the given temperature.
+// Probs computes the next-token distribution at the given temperature. It
+// is a thin wrapper over ProbsScratch with a pooled scratch; engines with
+// their own Scratch call ProbsScratch/ProbsBatch directly.
 func (m *LM) Probs(ctx Context, bias map[int]float32, temp float64, dst []float32) {
-	logits := make([]float32, m.cfg.Vocab)
-	m.Logits(ctx, bias, logits)
-	Softmax(logits, temp, dst)
+	sc := scratchPool.Get().(*Scratch)
+	m.ProbsScratch(ctx, bias, temp, dst, sc)
+	scratchPool.Put(sc)
 }
 
 // Hidden computes the hidden-state sketch for a context: a fixed random
 // projection of the (pre-softmax) logits squashed through tanh. Drafters
 // consume this the way Eagle consumes target hidden states.
 func (m *LM) Hidden(ctx Context, dst []float32) {
-	if len(dst) != HiddenDim {
-		panic("model: hidden buffer has wrong length")
-	}
-	logits := make([]float32, m.cfg.Vocab)
-	m.Logits(ctx, nil, logits)
-	for d := 0; d < HiddenDim; d++ {
-		var s float32
-		row := m.proj[d]
-		for v, l := range logits {
-			s += row[v] * l
-		}
-		dst[d] = tanh32(s / float32(m.cfg.Vocab))
-	}
+	sc := scratchPool.Get().(*Scratch)
+	m.HiddenScratch(ctx, dst, sc)
+	scratchPool.Put(sc)
 }
 
 // PolicyGradientStep applies one REINFORCE-style update for a single
@@ -233,7 +240,7 @@ func (m *LM) PolicyGradientStep(ctx Context, advantage float64, lr float64, temp
 	probs := make([]float32, m.cfg.Vocab)
 	refProbs := make([]float32, m.cfg.Vocab)
 	grad := make([]float32, m.cfg.Vocab)
-	var featBuf [8]int
+	var featBuf [maxFeatures]int
 	var klSum float64
 	var klN int
 	for pos := promptLen; pos < len(tokens); pos++ {

@@ -47,15 +47,26 @@ func (t *Table) Row(r int) []float32 {
 }
 
 // Accumulate adds the given feature rows (plus the bias row 0) into dst,
-// which must have length Vocab. dst is zeroed first.
+// which must have length Vocab. dst is zeroed first. The add loop is
+// unrolled four-wide: row accumulation is the inner loop of every forward
+// pass and the independent lanes break the dependent-add chain.
 func (t *Table) Accumulate(features []int, dst []float32) {
 	if len(dst) != t.Vocab {
 		panic("model: logits buffer has wrong length")
 	}
 	copy(dst, t.Row(0))
 	for _, f := range features {
-		row := t.Row(f)
-		for v := range dst {
+		row := t.Row(f)[:len(dst)]
+		v := 0
+		for ; v+4 <= len(dst); v += 4 {
+			d := dst[v : v+4 : v+4]
+			r := row[v : v+4 : v+4]
+			d[0] += r[0]
+			d[1] += r[1]
+			d[2] += r[2]
+			d[3] += r[3]
+		}
+		for ; v < len(dst); v++ {
 			dst[v] += row[v]
 		}
 	}
@@ -134,16 +145,80 @@ func Softmax(logits []float32, temp float64, probs []float32) {
 			maxL = l
 		}
 	}
-	var sum float64
-	for i, l := range logits {
-		e := math.Exp(float64(l-maxL) / temp)
-		probs[i] = float32(e)
-		sum += e
+	invTemp := float32(1 / temp)
+	// Two accumulator lanes: exp values are positive and bounded by 1
+	// (max-shifted), so float32 summation over a vocabulary is exact to
+	// ~1e-6 relative, and the split lanes overlap expf latency.
+	var sum0, sum1 float32
+	i := 0
+	for ; i+2 <= len(logits); i += 2 {
+		e0 := expf((logits[i] - maxL) * invTemp)
+		e1 := expf((logits[i+1] - maxL) * invTemp)
+		probs[i] = e0
+		probs[i+1] = e1
+		sum0 += e0
+		sum1 += e1
 	}
-	inv := float32(1 / sum)
+	if i < len(logits) {
+		e := expf((logits[i] - maxL) * invTemp)
+		probs[i] = e
+		sum0 += e
+	}
+	inv := 1 / (sum0 + sum1)
 	for i := range probs {
 		probs[i] *= inv
 	}
+}
+
+// expf is a fast float32 e^x (cephes-style degree-5 minimax after
+// range reduction, relative error ~2e-7). Softmax is the single hottest
+// function in a speculation round — every drafted node and every verified
+// tree position pays one softmax over the vocabulary — and the float64
+// library exp was a large fraction of its cost. Inputs here are max-shifted
+// (x <= 0), but the full float32 range is handled.
+func expf(x float32) float32 {
+	const (
+		log2e = 1.44269504088896341
+		ln2Hi = 6.93359375e-1
+		ln2Lo = -2.12194440e-4
+	)
+	if x < -87.3 {
+		return 0
+	}
+	if x > 88.73 { // just above ln(MaxFloat32); below it the split scale stays finite
+		return float32(math.Inf(1))
+	}
+	// n = round(x/ln2); r = x - n*ln2 in [-ln2/2, ln2/2].
+	z := x * log2e
+	var n int32
+	if z >= 0 {
+		n = int32(z + 0.5)
+	} else {
+		n = int32(z - 0.5)
+	}
+	fn := float32(n)
+	r := x - fn*ln2Hi
+	r -= fn * ln2Lo
+	// exp(r) ~ 1 + r + r^2*P(r).
+	p := float32(1.9875691500e-4)
+	p = p*r + 1.3981999507e-3
+	p = p*r + 8.3334519073e-3
+	p = p*r + 4.1665795894e-2
+	p = p*r + 1.6666665459e-1
+	p = p*r + 5.0000001201e-1
+	y := p*r*r + r + 1
+	// Scale by 2^n via the exponent bits; n in [-126, 128] after clamps.
+	// The extremes are split into two factors: a single 2^128 (or a
+	// subnormal 2^n) is not representable even when the product is.
+	if n >= 128 {
+		return y * math.Float32frombits(uint32(64+127)<<23) *
+			math.Float32frombits(uint32(n-64+127)<<23)
+	}
+	if n <= -127 {
+		return y * math.Float32frombits(uint32(-63+127)<<23) *
+			math.Float32frombits(uint32(n+63+127)<<23)
+	}
+	return y * math.Float32frombits(uint32(n+127)<<23)
 }
 
 // SampleProbs draws a token index from a probability vector.
@@ -170,29 +245,45 @@ func Argmax(probs []float32) int {
 	return best
 }
 
-// TopK returns the indices of the k largest entries, descending. k is
-// clamped to len(probs).
+// TopK returns the indices of the k largest entries, descending (ties
+// broken by ascending index). k is clamped to len(probs).
 func TopK(probs []float32, k int) []int {
 	if k > len(probs) {
 		k = len(probs)
 	}
-	idx := make([]int, 0, k)
-	used := make([]bool, len(probs))
-	for n := 0; n < k; n++ {
-		best := -1
-		for i, p := range probs {
-			if used[i] {
+	return TopKInto(probs, k, make([]int, 0, k))
+}
+
+// TopKInto is TopK writing into dst (reset to dst[:0]), allocation-free
+// once dst has capacity k. It keeps TopK's exact ordering — values
+// descending, ties by ascending index — via a single scan with an
+// insertion buffer: most entries fail the cheap "beats the current k-th"
+// test, so the common cost is one compare per vocabulary entry instead of
+// the k full passes the old implementation made.
+func TopKInto(probs []float32, k int, dst []int) []int {
+	if k > len(probs) {
+		k = len(probs)
+	}
+	dst = dst[:0]
+	if k <= 0 {
+		return dst
+	}
+	for i, p := range probs {
+		if len(dst) == k {
+			if p <= probs[dst[k-1]] {
 				continue
 			}
-			if best < 0 || p > probs[best] {
-				best = i
-			}
+			dst = dst[:k-1]
 		}
-		if best < 0 {
-			break
+		// Insert i keeping descending order; equal values keep the
+		// earlier index first, matching the historical tie-break.
+		j := len(dst)
+		dst = append(dst, i)
+		for j > 0 && probs[dst[j-1]] < p {
+			dst[j] = dst[j-1]
+			j--
 		}
-		used[best] = true
-		idx = append(idx, best)
+		dst[j] = i
 	}
-	return idx
+	return dst
 }

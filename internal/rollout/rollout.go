@@ -83,20 +83,25 @@ func (r *Request) Generated() int { return len(r.Tokens) - len(r.Prompt) }
 // Response returns the generated suffix.
 func (r *Request) Response() []int { return r.Tokens[len(r.Prompt):] }
 
-// bias returns the dynamic logit bias for the request's current length.
-func (r *Request) bias() map[int]float32 {
+// biasInto writes the dynamic logit bias for the request's current length
+// into dst (an engine-owned map reused across requests) and returns it,
+// or nil when no bias applies.
+func (r *Request) biasInto(dst map[int]float32) map[int]float32 {
 	b := r.Prior.Bias(r.Generated())
 	if b == 0 {
 		return nil
 	}
-	m := make(map[int]float32, 2)
+	clear(dst)
 	if r.EosID >= 0 {
-		m[r.EosID] = b
+		dst[r.EosID] = b
 	}
 	if r.AnswerID >= 0 {
-		m[r.AnswerID] = b
+		dst[r.AnswerID] = b
 	}
-	return m
+	if len(dst) == 0 {
+		return nil
+	}
+	return dst
 }
 
 // finish marks completion conditions after new tokens landed.
@@ -222,6 +227,17 @@ type Engine struct {
 	drafter  draft.Drafter
 	selector *mab.Selector
 	pool     *cudagraph.Pool
+	// spec is the engine-owned speculation engine: its scratch (draft and
+	// verification buffers, node arena) is reused across every request and
+	// round so the decode hot path allocates nothing in steady state. Bias
+	// and EosID are repointed per request before each step.
+	spec specdec.Engine
+	// biasBuf is the reusable dynamic-bias map handed to spec per request.
+	biasBuf map[int]float32
+	// frontierAgg and acceptLens are per-iteration aggregation buffers
+	// reused across sdStep calls.
+	frontierAgg []int
+	acceptLens  []int
 	// Clock may be shared across engines (one worker per engine); defaults
 	// to a fresh clock.
 	Clock    *vclock.Clock
@@ -234,6 +250,8 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Engine, error) {
 		return nil, fmt.Errorf("rollout: nil device")
 	}
 	e := &Engine{cfg: cfg, target: target, drafter: drafter, Clock: &vclock.Clock{}, Timeline: &vclock.Timeline{}}
+	e.spec = specdec.Engine{Target: target, Temp: cfg.Temp}
+	e.biasBuf = make(map[int]float32, 2)
 	if drafter != nil && cfg.SDThreshold >= 0 {
 		sel, err := mab.New(cfg.Strategies, cfg.MAB)
 		if err != nil {
@@ -433,8 +451,9 @@ func (e *Engine) kvTokens(active []*Request) int {
 // vanillaStep decodes one token for every active request.
 func (e *Engine) vanillaStep(active []*Request, rng *rand.Rand, stats *Stats) StepProfile {
 	for _, r := range active {
-		eng := specdec.Engine{Target: e.target, Temp: e.cfg.Temp, Bias: r.bias(), EosID: r.EosID}
-		tok, eos := eng.VanillaStep(r.Tokens, len(r.Prompt), rng)
+		e.spec.Bias = r.biasInto(e.biasBuf)
+		e.spec.EosID = r.EosID
+		tok, eos := e.spec.VanillaStep(r.Tokens, len(r.Prompt), rng)
 		r.Tokens = append(r.Tokens, tok)
 		r.EosSeen = r.EosSeen || eos
 		if obs, ok := e.drafter.(draft.Observer); ok && e.drafter != nil {
@@ -457,15 +476,22 @@ func (e *Engine) vanillaStep(active []*Request, rng *rand.Rand, stats *Stats) St
 // sdStep performs one speculative round for every active request.
 func (e *Engine) sdStep(active []*Request, rng *rand.Rand, stats *Stats) StepProfile {
 	strategy := e.selector.Select(len(active))
+	if cap(e.frontierAgg) < strategy.DraftDepth {
+		e.frontierAgg = make([]int, strategy.DraftDepth)
+	}
+	frontierPerDepth := e.frontierAgg[:strategy.DraftDepth]
+	for i := range frontierPerDepth {
+		frontierPerDepth[i] = 0
+	}
+	acceptLens := e.acceptLens[:0]
 	var (
-		frontierPerDepth = make([]int, strategy.DraftDepth)
-		verified         int
-		tokensOut        int
-		acceptLens       []int
+		verified  int
+		tokensOut int
 	)
 	for _, r := range active {
-		eng := specdec.Engine{Target: e.target, Temp: e.cfg.Temp, Bias: r.bias(), EosID: r.EosID}
-		res := eng.Step(e.drafter, r.Tokens, len(r.Prompt), strategy, rng)
+		e.spec.Bias = r.biasInto(e.biasBuf)
+		e.spec.EosID = r.EosID
+		res := e.spec.Step(e.drafter, r.Tokens, len(r.Prompt), strategy, rng)
 		// Clip overshoot past MaxNew (the engine cap).
 		tokens := res.Tokens
 		if over := r.Generated() + len(tokens) - r.MaxNew; over > 0 {
@@ -530,6 +556,7 @@ func (e *Engine) sdStep(active []*Request, rng *rand.Rand, stats *Stats) StepPro
 	t0 := e.Clock.Now()
 	e.Clock.Advance(cost)
 	e.Timeline.Record("sd", t0, e.Clock.Now())
-	e.selector.Record(strategy, cost, acceptLens, len(active))
+	e.selector.Record(strategy, cost, acceptLens, len(active)) // Record only sums; reuse is safe
+	e.acceptLens = acceptLens[:0]
 	return StepProfile{End: e.Clock.Now(), Running: len(active), Mode: ModeSD, Strategy: strategy, TokensOut: tokensOut}
 }

@@ -64,6 +64,12 @@ type job struct {
 	done     chan Response
 }
 
+// maxLatencySamples bounds the latency-sample reservoir: long-running
+// servers previously appended one float per request forever, an unbounded
+// memory leak under sustained traffic. 4096 samples keep percentile
+// estimates tight (p95 standard error well under 1%) at a fixed ~32KB.
+const maxLatencySamples = 4096
+
 // Server is a concurrent SD inference service over a frozen target.
 type Server struct {
 	cfg     Config
@@ -72,7 +78,11 @@ type Server struct {
 	queue   chan *job
 	wg      sync.WaitGroup
 	mu      sync.Mutex
+	// lats is a bounded uniform reservoir (Vitter's algorithm R) over all
+	// served latencies; latSeen counts every sample ever offered.
 	lats    []float64
+	latSeen int
+	latRng  *rand.Rand
 	served  int
 	stopped bool
 }
@@ -93,6 +103,8 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 		target:  target,
 		drafter: drafter,
 		queue:   make(chan *job, cfg.QueueDepth),
+		lats:    make([]float64, 0, maxLatencySamples),
+		latRng:  rand.New(rand.NewSource(0x1a7)),
 	}
 	for r := 0; r < cfg.Replicas; r++ {
 		s.wg.Add(1)
@@ -125,7 +137,7 @@ func (s *Server) replica(id int) {
 			AcceptLen:  stats.MeanAcceptLen(),
 		}
 		s.mu.Lock()
-		s.lats = append(s.lats, resp.Latency.Seconds())
+		s.recordLatencyLocked(resp.Latency.Seconds())
 		s.served++
 		s.mu.Unlock()
 		j.done <- resp
@@ -177,6 +189,21 @@ func (s *Server) Stop() {
 	s.wg.Wait()
 }
 
+// recordLatencyLocked adds a latency sample to the bounded reservoir:
+// the first maxLatencySamples fill it, after which each new sample
+// replaces a uniformly random slot with probability cap/seen, keeping the
+// reservoir a uniform sample of the full history.
+func (s *Server) recordLatencyLocked(v float64) {
+	s.latSeen++
+	if len(s.lats) < maxLatencySamples {
+		s.lats = append(s.lats, v)
+		return
+	}
+	if j := s.latRng.Intn(s.latSeen); j < maxLatencySamples {
+		s.lats[j] = v
+	}
+}
+
 // Stats summarises served traffic.
 type Stats struct {
 	Served int
@@ -184,7 +211,8 @@ type Stats struct {
 	P95    time.Duration
 }
 
-// Stats returns latency percentiles over everything served so far.
+// Stats returns latency percentiles over everything served so far (a
+// bounded uniform reservoir once traffic exceeds maxLatencySamples).
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()

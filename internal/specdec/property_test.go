@@ -148,6 +148,70 @@ func TestVerifyNodeMarginalProperty(t *testing.T) {
 	}
 }
 
+// TestBatchedMatchesSequential: batched tree verification (one ProbsBatch
+// pass over all selected nodes up front) must be token-for-token identical
+// to the pre-batch sequential path (one target call per visited position)
+// under fixed seeds, across random strategies, prompts, temperatures and
+// biases — the losslessness-preserving property the batched hot path is
+// allowed to exist under. Two engines are used so each keeps its own
+// scratch; their RNGs start from the same seed each trial.
+func TestBatchedMatchesSequential(t *testing.T) {
+	lm, e, tk := newSetup(t)
+	metaRng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 400; trial++ {
+		p := Params{
+			DraftDepth:     1 + metaRng.Intn(10),
+			TopK:           1 + metaRng.Intn(6),
+			TokensToVerify: 1 + metaRng.Intn(48),
+		}
+		temp := 0.0
+		if metaRng.Intn(3) > 0 {
+			temp = 0.5 + metaRng.Float64()
+		}
+		var bias map[int]float32
+		if metaRng.Intn(3) == 0 {
+			bias = map[int]float32{
+				tk.Eos():  float32(metaRng.NormFloat64() * 3),
+				tk.Wait(): float32(metaRng.NormFloat64() * 3),
+			}
+		}
+		prompt := testPrompt(tk, metaRng)
+		seed := metaRng.Int63()
+
+		batched := &Engine{Target: lm, Temp: temp, Bias: bias, EosID: tk.Eos()}
+		sequential := &Engine{Target: lm, Temp: temp, Bias: bias, EosID: tk.Eos()}
+		// Multi-round: carry each path's own sequence forward so any
+		// divergence compounds and is caught.
+		bSeq := append([]int(nil), prompt...)
+		sSeq := append([]int(nil), prompt...)
+		bRng := rand.New(rand.NewSource(seed))
+		sRng := rand.New(rand.NewSource(seed))
+		for round := 0; round < 4; round++ {
+			br := batched.Step(e, bSeq, len(prompt), p, bRng)
+			sr := sequential.StepSequential(e, sSeq, len(prompt), p, sRng)
+			if len(br.Tokens) != len(sr.Tokens) {
+				t.Fatalf("trial %d round %d (%+v temp=%.2f): batched %v vs sequential %v",
+					trial, round, p, temp, br.Tokens, sr.Tokens)
+			}
+			for i := range br.Tokens {
+				if br.Tokens[i] != sr.Tokens[i] {
+					t.Fatalf("trial %d round %d (%+v temp=%.2f): token %d differs: %v vs %v",
+						trial, round, p, temp, i, br.Tokens, sr.Tokens)
+				}
+			}
+			if br.AcceptLen != sr.AcceptLen || br.Eos != sr.Eos ||
+				br.DraftedNodes != sr.DraftedNodes || br.VerifiedTokens != sr.VerifiedTokens {
+				t.Fatalf("trial %d round %d: result metadata diverged: %+v vs %+v", trial, round, br, sr)
+			}
+			bSeq = append(bSeq, br.Tokens...)
+			sSeq = append(sSeq, sr.Tokens...)
+			if br.Eos {
+				break
+			}
+		}
+	}
+}
+
 func absF(x float64) float64 {
 	if x < 0 {
 		return -x

@@ -15,12 +15,19 @@
 // decoding is mathematically lossless, the property the paper depends on
 // for lossless RL training. (With temperature 0 the scheme degenerates to
 // exact greedy equality.)
+//
+// The speculation round is the hottest path in the system: an Engine owns
+// reusable scratch (draft/verify buffers, the node arena, frontier and
+// context slices) so a steady-state round allocates nothing, and the
+// target scores the whole selected tree in one model.ProbsBatch pass
+// instead of one sequential call per position. StepSequential retains the
+// per-position reference path; property tests assert both emit identical
+// token streams for identical seeds.
 package specdec
 
 import (
 	"math"
 	"math/rand"
-	"sort"
 
 	"fastrl/internal/draft"
 	"fastrl/internal/model"
@@ -41,6 +48,11 @@ type Params struct {
 func (p Params) Equal(o Params) bool { return p == o }
 
 // Result summarises one speculation round.
+//
+// Tokens and FrontierPerDepth alias engine-owned scratch: they are valid
+// until the next Step/StepSequential/VanillaStep call on the same Engine.
+// Callers that retain them across rounds must copy (appending into their
+// own slice, as the rollout engine does, is a copy).
 type Result struct {
 	// Tokens are the tokens appended to the sequence: zero or more
 	// accepted drafted tokens plus exactly one token sampled from the
@@ -63,6 +75,8 @@ type Result struct {
 }
 
 // Engine wraps a target model with sampling settings for speculation.
+// An Engine retains scratch buffers across rounds and is not safe for
+// concurrent use; every worker (rollout engine, serving replica) owns one.
 type Engine struct {
 	Target *model.LM
 	// Temp is the sampling temperature (0 = greedy).
@@ -73,6 +87,10 @@ type Engine struct {
 	Bias map[int]float32
 	// EosID terminates generation when emitted (set negative to disable).
 	EosID int
+
+	// sc holds the per-engine scratch reused across rounds; created
+	// lazily on first use so zero-value Engines keep working.
+	sc *scratch
 }
 
 // node is one drafted token in the speculation tree.
@@ -82,7 +100,68 @@ type node struct {
 	depth    int
 	pathProb float64 // product of draft probabilities along the path
 	qProb    float64 // draft probability of this token at its parent
-	children []int
+}
+
+// scratch is the engine's reusable working set. Every slice grows to the
+// strategy's high-water mark and is then reused, so a steady-state
+// speculation round performs zero heap allocations.
+type scratch struct {
+	msc    *model.Scratch
+	hidden model.HiddenState // drafting-root hidden state
+	deep   model.HiddenState // rank-free view for deeper draft indices
+
+	qBuf []float32 // draft proposal distribution
+	pBuf []float32 // target row (sequential verification, vanilla step)
+
+	nodes            []node
+	frontier, next   []int
+	frontierPerDepth []int
+	seqBuf           []int // verified prefix + growing path/accept suffix
+	topk             []int
+
+	// Candidate selection.
+	order  []int
+	member []bool
+	chain  []int
+	keep   []int
+
+	// Kept-tree adjacency (children packed into one arena).
+	roots      []int
+	childStart []int
+	childCount []int
+	childArena []int
+
+	// Batched verification: one context and one probability row per kept
+	// node (+1 for the root position), scored in a single ProbsBatch pass.
+	ctxs     []model.Context
+	ctxArena []int
+	rows     [][]float32
+	rowArena []float32
+	rowOf    []int // node index -> row index (kept nodes only)
+
+	sorted   []int // verifyNode candidate ordering
+	accepted []int // emitted tokens (aliased by Result.Tokens)
+}
+
+func (e *Engine) scratchInit() *scratch {
+	if e.sc == nil {
+		e.sc = &scratch{msc: model.NewScratch()}
+	}
+	return e.sc
+}
+
+func ensureF32(b []float32, n int) []float32 {
+	if cap(b) < n {
+		return make([]float32, n)
+	}
+	return b[:n]
+}
+
+func ensureInt(b []int, n int) []int {
+	if cap(b) < n {
+		return make([]int, n)
+	}
+	return b[:n]
 }
 
 func maxInt(a, b int) int {
@@ -92,14 +171,7 @@ func maxInt(a, b int) int {
 	return b
 }
 
-// Step performs one draft-and-verify round for a single sequence.
-//
-// tokens is the verified sequence so far. The drafter proposes a
-// confidence tree of candidates conditioned on the target's hidden sketch
-// at the root, the target verifies the selected nodes in one (virtual)
-// pass, and the accepted prefix plus one corrective/bonus token is
-// returned.
-func (e *Engine) Step(d draft.Drafter, tokens []int, promptLen int, p Params, rng *rand.Rand) Result {
+func clampParams(p Params) Params {
 	if p.DraftDepth < 1 {
 		p.DraftDepth = 1
 	}
@@ -109,116 +181,275 @@ func (e *Engine) Step(d draft.Drafter, tokens []int, promptLen int, p Params, rn
 	if p.TokensToVerify < 1 {
 		p.TokensToVerify = 1
 	}
-	vocab := e.Target.Config().Vocab
-	// Two fused sketches cover both Eagle (1) and Eagle-3 (2) inputs.
-	hidden := model.FusedHidden(e.Target, model.Context{Tokens: tokens, PromptLen: promptLen}, 2)
+	return p
+}
 
-	// ---- Drafting stage: build the candidate tree.
-	var nodes []node
+// Step performs one draft-and-verify round for a single sequence.
+//
+// tokens is the verified sequence so far. The drafter proposes a
+// confidence tree of candidates conditioned on the target's hidden sketch
+// at the root, the target scores every selected node in one batched pass,
+// and the accepted prefix plus one corrective/bonus token is returned.
+func (e *Engine) Step(d draft.Drafter, tokens []int, promptLen int, p Params, rng *rand.Rand) Result {
+	p = clampParams(p)
 	var res Result
-	qBuf := make([]float32, vocab)
-	frontier := []int{-1} // -1 denotes the root context
-	seqBuf := make([]int, len(tokens), len(tokens)+p.DraftDepth+2)
-	copy(seqBuf, tokens)
-	for depth := 1; depth <= p.DraftDepth && len(frontier) > 0; depth++ {
-		res.FrontierPerDepth = append(res.FrontierPerDepth, len(frontier))
-		var next []int
-		for _, pi := range frontier {
-			ctx := e.pathContext(tokens, nodes, pi, seqBuf[:len(tokens)])
+	e.draftTree(d, tokens, promptLen, p, &res)
+	e.scoreTree(tokens, promptLen)
+	e.verifyBatched(&res, rng)
+	return res
+}
+
+// StepSequential is the pre-batching reference path: it drafts the
+// identical tree but scores tree positions with one sequential target call
+// each, lazily along the accepted path. It is retained as the baseline
+// that property tests compare batched verification against (identical
+// seeds must emit identical token streams) and as a benchmark reference.
+func (e *Engine) StepSequential(d draft.Drafter, tokens []int, promptLen int, p Params, rng *rand.Rand) Result {
+	p = clampParams(p)
+	var res Result
+	e.draftTree(d, tokens, promptLen, p, &res)
+	e.verifySequential(&res, tokens, promptLen, rng)
+	return res
+}
+
+// draftTree runs the drafting stage and ancestry-closed candidate
+// selection into the engine scratch. Both verification paths consume the
+// tree it leaves behind, so they are guaranteed to see identical
+// candidates.
+func (e *Engine) draftTree(d draft.Drafter, tokens []int, promptLen int, p Params, res *Result) {
+	sc := e.scratchInit()
+	vocab := e.Target.Config().Vocab
+	rootCtx := model.Context{Tokens: tokens, PromptLen: promptLen}
+	// Two fused sketches cover both Eagle (1) and Eagle-3 (2) inputs.
+	hidden := model.FusedHiddenInto(e.Target, rootCtx, 2, &sc.hidden, sc.msc)
+	sc.deep.Sketch = hidden.Sketch
+	sc.deep.TopTokens = nil
+	sc.qBuf = ensureF32(sc.qBuf, vocab)
+	bd, buffered := d.(draft.BufferedDrafter)
+
+	need := len(tokens) + p.DraftDepth + 2
+	if cap(sc.seqBuf) < need {
+		sc.seqBuf = make([]int, 0, need)
+	}
+	sc.seqBuf = append(sc.seqBuf[:0], tokens...)
+
+	sc.nodes = sc.nodes[:0]
+	sc.frontierPerDepth = sc.frontierPerDepth[:0]
+	sc.frontier = append(sc.frontier[:0], -1) // -1 denotes the root context
+	for depth := 1; depth <= p.DraftDepth && len(sc.frontier) > 0; depth++ {
+		sc.frontierPerDepth = append(sc.frontierPerDepth, len(sc.frontier))
+		sc.next = sc.next[:0]
+		for _, pi := range sc.frontier {
+			ctx := e.pathContext(tokens, sc.nodes, pi, sc.seqBuf[:len(tokens)])
 			// Drafting state: at the root the drafter sees the target's
 			// hidden state exactly; deeper nodes draft in the rank-free
 			// mode the drafter was trained for via rank dropout (the root
 			// hidden state does not describe deeper positions).
 			h := hidden
 			if pi >= 0 {
-				h = &model.HiddenState{Sketch: hidden.Sketch}
+				h = &sc.deep
 			}
-			d.Probs(ctx, promptLen, h, e.draftTemp(), qBuf)
-			e.applyBiasToDraft(qBuf)
+			if buffered {
+				bd.ProbsBuf(ctx, promptLen, h, e.draftTemp(), sc.qBuf, sc.msc)
+			} else {
+				d.Probs(ctx, promptLen, h, e.draftTemp(), sc.qBuf)
+			}
+			e.applyBiasToDraft(sc.qBuf)
 			res.DraftedNodes++
 			parentProb := 1.0
 			if pi >= 0 {
-				parentProb = nodes[pi].pathProb
+				parentProb = sc.nodes[pi].pathProb
 			}
 			kept := 0
-			for _, tok := range model.TopK(qBuf, p.TopK) {
+			sc.topk = model.TopKInto(sc.qBuf, p.TopK, sc.topk)
+			for _, tok := range sc.topk {
 				if kept >= p.TopK {
 					break
 				}
-				qp := float64(qBuf[tok])
+				qp := float64(sc.qBuf[tok])
 				if qp <= 0 {
 					continue
 				}
 				kept++
-				ni := len(nodes)
-				nodes = append(nodes, node{
+				ni := len(sc.nodes)
+				sc.nodes = append(sc.nodes, node{
 					tok:      tok,
 					parent:   pi,
 					depth:    depth,
 					pathProb: parentProb * qp,
 					qProb:    qp,
 				})
-				next = append(next, ni)
+				sc.next = append(sc.next, ni)
 			}
 		}
 		// Depth-limited beam: only the TopK highest-path-probability nodes
 		// expand further, bounding drafting cost (Eagle-2 dynamic trees).
-		if len(next) > p.TopK {
-			sort.Slice(next, func(i, j int) bool {
-				return nodes[next[i]].pathProb > nodes[next[j]].pathProb
-			})
-			next = next[:p.TopK]
+		if len(sc.next) > p.TopK {
+			topByPathProb(sc.next, p.TopK, sc.nodes)
+			sc.next = sc.next[:p.TopK]
 		}
-		frontier = next
+		sc.frontier, sc.next = sc.next, sc.frontier
 	}
+	res.FrontierPerDepth = sc.frontierPerDepth
 
-	// ---- Candidate selection: keep the TokensToVerify highest-confidence
+	// Candidate selection: keep the TokensToVerify highest-confidence
 	// nodes, closed under ancestry so every kept node's parent is kept.
-	keep := selectNodes(nodes, p.TokensToVerify)
-	var roots []int
+	keep := sc.selectKept(p.TokensToVerify)
+	sc.buildAdjacency(keep)
+	res.VerifiedTokens = len(keep) + 1 // +1: the root position is scored too
+}
+
+// buildAdjacency packs the kept nodes' child lists into one arena,
+// preserving keep order (the order the old per-node append produced).
+func (sc *scratch) buildAdjacency(keep []int) {
+	n := len(sc.nodes)
+	sc.childStart = ensureInt(sc.childStart, n)
+	sc.childCount = ensureInt(sc.childCount, n)
+	for i := 0; i < n; i++ {
+		sc.childCount[i] = 0
+	}
+	sc.roots = sc.roots[:0]
 	for _, ni := range keep {
-		if nodes[ni].parent < 0 {
-			roots = append(roots, ni)
+		if par := sc.nodes[ni].parent; par < 0 {
+			sc.roots = append(sc.roots, ni)
 		} else {
-			par := nodes[ni].parent
-			nodes[par].children = append(nodes[par].children, ni)
+			sc.childCount[par]++
 		}
 	}
-	res.VerifiedTokens = len(keep) + 1 // +1: the root position is scored too
+	off := 0
+	for i := 0; i < n; i++ {
+		sc.childStart[i] = off
+		off += sc.childCount[i]
+		sc.childCount[i] = 0 // reused as the fill cursor below
+	}
+	sc.childArena = ensureInt(sc.childArena, off)
+	for _, ni := range keep {
+		if par := sc.nodes[ni].parent; par >= 0 {
+			sc.childArena[sc.childStart[par]+sc.childCount[par]] = ni
+			sc.childCount[par]++
+		}
+	}
+}
 
-	// ---- Verification stage: chain-rule rejection sampling down the tree.
-	pBuf := make([]float32, vocab)
-	accepted := make([]int, 0, p.DraftDepth+1)
-	ctx := seqBuf[:len(tokens)]
-	candidates := roots
+// childrenOf returns the kept children of a kept node.
+func (sc *scratch) childrenOf(ni int) []int {
+	s := sc.childStart[ni]
+	return sc.childArena[s : s+sc.childCount[ni]]
+}
+
+// scoreTree materialises the context of the root position and of every
+// kept node and scores them all in one batched target pass — the single
+// verification forward the virtual-clock cost model already charges for,
+// instead of one sequential target call per visited position.
+func (e *Engine) scoreTree(tokens []int, promptLen int) {
+	sc := e.sc
+	vocab := e.Target.Config().Vocab
+	keep := sc.keep
+	nRows := len(keep) + 1
+
+	sc.rowArena = ensureF32(sc.rowArena, nRows*vocab)
+	sc.rows = sc.rows[:0]
+	for r := 0; r < nRows; r++ {
+		sc.rows = append(sc.rows, sc.rowArena[r*vocab:(r+1)*vocab])
+	}
+
+	L := len(tokens)
+	arenaNeed := 0
+	for _, ni := range keep {
+		arenaNeed += L + sc.nodes[ni].depth
+	}
+	sc.ctxArena = ensureInt(sc.ctxArena, arenaNeed)
+	sc.ctxs = sc.ctxs[:0]
+	sc.ctxs = append(sc.ctxs, model.Context{Tokens: sc.seqBuf[:L], PromptLen: promptLen})
+	sc.rowOf = ensureInt(sc.rowOf, len(sc.nodes))
+	off := 0
+	for j, ni := range keep {
+		end := off + L + sc.nodes[ni].depth
+		seg := sc.ctxArena[off:end]
+		copy(seg, tokens)
+		for i := ni; i >= 0; i = sc.nodes[i].parent {
+			seg[L+sc.nodes[i].depth-1] = sc.nodes[i].tok
+		}
+		sc.ctxs = append(sc.ctxs, model.Context{Tokens: seg, PromptLen: promptLen})
+		sc.rowOf[ni] = j + 1
+		off = end
+	}
+
+	e.Target.ProbsBatch(sc.ctxs, e.Bias, e.Temp, sc.rows, sc.msc)
+}
+
+// verifyBatched walks the selected tree performing chain-rule rejection
+// sampling against the pre-scored rows. It draws from the RNG in exactly
+// the order verifySequential does, so both paths emit identical tokens
+// for identical seeds.
+func (e *Engine) verifyBatched(res *Result, rng *rand.Rand) {
+	sc := e.sc
+	sc.accepted = sc.accepted[:0]
+	candidates := sc.roots
+	row := sc.rows[0]
 	for {
-		e.Target.Probs(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, pBuf)
-		chosen, corrective := verifyNode(pBuf, nodes, candidates, rng)
+		chosen, corrective := verifyNodeBuf(row, sc.nodes, candidates, &sc.sorted, rng)
 		if chosen < 0 {
-			accepted = append(accepted, corrective)
+			sc.accepted = append(sc.accepted, corrective)
 			res.Eos = e.EosID >= 0 && corrective == e.EosID
 			break
 		}
-		accepted = append(accepted, nodes[chosen].tok)
-		ctx = append(ctx, nodes[chosen].tok)
+		sc.accepted = append(sc.accepted, sc.nodes[chosen].tok)
 		res.AcceptLen++
-		if e.EosID >= 0 && nodes[chosen].tok == e.EosID {
+		if e.EosID >= 0 && sc.nodes[chosen].tok == e.EosID {
 			res.Eos = true
 			break
 		}
-		candidates = nodes[chosen].children
+		row = sc.rows[sc.rowOf[chosen]]
+		candidates = sc.childrenOf(chosen)
 		if len(candidates) == 0 {
 			// Deepest accepted node: sample the bonus token from the
-			// target distribution at the new context.
-			e.Target.Probs(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, pBuf)
-			bonus := model.SampleProbs(pBuf, rng)
-			accepted = append(accepted, bonus)
+			// (already scored) target distribution at the new context.
+			bonus := model.SampleProbs(row, rng)
+			sc.accepted = append(sc.accepted, bonus)
 			res.Eos = e.EosID >= 0 && bonus == e.EosID
 			break
 		}
 	}
-	res.Tokens = accepted
-	return res
+	res.Tokens = sc.accepted
+}
+
+// verifySequential is the reference verification: one target call per
+// visited tree position, computed lazily along the accepted path.
+func (e *Engine) verifySequential(res *Result, tokens []int, promptLen int, rng *rand.Rand) {
+	sc := e.sc
+	vocab := e.Target.Config().Vocab
+	sc.pBuf = ensureF32(sc.pBuf, vocab)
+	sc.accepted = sc.accepted[:0]
+	ctx := sc.seqBuf[:len(tokens)]
+	candidates := sc.roots
+	for {
+		e.Target.ProbsScratch(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, sc.pBuf, sc.msc)
+		chosen, corrective := verifyNodeBuf(sc.pBuf, sc.nodes, candidates, &sc.sorted, rng)
+		if chosen < 0 {
+			sc.accepted = append(sc.accepted, corrective)
+			res.Eos = e.EosID >= 0 && corrective == e.EosID
+			break
+		}
+		sc.accepted = append(sc.accepted, sc.nodes[chosen].tok)
+		ctx = append(ctx, sc.nodes[chosen].tok)
+		res.AcceptLen++
+		if e.EosID >= 0 && sc.nodes[chosen].tok == e.EosID {
+			res.Eos = true
+			break
+		}
+		candidates = sc.childrenOf(chosen)
+		if len(candidates) == 0 {
+			// Deepest accepted node: sample the bonus token from the
+			// target distribution at the new context.
+			e.Target.ProbsScratch(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, sc.pBuf, sc.msc)
+			bonus := model.SampleProbs(sc.pBuf, rng)
+			sc.accepted = append(sc.accepted, bonus)
+			res.Eos = e.EosID >= 0 && bonus == e.EosID
+			break
+		}
+	}
+	res.Tokens = sc.accepted
 }
 
 // applyBiasToDraft reweights a draft proposal by the engine's logit bias,
@@ -279,55 +510,128 @@ func (e *Engine) pathContext(tokens []int, nodes []node, ni int, buf []int) []in
 	return ctx
 }
 
-// selectNodes returns the indices of up to k nodes with the highest path
-// probability, closed under ancestry.
-func selectNodes(nodes []node, k int) []int {
+// sortByPathProb orders node indices by descending path probability with
+// an ascending-index tie-break — a deterministic total order, so every
+// caller (and both verification paths) builds the identical tree.
+// Insertion sort: the slices are small (at most the beam width or node
+// count) and this avoids the interface boxing of sort.Slice.
+func sortByPathProb(idx []int, nodes []node) {
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		pv := nodes[v].pathProb
+		j := i
+		for j > 0 {
+			u := idx[j-1]
+			if nodes[u].pathProb > pv || (nodes[u].pathProb == pv && u < v) {
+				break
+			}
+			idx[j] = u
+			j--
+		}
+		idx[j] = v
+	}
+}
+
+// topByPathProb partially sorts idx so its first k entries are the k
+// highest-path-probability nodes in the same total order sortByPathProb
+// uses (descending probability, ascending-index ties). The beam trim only
+// keeps k of the frontier, so a k-pass selection beats a full sort.
+func topByPathProb(idx []int, k int, nodes []node) {
+	for i := 0; i < k && i < len(idx); i++ {
+		best := i
+		for j := i + 1; j < len(idx); j++ {
+			a, b := idx[j], idx[best]
+			if nodes[a].pathProb > nodes[b].pathProb ||
+				(nodes[a].pathProb == nodes[b].pathProb && a < b) {
+				best = j
+			}
+		}
+		idx[i], idx[best] = idx[best], idx[i]
+	}
+}
+
+// sortByQProb orders node indices by descending draft probability with an
+// ascending-index tie-break (see sortByPathProb).
+func sortByQProb(idx []int, nodes []node) {
+	for i := 1; i < len(idx); i++ {
+		v := idx[i]
+		qv := nodes[v].qProb
+		j := i
+		for j > 0 {
+			u := idx[j-1]
+			if nodes[u].qProb > qv || (nodes[u].qProb == qv && u < v) {
+				break
+			}
+			idx[j] = u
+			j--
+		}
+		idx[j] = v
+	}
+}
+
+// selectKept fills sc.keep with the indices of up to k nodes with the
+// highest path probability, closed under ancestry.
+func (sc *scratch) selectKept(k int) []int {
+	nodes := sc.nodes
+	sc.keep = sc.keep[:0]
 	if len(nodes) == 0 {
-		return nil
+		return sc.keep
 	}
-	order := make([]int, len(nodes))
-	for i := range order {
-		order[i] = i
+	sc.order = ensureInt(sc.order, len(nodes))
+	for i := range sc.order {
+		sc.order[i] = i
 	}
-	sort.Slice(order, func(i, j int) bool {
-		return nodes[order[i]].pathProb > nodes[order[j]].pathProb
-	})
-	chosen := make(map[int]bool, k)
-	var out []int
-	for _, ni := range order {
-		if len(chosen) >= k {
+	sortByPathProb(sc.order, nodes)
+	if cap(sc.member) < len(nodes) {
+		sc.member = make([]bool, len(nodes))
+	}
+	member := sc.member[:len(nodes)]
+	for i := range member {
+		member[i] = false
+	}
+	for _, ni := range sc.order {
+		if len(sc.keep) >= k {
 			break
 		}
 		// Adding ni requires its uncovered ancestors too.
-		var chain []int
-		for i := ni; i >= 0 && !chosen[i]; i = nodes[i].parent {
-			chain = append(chain, i)
+		sc.chain = sc.chain[:0]
+		for i := ni; i >= 0 && !member[i]; i = nodes[i].parent {
+			sc.chain = append(sc.chain, i)
 		}
-		if len(chosen)+len(chain) > k {
+		if len(sc.keep)+len(sc.chain) > k {
 			continue
 		}
-		for _, i := range chain {
-			chosen[i] = true
-			out = append(out, i)
+		for _, i := range sc.chain {
+			member[i] = true
+			sc.keep = append(sc.keep, i)
 		}
 	}
-	return out
+	return sc.keep
 }
 
-// verifyNode runs chain-rule verification at one tree position. p is the
-// target distribution at the position; candidates the drafted children
-// (distinct tokens). Candidate x_i (in draft-confidence order) is accepted
-// with probability p(x_i)/(1 - Σ_{j<i} p(x_j)); if all are rejected the
-// corrective token is sampled from p restricted to non-candidates. The
-// marginal over emitted tokens is exactly p.
-func verifyNode(p []float32, nodes []node, candidates []int, rng *rand.Rand) (chosenNode int, corrective int) {
+// selectNodes returns the indices of up to k nodes with the highest path
+// probability, closed under ancestry. (Allocating wrapper over the
+// scratch-based selection, kept for tests and external callers.)
+func selectNodes(nodes []node, k int) []int {
+	sc := &scratch{nodes: nodes}
+	return append([]int(nil), sc.selectKept(k)...)
+}
+
+// verifyNodeBuf runs chain-rule verification at one tree position. p is
+// the target distribution at the position (mutated in the all-rejected
+// case); candidates the drafted children (distinct tokens). Candidate x_i
+// (in draft-confidence order) is accepted with probability
+// p(x_i)/(1 - Σ_{j<i} p(x_j)); if all are rejected the corrective token
+// is sampled from p restricted to non-candidates. The marginal over
+// emitted tokens is exactly p. sortBuf is caller-owned scratch for the
+// confidence ordering.
+func verifyNodeBuf(p []float32, nodes []node, candidates []int, sortBuf *[]int, rng *rand.Rand) (chosenNode int, corrective int) {
 	if len(candidates) == 0 {
 		return -1, model.SampleProbs(p, rng)
 	}
-	sorted := append([]int(nil), candidates...)
-	sort.Slice(sorted, func(i, j int) bool {
-		return nodes[sorted[i]].qProb > nodes[sorted[j]].qProb
-	})
+	sorted := append((*sortBuf)[:0], candidates...)
+	*sortBuf = sorted
+	sortByQProb(sorted, nodes)
 	remaining := 1.0
 	for _, ci := range sorted {
 		tok := nodes[ci].tok
@@ -361,13 +665,20 @@ func verifyNode(p []float32, nodes []node, candidates []int, rng *rand.Rand) (ch
 	return -1, model.SampleProbs(p, rng)
 }
 
+// verifyNode is verifyNodeBuf with private scratch (test/reference entry).
+func verifyNode(p []float32, nodes []node, candidates []int, rng *rand.Rand) (chosenNode int, corrective int) {
+	var buf []int
+	return verifyNodeBuf(p, nodes, candidates, &buf, rng)
+}
+
 // VanillaStep performs one ordinary (non-speculative) decode step,
 // returning the sampled token. It exists so engines share sampling
 // semantics between SD and non-SD paths.
 func (e *Engine) VanillaStep(tokens []int, promptLen int, rng *rand.Rand) (int, bool) {
-	probs := make([]float32, e.Target.Config().Vocab)
-	e.Target.Probs(model.Context{Tokens: tokens, PromptLen: promptLen}, e.Bias, e.Temp, probs)
-	tok := model.SampleProbs(probs, rng)
+	sc := e.scratchInit()
+	sc.pBuf = ensureF32(sc.pBuf, e.Target.Config().Vocab)
+	e.Target.ProbsScratch(model.Context{Tokens: tokens, PromptLen: promptLen}, e.Bias, e.Temp, sc.pBuf, sc.msc)
+	tok := model.SampleProbs(sc.pBuf, rng)
 	return tok, e.EosID >= 0 && tok == e.EosID
 }
 
