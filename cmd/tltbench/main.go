@@ -27,6 +27,14 @@ type expPerf struct {
 	Bytes  uint64 `json:"bytes_per_op"`
 }
 
+// expFigure records one experiment's headline values (e.g. per-policy
+// P50/P95, shed rate, utilisation for -exp cluster) so the snapshot tracks
+// what the figures say, not just what they cost.
+type expFigure struct {
+	ID      string             `json:"id"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
 // benchSnapshot is the BENCH_<date>.json document tracking the repo's
 // perf trajectory in-tree.
 type benchSnapshot struct {
@@ -35,6 +43,7 @@ type benchSnapshot struct {
 	GOMAXPROCS  int                     `json:"gomaxprocs"`
 	Quick       bool                    `json:"quick"`
 	Experiments []expPerf               `json:"experiments"`
+	Figures     []expFigure             `json:"figures,omitempty"`
 	HotPath     []experiments.PerfEntry `json:"hot_path"`
 }
 
@@ -66,6 +75,7 @@ func main() {
 		ids = experiments.IDs()
 	}
 	var perf []expPerf
+	var figures []expFigure
 	for _, id := range ids {
 		var m0 runtime.MemStats
 		if *jsonOut {
@@ -87,6 +97,9 @@ func main() {
 				Allocs: m1.Mallocs - m0.Mallocs,
 				Bytes:  m1.TotalAlloc - m0.TotalAlloc,
 			})
+			if len(r.Metrics) > 0 {
+				figures = append(figures, expFigure{ID: id, Metrics: r.Metrics})
+			}
 		}
 		fmt.Println(r)
 		if *verbose {
@@ -101,6 +114,7 @@ func main() {
 			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 			Quick:       *quick,
 			Experiments: perf,
+			Figures:     figures,
 			HotPath:     experiments.PerfSnapshot(*quick),
 		}
 		name := fmt.Sprintf("BENCH_%s.json", snap.Date)

@@ -1,0 +1,348 @@
+// Package cluster scales the single-queue serving.Server of paper §7 into
+// a sharded serving cluster: a front-door router spreads requests over
+// independent shards (each a serving.Server with its own replicas and
+// rollout engines) under a pluggable Policy, per-shard admission control
+// sheds load with typed, retryable errors instead of unbounded queueing,
+// and an elastic scaler reuses the coordinator's worker state machine to
+// move shards between SERVING, IDLE, and drafter TRAINING as offered load
+// rises and falls — so speculative-decoding spot training and serving
+// compete for the same capacity, exactly as in the paper's deployment.
+package cluster
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fastrl/internal/coordinator"
+	"fastrl/internal/draft"
+	"fastrl/internal/metrics"
+	"fastrl/internal/model"
+	"fastrl/internal/serving"
+	"fastrl/internal/workload"
+)
+
+// Request is one cluster serving job.
+type Request struct {
+	Prompt []int
+	MaxNew int
+	// Prior optionally shapes the response length.
+	Prior workload.LengthPrior
+	// Seed drives the per-request sampling stream.
+	Seed int64
+	// Deadline is the request's latency budget; admission control sheds
+	// the request when the routed shard cannot plausibly meet it. Zero
+	// disables deadline shedding (queue-bound shedding still applies).
+	Deadline time.Duration
+}
+
+// Response is a served completion plus which shard served it.
+type Response struct {
+	serving.Response
+	Shard int
+}
+
+// Config parameterises the cluster.
+type Config struct {
+	// Shards is the number of independent serving shards.
+	Shards int
+	// Shard configures every shard's serving.Server (replicas, engine).
+	Shard serving.Config
+	// Policy is the routing policy (default round-robin).
+	Policy Policy
+	// Admission bounds each shard's backlog.
+	Admission AdmissionConfig
+	// Scaler drives elastic SERVING/IDLE/TRAINING transitions.
+	Scaler ScalerConfig
+}
+
+// shard is one serving shard plus its admission and accounting state.
+type shard struct {
+	id  int
+	srv *serving.Server
+	// state mirrors the coordinator's view (coordinator.Busy == SERVING);
+	// the router reads it lock-free on every pick.
+	state atomic.Int32
+	// outstanding is the admission reservation counter: incremented before
+	// a request may enqueue, decremented on completion (or on shed /
+	// submit failure). Concurrent submits each reserve atomically, so the
+	// MaxPending cap cannot be over-admitted by a check-then-act race the
+	// way a raw Pending() probe could.
+	outstanding atomic.Int64
+	// admitted/shed/served count this shard's admission outcomes.
+	admitted atomic.Int64
+	shed     atomic.Int64
+	served   atomic.Int64
+	// svcBits holds the EWMA per-request service time in seconds
+	// (math.Float64bits), updated on every completion.
+	svcBits atomic.Uint64
+	// stateTime accumulates observed time per coordinator state; guarded
+	// by the scaler's mutex.
+	stateTime [3]time.Duration
+}
+
+func (sh *shard) svcEstimate() time.Duration {
+	return time.Duration(math.Float64frombits(sh.svcBits.Load()) * float64(time.Second))
+}
+
+// Cluster is a sharded SD serving service over one frozen target.
+type Cluster struct {
+	cfg    Config
+	shards []*shard
+	scaler *Scaler
+
+	// routeMu serialises routing decisions so the live/load snapshot
+	// buffers are reused allocation-free across picks.
+	routeMu sync.Mutex
+	liveBuf []int
+	loadBuf []int
+
+	// statsMu guards the cluster-wide latency reservoir and accept-length
+	// accumulator (the same bounded-reservoir discipline as serving).
+	statsMu   sync.Mutex
+	lats      *metrics.Reservoir
+	acceptSum float64
+	acceptN   int
+
+	stopped atomic.Bool
+}
+
+// New builds a cluster of cfg.Shards serving shards over a shared target
+// and drafter. drafter may be nil (vanilla decoding on every shard).
+func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) {
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("cluster: need at least one shard")
+	}
+	if cfg.Policy == nil {
+		cfg.Policy = NewRoundRobin()
+	}
+	cfg.Admission = cfg.Admission.withDefaults()
+	cfg.Scaler = cfg.Scaler.withDefaults(cfg.Shards)
+	// Every admitted request must have a queue slot: with QueueDepth <
+	// MaxPending an admitted submit could block in the shard's queue send
+	// instead of shedding fast, which is exactly what admission control is
+	// for. Size the queue to the cap.
+	if cfg.Shard.QueueDepth < cfg.Admission.MaxPending {
+		cfg.Shard.QueueDepth = cfg.Admission.MaxPending
+	}
+	c := &Cluster{
+		cfg:     cfg,
+		liveBuf: make([]int, 0, cfg.Shards),
+		loadBuf: make([]int, 0, cfg.Shards),
+		lats:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc1),
+	}
+	for i := 0; i < cfg.Shards; i++ {
+		srv, err := serving.New(cfg.Shard, target, drafter)
+		if err != nil {
+			for _, sh := range c.shards {
+				sh.srv.Stop()
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		sh := &shard{id: i, srv: srv}
+		sh.state.Store(int32(coordinator.Busy))
+		c.shards = append(c.shards, sh)
+	}
+	scaler, err := newScaler(c, cfg.Scaler)
+	if err != nil {
+		c.Stop()
+		return nil, err
+	}
+	c.scaler = scaler
+	return c, nil
+}
+
+// Scaler exposes the elastic scaler.
+func (c *Cluster) Scaler() *Scaler { return c.scaler }
+
+// Shards returns the shard count.
+func (c *Cluster) Shards() int { return len(c.shards) }
+
+// PickShard runs the router for a prompt and returns the chosen shard ID
+// without submitting anything. It is the steady-state hot path pinned at
+// zero allocations: the live/load snapshot is taken into cluster-owned
+// buffers under routeMu.
+func (c *Cluster) PickShard(prompt []int) int {
+	c.routeMu.Lock()
+	live := c.liveBuf[:0]
+	loads := c.loadBuf[:0]
+	for _, sh := range c.shards {
+		if coordinator.State(sh.state.Load()) == coordinator.Busy {
+			live = append(live, sh.id)
+			loads = append(loads, sh.srv.Pending())
+		}
+	}
+	if len(live) == 0 {
+		// The scaler floors the serving set at MinServing, so this is a
+		// belt-and-braces fallback, not a steady state.
+		for _, sh := range c.shards {
+			live = append(live, sh.id)
+			loads = append(loads, sh.srv.Pending())
+		}
+	}
+	id := live[c.cfg.Policy.Pick(prompt, live, loads)]
+	c.routeMu.Unlock()
+	return id
+}
+
+// Submit routes a request, applies the routed shard's admission control,
+// and returns a channel delivering its response. A shed request fails
+// with *ErrShedded; every admitted request is guaranteed a response on
+// the returned channel.
+func (c *Cluster) Submit(ctx context.Context, req Request) (<-chan Response, error) {
+	if c.stopped.Load() {
+		return nil, fmt.Errorf("cluster: stopped")
+	}
+	sh := c.shards[c.PickShard(req.Prompt)]
+	// Reserve an admission slot first: the reservation is atomic, so the
+	// cap holds exactly even when many submits race.
+	n := int(sh.outstanding.Add(1))
+	if err := sh.admit(n, req.Deadline, c.cfg.Admission); err != nil {
+		sh.outstanding.Add(-1)
+		sh.shed.Add(1)
+		return nil, err
+	}
+	inner, err := sh.srv.Submit(ctx, serving.Request{
+		Prompt: req.Prompt, MaxNew: req.MaxNew, Prior: req.Prior, Seed: req.Seed,
+	})
+	if err != nil {
+		// Context cancellation or a stopped shard: the reservation is
+		// released and the submission counts as neither admitted nor shed —
+		// the caller got its error directly. (The reserved slot guarantees
+		// queue capacity, so the send itself cannot block.)
+		sh.outstanding.Add(-1)
+		return nil, err
+	}
+	sh.admitted.Add(1)
+	out := make(chan Response, 1)
+	go func() {
+		r := <-inner
+		c.complete(sh, r)
+		out <- Response{Response: r, Shard: sh.id}
+	}()
+	return out, nil
+}
+
+// Serve submits and waits.
+func (c *Cluster) Serve(ctx context.Context, req Request) (Response, error) {
+	ch, err := c.Submit(ctx, req)
+	if err != nil {
+		return Response{}, err
+	}
+	select {
+	case r := <-ch:
+		return r, r.Err
+	case <-ctx.Done():
+		return Response{}, ctx.Err()
+	}
+}
+
+// complete folds one response into the shard's service-time estimate and
+// the cluster-wide latency/accept accounting.
+func (c *Cluster) complete(sh *shard, r serving.Response) {
+	sh.outstanding.Add(-1)
+	sh.served.Add(1)
+	alpha := c.cfg.Admission.SvcAlpha
+	for {
+		old := sh.svcBits.Load()
+		cur := math.Float64frombits(old)
+		sample := r.DecodeTime.Seconds()
+		next := sample
+		if cur > 0 {
+			next = (1-alpha)*cur + alpha*sample
+		}
+		if sh.svcBits.CompareAndSwap(old, math.Float64bits(next)) {
+			break
+		}
+	}
+	c.statsMu.Lock()
+	c.lats.Add(r.Latency.Seconds())
+	if r.AcceptLen > 0 {
+		c.acceptSum += r.AcceptLen
+		c.acceptN++
+	}
+	c.statsMu.Unlock()
+}
+
+// Stop shuts every shard down, draining in-flight work.
+func (c *Cluster) Stop() {
+	if c.stopped.Swap(true) {
+		return
+	}
+	for _, sh := range c.shards {
+		sh.srv.Stop()
+	}
+}
+
+// ShardStats is one shard's accounting snapshot.
+type ShardStats struct {
+	ID    int
+	State coordinator.State
+	// Admitted/Served/Shed count admission outcomes; Pending is the
+	// current backlog.
+	Admitted int
+	Served   int
+	Shed     int
+	Pending  int
+	// Utilisation is the fraction of scaler-observed time spent SERVING
+	// (0 before the first two scaler observations).
+	Utilisation float64
+}
+
+// Stats is a cluster-wide snapshot.
+type Stats struct {
+	Served int
+	Shed   int
+	// ShedRate is shed / (admitted + shed).
+	ShedRate float64
+	P50      time.Duration
+	P95      time.Duration
+	// MeanAcceptLen averages per-request SD accept lengths (0 without SD).
+	MeanAcceptLen float64
+	// MeanUtilisation averages shard utilisation.
+	MeanUtilisation float64
+	Shards          []ShardStats
+	// TrainingSessions and Preemptions summarise the scaler's coordinator
+	// log.
+	TrainingSessions int
+	Preemptions      int
+}
+
+// Stats summarises the cluster's served traffic and shard states.
+func (c *Cluster) Stats() Stats {
+	var st Stats
+	var admitted int64
+	util := c.scaler.utilisations()
+	for _, sh := range c.shards {
+		ss := ShardStats{
+			ID:          sh.id,
+			State:       coordinator.State(sh.state.Load()),
+			Admitted:    int(sh.admitted.Load()),
+			Served:      int(sh.served.Load()),
+			Shed:        int(sh.shed.Load()),
+			Pending:     sh.srv.Pending(),
+			Utilisation: util[sh.id],
+		}
+		admitted += int64(ss.Admitted)
+		st.Served += ss.Served
+		st.Shed += ss.Shed
+		st.MeanUtilisation += ss.Utilisation
+		st.Shards = append(st.Shards, ss)
+	}
+	st.MeanUtilisation /= float64(len(c.shards))
+	if total := admitted + int64(st.Shed); total > 0 {
+		st.ShedRate = float64(st.Shed) / float64(total)
+	}
+	c.statsMu.Lock()
+	st.P50 = time.Duration(c.lats.Percentile(50) * float64(time.Second))
+	st.P95 = time.Duration(c.lats.Percentile(95) * float64(time.Second))
+	if c.acceptN > 0 {
+		st.MeanAcceptLen = c.acceptSum / float64(c.acceptN)
+	}
+	c.statsMu.Unlock()
+	st.TrainingSessions, st.Preemptions = c.scaler.sessionCounts()
+	return st
+}

@@ -29,6 +29,19 @@ type Result struct {
 	Tables []*metrics.Table
 	Series []metrics.Series
 	Notes  []string
+	// Metrics holds the artefact's headline numbers keyed by a stable
+	// name (e.g. "round-robin/p95_ms"); tltbench -json snapshots them
+	// into BENCH_<date>.json so the trajectory of figure values — not
+	// just their cost — is tracked in-tree.
+	Metrics map[string]float64
+}
+
+// Metric records one headline number, allocating the map on first use.
+func (r *Result) Metric(name string, v float64) {
+	if r.Metrics == nil {
+		r.Metrics = map[string]float64{}
+	}
+	r.Metrics[name] = v
 }
 
 // String renders the result for terminal output.

@@ -6,18 +6,28 @@ package metrics
 import (
 	"fmt"
 	"math"
+	"math/rand"
 	"sort"
 	"strings"
 	"time"
 )
 
 // Percentile returns the p-th percentile (0..100) of xs using linear
-// interpolation between closest ranks. It returns 0 for empty input.
+// interpolation between closest ranks. It returns 0 for empty input. NaN
+// samples are ignored (they would otherwise poison the sort order and the
+// interpolation); a slice of only NaNs behaves like an empty one. Cold
+// per-shard serving stats call this with zero or partial samples, so the
+// guards are load-bearing, not defensive.
 func Percentile(xs []float64, p float64) float64 {
-	if len(xs) == 0 {
+	sorted := make([]float64, 0, len(xs))
+	for _, x := range xs {
+		if !math.IsNaN(x) {
+			sorted = append(sorted, x)
+		}
+	}
+	if len(sorted) == 0 {
 		return 0
 	}
-	sorted := append([]float64(nil), xs...)
 	sort.Float64s(sorted)
 	if p <= 0 {
 		return sorted[0]
@@ -148,6 +158,53 @@ func (w *Window) Median() float64 { return Median(w.data) }
 
 // Mean returns the mean of the stored observations (0 when empty).
 func (w *Window) Mean() float64 { return Mean(w.data) }
+
+// Reservoir is a fixed-capacity uniform sample over an unbounded stream
+// (Vitter's algorithm R): the first capacity values fill it, after which
+// each new value replaces a uniformly random slot with probability
+// capacity/seen, keeping the sample uniform over the full history.
+// Long-running latency accumulators (serving, cluster) use it to stay
+// bounded. Not goroutine-safe; callers guard it with their own lock.
+type Reservoir struct {
+	data     []float64
+	capacity int
+	seen     int
+	rng      *rand.Rand
+}
+
+// NewReservoir creates a reservoir with the given capacity (minimum 1)
+// and replacement-stream seed.
+func NewReservoir(capacity int, seed int64) *Reservoir {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Reservoir{
+		data:     make([]float64, 0, capacity),
+		capacity: capacity,
+		rng:      rand.New(rand.NewSource(seed)),
+	}
+}
+
+// Add offers one value to the reservoir.
+func (r *Reservoir) Add(v float64) {
+	r.seen++
+	if len(r.data) < r.capacity {
+		r.data = append(r.data, v)
+		return
+	}
+	if j := r.rng.Intn(r.seen); j < r.capacity {
+		r.data[j] = v
+	}
+}
+
+// Seen returns how many values were ever offered.
+func (r *Reservoir) Seen() int { return r.seen }
+
+// Len returns the stored sample count (≤ capacity).
+func (r *Reservoir) Len() int { return len(r.data) }
+
+// Percentile returns the p-th percentile of the stored sample.
+func (r *Reservoir) Percentile(p float64) float64 { return Percentile(r.data, p) }
 
 // Histogram is a fixed-bin histogram over [min, max).
 type Histogram struct {

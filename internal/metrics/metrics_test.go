@@ -27,6 +27,30 @@ func TestPercentile(t *testing.T) {
 	}
 }
 
+func TestPercentileEmptyAndNaN(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+		p    float64
+		want float64
+	}{
+		{"nil", nil, 50, 0},
+		{"empty", []float64{}, 95, 0},
+		{"all-nan", []float64{nan, nan}, 50, 0},
+		{"nan-ignored-median", []float64{nan, 1, 3, nan}, 50, 2},
+		{"nan-ignored-p0", []float64{5, nan, 2}, 0, 2},
+		{"nan-ignored-p100", []float64{5, nan, 2}, 100, 5},
+		{"single-after-filter", []float64{nan, 7}, 95, 7},
+	}
+	for _, c := range cases {
+		got := Percentile(c.xs, c.p)
+		if math.IsNaN(got) || math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Percentile(%v, %v) = %v, want %v", c.name, c.xs, c.p, got, c.want)
+		}
+	}
+}
+
 func TestPercentileDoesNotMutate(t *testing.T) {
 	xs := []float64{3, 1, 2}
 	Percentile(xs, 50)
@@ -148,6 +172,43 @@ func TestWindowSlidingProperty(t *testing.T) {
 				t.Fatalf("at step %d window contents diverge", i)
 			}
 		}
+	}
+}
+
+func TestReservoir(t *testing.T) {
+	r := NewReservoir(8, 1)
+	for i := 1; i <= 5; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 5 || r.Seen() != 5 {
+		t.Fatalf("partial fill: len=%d seen=%d", r.Len(), r.Seen())
+	}
+	if got := r.Percentile(50); got != 3 {
+		t.Fatalf("median of {1..5} = %v", got)
+	}
+	for i := 6; i <= 1000; i++ {
+		r.Add(float64(i))
+	}
+	if r.Len() != 8 || r.Seen() != 1000 {
+		t.Fatalf("after overflow: len=%d seen=%d", r.Len(), r.Seen())
+	}
+	// The sample stays within the observed range.
+	if lo, hi := r.Percentile(0), r.Percentile(100); lo < 1 || hi > 1000 {
+		t.Fatalf("sample escaped range: [%v, %v]", lo, hi)
+	}
+	// Same seed and stream ⇒ same sample.
+	a, b := NewReservoir(4, 7), NewReservoir(4, 7)
+	for i := 0; i < 200; i++ {
+		a.Add(float64(i))
+		b.Add(float64(i))
+	}
+	for p := 0.0; p <= 100; p += 25 {
+		if a.Percentile(p) != b.Percentile(p) {
+			t.Fatalf("reservoirs diverged at p%v", p)
+		}
+	}
+	if NewReservoir(0, 1).capacity != 1 {
+		t.Fatal("capacity clamp failed")
 	}
 }
 

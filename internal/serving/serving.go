@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"math/rand"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fastrl/internal/draft"
@@ -64,11 +65,11 @@ type job struct {
 	done     chan Response
 }
 
-// maxLatencySamples bounds the latency-sample reservoir: long-running
+// MaxLatencySamples bounds the latency-sample reservoir: long-running
 // servers previously appended one float per request forever, an unbounded
 // memory leak under sustained traffic. 4096 samples keep percentile
 // estimates tight (p95 standard error well under 1%) at a fixed ~32KB.
-const maxLatencySamples = 4096
+const MaxLatencySamples = 4096
 
 // Server is a concurrent SD inference service over a frozen target.
 type Server struct {
@@ -76,15 +77,22 @@ type Server struct {
 	target  *model.LM
 	drafter draft.Drafter
 	queue   chan *job
-	wg      sync.WaitGroup
-	mu      sync.Mutex
-	// lats is a bounded uniform reservoir (Vitter's algorithm R) over all
-	// served latencies; latSeen counts every sample ever offered.
-	lats    []float64
-	latSeen int
-	latRng  *rand.Rand
-	served  int
+	// inflight counts jobs a replica has dequeued but not yet answered;
+	// together with the queue length it is the server's externally visible
+	// load (the probe cluster routing policies weigh shards by).
+	inflight atomic.Int64
+	wg       sync.WaitGroup
+	// stopMu serialises queue sends against Stop closing the queue: Submit
+	// holds the read side across its send (replicas drain the queue without
+	// taking the lock, so a blocked send always completes), Stop takes the
+	// write side before close. Without it a Submit racing Stop could send
+	// on a closed channel.
+	stopMu  sync.RWMutex
 	stopped bool
+	mu      sync.Mutex
+	// lats is a bounded uniform sample over all served latencies.
+	lats   *metrics.Reservoir
+	served int
 }
 
 // New builds a server. drafter may be nil (vanilla decoding).
@@ -103,8 +111,7 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 		target:  target,
 		drafter: drafter,
 		queue:   make(chan *job, cfg.QueueDepth),
-		lats:    make([]float64, 0, maxLatencySamples),
-		latRng:  rand.New(rand.NewSource(0x1a7)),
+		lats:    metrics.NewReservoir(MaxLatencySamples, 0x1a7),
 	}
 	for r := 0; r < cfg.Replicas; r++ {
 		s.wg.Add(1)
@@ -126,6 +133,7 @@ func (s *Server) replica(id int) {
 		return
 	}
 	for j := range s.queue {
+		s.inflight.Add(1)
 		before := eng.Clock.Now()
 		req := rollout.NewRequest(0, j.req.Prompt, j.req.MaxNew, j.req.Prior, s.cfg.AnswerID, s.cfg.EosID)
 		stats := eng.Run([]*rollout.Request{req}, rand.New(rand.NewSource(j.req.Seed)))
@@ -137,22 +145,37 @@ func (s *Server) replica(id int) {
 			AcceptLen:  stats.MeanAcceptLen(),
 		}
 		s.mu.Lock()
-		s.recordLatencyLocked(resp.Latency.Seconds())
+		s.lats.Add(resp.Latency.Seconds())
 		s.served++
 		s.mu.Unlock()
+		s.inflight.Add(-1)
 		j.done <- resp
 	}
 }
 
+// QueueLen returns the number of admitted jobs not yet picked up by a
+// replica.
+func (s *Server) QueueLen() int { return len(s.queue) }
+
+// Inflight returns the number of jobs currently being decoded by replicas.
+func (s *Server) Inflight() int { return int(s.inflight.Load()) }
+
+// Pending returns the total outstanding jobs (queued + inflight), the load
+// signal used by queue-depth-weighted routing.
+func (s *Server) Pending() int { return s.QueueLen() + s.Inflight() }
+
+// Replicas returns the configured replica count (the shard's service
+// parallelism, used to convert queue depth into an expected wait).
+func (s *Server) Replicas() int { return s.cfg.Replicas }
+
 // Submit enqueues a request and returns a channel delivering its response.
 // It fails fast when the context is cancelled or the server is stopped.
 func (s *Server) Submit(ctx context.Context, req Request) (<-chan Response, error) {
-	s.mu.Lock()
+	s.stopMu.RLock()
+	defer s.stopMu.RUnlock()
 	if s.stopped {
-		s.mu.Unlock()
 		return nil, fmt.Errorf("serving: server stopped")
 	}
-	s.mu.Unlock()
 	j := &job{req: req, enqueued: time.Now(), done: make(chan Response, 1)}
 	select {
 	case s.queue <- j:
@@ -178,30 +201,15 @@ func (s *Server) Serve(ctx context.Context, req Request) (Response, error) {
 
 // Stop drains the queue and shuts the replicas down.
 func (s *Server) Stop() {
-	s.mu.Lock()
+	s.stopMu.Lock()
 	if s.stopped {
-		s.mu.Unlock()
+		s.stopMu.Unlock()
 		return
 	}
 	s.stopped = true
-	s.mu.Unlock()
+	s.stopMu.Unlock()
 	close(s.queue)
 	s.wg.Wait()
-}
-
-// recordLatencyLocked adds a latency sample to the bounded reservoir:
-// the first maxLatencySamples fill it, after which each new sample
-// replaces a uniformly random slot with probability cap/seen, keeping the
-// reservoir a uniform sample of the full history.
-func (s *Server) recordLatencyLocked(v float64) {
-	s.latSeen++
-	if len(s.lats) < maxLatencySamples {
-		s.lats = append(s.lats, v)
-		return
-	}
-	if j := s.latRng.Intn(s.latSeen); j < maxLatencySamples {
-		s.lats[j] = v
-	}
 }
 
 // Stats summarises served traffic.
@@ -212,13 +220,13 @@ type Stats struct {
 }
 
 // Stats returns latency percentiles over everything served so far (a
-// bounded uniform reservoir once traffic exceeds maxLatencySamples).
+// bounded uniform reservoir once traffic exceeds MaxLatencySamples).
 func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
 		Served: s.served,
-		P50:    time.Duration(metrics.Percentile(s.lats, 50) * float64(time.Second)),
-		P95:    time.Duration(metrics.Percentile(s.lats, 95) * float64(time.Second)),
+		P50:    time.Duration(s.lats.Percentile(50) * float64(time.Second)),
+		P95:    time.Duration(s.lats.Percentile(95) * float64(time.Second)),
 	}
 }

@@ -193,6 +193,44 @@ func TestGreedyServingDeterministic(t *testing.T) {
 	}
 }
 
+func TestLoadProbes(t *testing.T) {
+	target, e, tk, gen := servingSetup(t)
+	srv, err := New(serverConfig(tk, 2), target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if srv.Pending() != 0 || srv.QueueLen() != 0 || srv.Inflight() != 0 {
+		t.Fatalf("idle server reports load: pending=%d queue=%d inflight=%d",
+			srv.Pending(), srv.QueueLen(), srv.Inflight())
+	}
+	if srv.Replicas() != 2 {
+		t.Fatalf("Replicas = %d, want 2", srv.Replicas())
+	}
+	const n = 8
+	chans := make([]<-chan Response, 0, n)
+	for i := 0; i < n; i++ {
+		task := gen.Pool()[i%len(gen.Pool())]
+		ch, err := srv.Submit(context.Background(), Request{Prompt: task.Prompt, MaxNew: 48, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		chans = append(chans, ch)
+	}
+	// With 8 outstanding jobs and 2 replicas, the probes must see load.
+	if srv.Pending() == 0 {
+		t.Fatal("probes saw no load with 8 outstanding jobs")
+	}
+	for _, ch := range chans {
+		<-ch
+	}
+	// All responses delivered ⇒ the load drains back to zero (inflight is
+	// decremented before the response is sent).
+	if got := srv.Pending(); got != 0 {
+		t.Fatalf("drained server reports pending=%d", got)
+	}
+}
+
 func TestNilDeviceRejected(t *testing.T) {
 	target, e, _, _ := servingSetup(t)
 	if _, err := New(Config{}, target, e); err == nil {

@@ -3,6 +3,7 @@ package workload
 import (
 	"math"
 	"math/rand"
+	"time"
 
 	"fastrl/internal/metrics"
 )
@@ -92,6 +93,119 @@ func UnderUtilizedFraction(trace []TraceStep) float64 {
 		}
 	}
 	return s / float64(len(trace))
+}
+
+// Arrival is one request arrival in a replayable serving trace: when it
+// arrives, which task-pool prompt it asks for, its length draw, and the
+// seed of its private sampling stream. Everything a cluster replay needs
+// to be reproducible lives in the trace, not in the replayer.
+type Arrival struct {
+	// At is the arrival offset from trace start.
+	At time.Duration
+	// Task indexes the replayer's task pool.
+	Task int
+	// TargetLen is the response-length prior draw for this request.
+	TargetLen int
+	// Seed drives the request's sampling stream.
+	Seed int64
+}
+
+// ArrivalConfig parameterises GenerateArrivals.
+type ArrivalConfig struct {
+	// Duration is the trace span.
+	Duration time.Duration
+	// RatePerSec is the baseline mean arrival rate.
+	RatePerSec float64
+	// Tasks is the task-pool size arrivals index into.
+	Tasks int
+	// Lengths draws each arrival's target response length.
+	Lengths LengthSampler
+	Seed    int64
+	// Shape optionally modulates the instantaneous rate: it maps trace
+	// progress in [0,1] to a non-negative rate multiplier (nil = constant
+	// rate). Burst/lull shaping for the elastic-scaler experiment plugs in
+	// here.
+	Shape func(frac float64) float64
+}
+
+// BurstShape returns a Shape with baseline rate 1x and a mult-x burst over
+// the [start, end) fraction of the trace. mult < 1 models a lull instead.
+func BurstShape(start, end, mult float64) func(float64) float64 {
+	return func(frac float64) float64 {
+		if frac >= start && frac < end {
+			return mult
+		}
+		return 1
+	}
+}
+
+// GenerateArrivals synthesises a deterministic non-homogeneous Poisson
+// arrival trace (thinning method): candidates are drawn at the shape's
+// peak rate and kept with probability rate(t)/peak. Same config (including
+// seed) ⇒ identical trace; arrivals come back sorted by At.
+func GenerateArrivals(cfg ArrivalConfig) []Arrival {
+	if cfg.Duration <= 0 || cfg.RatePerSec <= 0 {
+		return nil
+	}
+	if cfg.Tasks < 1 {
+		cfg.Tasks = 1
+	}
+	shape := cfg.Shape
+	if shape == nil {
+		shape = func(float64) float64 { return 1 }
+	}
+	// The peak multiplier is found on a fixed grid: exact for piecewise
+	// shapes like BurstShape, a close bound for smooth ones.
+	peak := 0.0
+	const grid = 1024
+	for i := 0; i <= grid; i++ {
+		if m := shape(float64(i) / grid); m > peak {
+			peak = m
+		}
+	}
+	if peak <= 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	span := cfg.Duration.Seconds()
+	var out []Arrival
+	for t := rng.ExpFloat64() / (cfg.RatePerSec * peak); t < span; t += rng.ExpFloat64() / (cfg.RatePerSec * peak) {
+		keep := rng.Float64() < shape(t/span)/peak
+		// Every candidate consumes a fixed number of draws, kept or thinned,
+		// so a shape tweak shifts which candidates survive without
+		// re-rolling the attributes of the ones that do.
+		task := rng.Intn(cfg.Tasks)
+		length := cfg.Lengths.Sample(rng)
+		seed := int64(rng.Uint64())
+		if !keep {
+			continue
+		}
+		out = append(out, Arrival{
+			At:        time.Duration(t * float64(time.Second)),
+			Task:      task,
+			TargetLen: length,
+			Seed:      seed,
+		})
+	}
+	return out
+}
+
+// ScaleArrivalRate returns a copy of the trace with the arrival rate
+// multiplied by factor (inter-arrival times compressed by it), preserving
+// every arrival's task, length, and seed. factor > 1 turns a trace into a
+// heavier offered load, factor < 1 into a lull, without regenerating (or
+// reseeding) the workload — so a load sweep replays the identical request
+// population at different pressures.
+func ScaleArrivalRate(arrivals []Arrival, factor float64) []Arrival {
+	if factor <= 0 {
+		return nil
+	}
+	out := make([]Arrival, len(arrivals))
+	for i, a := range arrivals {
+		out[i] = a
+		out[i].At = time.Duration(float64(a.At) / factor)
+	}
+	return out
 }
 
 func maxOf(xs []int) int {
