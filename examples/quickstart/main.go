@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"fastrl/internal/core"
+	"fastrl/internal/model"
 )
 
 func main() {
@@ -43,4 +44,26 @@ func main() {
 	fmt.Println("\nthe drafter was trained opportunistically on idle GPUs during the")
 	fmt.Println("long-tail phase of each rollout - no extra cost to the RL workflow.")
 	fmt.Printf("final drafter version: %d (each version is one spot-training batch set)\n", sys.Eagle.Version)
+
+	// Inspect the trained policy with the batched scoring API: one
+	// ProbsBatch pass over several prompt contexts (engine-owned scratch,
+	// no per-row allocation churn) emits rows bit-identical to sequential
+	// Probs calls — the same entry the speculation engine verifies trees
+	// through.
+	tasks := sys.Tasks.SampleSeeded(4, 1)
+	ctxs := make([]model.Context, len(tasks))
+	rows := make([][]float32, len(tasks))
+	vocab := sys.Tk.VocabSize()
+	arena := make([]float32, len(tasks)*vocab)
+	for i, task := range tasks {
+		ctxs[i] = model.Context{Tokens: task.Prompt, PromptLen: len(task.Prompt)}
+		rows[i] = arena[i*vocab : (i+1)*vocab]
+	}
+	sys.Target.ProbsBatch(ctxs, nil, 0.9, rows, model.NewScratch())
+	fmt.Println("\nbatched next-token scoring at each prompt end (model.ProbsBatch):")
+	for i, row := range rows {
+		top := model.TopKInto(row, 1, nil)
+		fmt.Printf("  prompt %d: argmax token %q (p=%.3f)\n",
+			i, sys.Tk.Token(top[0]), row[top[0]])
+	}
 }

@@ -2,16 +2,26 @@ package cluster
 
 import (
 	"testing"
+
+	"fastrl/internal/prefixcache"
 )
 
 // TestRouterZeroAlloc pins the router's steady-state hot path — live-set
 // snapshot plus policy pick — at zero heap allocations per routed request
 // for every shipped policy, matching the repo's perf methodology
-// (ROADMAP: steady-state hot paths stay at 0 allocs/op).
+// (ROADMAP: steady-state hot paths stay at 0 allocs/op). The cache-aware
+// policy is pinned both cold (least-loaded fallback) and with a warm
+// cache (MatchLen probes on every live shard).
 func TestRouterZeroAlloc(t *testing.T) {
 	target, e, tk, gen := clusterSetup(t)
 	prompt := gen.Pool()[0].Prompt
-	policies := []Policy{NewRoundRobin(), NewLeastLoaded(), NewPrefixAffinity(8)}
+	warm := NewShardCaches(4, prefixcache.Config{})
+	warm[2].Insert(prompt, len(prompt), nil)
+	policies := []Policy{
+		NewRoundRobin(), NewLeastLoaded(), NewPrefixAffinity(8),
+		NewCacheAware(NewShardCaches(4, prefixcache.Config{})), // cold
+		NewCacheAware(warm),
+	}
 	for _, p := range policies {
 		cfg := clusterConfig(tk, 4, 1)
 		cfg.Policy = p
@@ -33,7 +43,10 @@ func TestRouterZeroAlloc(t *testing.T) {
 func BenchmarkRouterPick(b *testing.B) {
 	target, e, tk, gen := clusterSetup(b)
 	prompt := gen.Pool()[0].Prompt
-	for _, p := range []Policy{NewRoundRobin(), NewLeastLoaded(), NewPrefixAffinity(8)} {
+	for _, p := range []Policy{
+		NewRoundRobin(), NewLeastLoaded(), NewPrefixAffinity(8),
+		NewCacheAware(NewShardCaches(8, prefixcache.Config{})),
+	} {
 		b.Run(p.Name(), func(b *testing.B) {
 			cfg := clusterConfig(tk, 8, 1)
 			cfg.Policy = p

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"fastrl/internal/prefixcache"
+)
+
+// TestCacheAwareFallsBackCold pins the cold-cluster behaviour: with empty
+// caches the policy must behave exactly like least-loaded.
+func TestCacheAwareFallsBackCold(t *testing.T) {
+	caches := NewShardCaches(3, prefixcache.Config{})
+	p := NewCacheAware(caches)
+	live := []int{0, 1, 2}
+	loads := []int{5, 1, 3}
+	if got := p.Pick([]int{1, 2, 3}, live, loads); got != 1 {
+		t.Fatalf("cold pick = %d, want least-loaded 1", got)
+	}
+}
+
+// TestCacheAwarePrefersLongestMatch seeds different shard caches with
+// different depths of the query prompt and checks the policy follows the
+// longest match even against load.
+func TestCacheAwarePrefersLongestMatch(t *testing.T) {
+	caches := NewShardCaches(3, prefixcache.Config{})
+	prompt := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	caches[0].Insert(prompt[:3], 3, nil)
+	caches[2].Insert(prompt[:6], 6, nil)
+	p := NewCacheAware(caches)
+	live := []int{0, 1, 2}
+	loads := []int{0, 0, 9} // shard 2 is busiest but has the deepest match
+	if got := p.Pick(prompt, live, loads); got != 2 {
+		t.Fatalf("pick = %d, want deepest-match shard 2", got)
+	}
+	// Equal matches break toward the lower load.
+	caches[0].Insert(prompt[:6], 6, nil)
+	if got := p.Pick(prompt, live, []int{4, 0, 2}); got != 2 {
+		t.Fatalf("tie pick = %d, want lower-loaded shard 2", got)
+	}
+}
+
+// TestCacheAwareLoadSlack pins the hotspot guard: once the best-matching
+// shard's backlog exceeds the least-loaded one by more than LoadSlack,
+// the pick reverts to least-loaded.
+func TestCacheAwareLoadSlack(t *testing.T) {
+	caches := NewShardCaches(2, prefixcache.Config{})
+	prompt := []int{4, 5, 6, 7}
+	caches[0].Insert(prompt, len(prompt), nil)
+	p := NewCacheAware(caches)
+	p.LoadSlack = 3
+	live := []int{0, 1}
+	if got := p.Pick(prompt, live, []int{3, 0}); got != 0 {
+		t.Fatalf("pick = %d, want locality shard 0 within slack", got)
+	}
+	if got := p.Pick(prompt, live, []int{4, 0}); got != 1 {
+		t.Fatalf("pick = %d, want least-loaded 1 beyond slack", got)
+	}
+}
+
+// TestCacheAwareRespectsLiveSet checks the policy only scores live shards
+// (a parked shard's warm cache must not attract traffic).
+func TestCacheAwareRespectsLiveSet(t *testing.T) {
+	caches := NewShardCaches(3, prefixcache.Config{})
+	prompt := []int{9, 8, 7, 6}
+	caches[1].Insert(prompt, len(prompt), nil)
+	p := NewCacheAware(caches)
+	// Shard 1 (the warm one) is not live.
+	live := []int{0, 2}
+	loads := []int{2, 1}
+	got := p.Pick(prompt, live, loads)
+	if live[got] == 1 {
+		t.Fatal("picked a shard outside the live set")
+	}
+	if got != 1 { // index 1 in live = shard 2, the least loaded
+		t.Fatalf("pick = %d, want least-loaded fallback index 1", got)
+	}
+}
+
+// TestClusterCacheWiring runs traffic through a cache-aware cluster and
+// checks per-shard caches receive inserts, stats surface the probes, and
+// repeated prompts concentrate on the shard that served them first.
+func TestClusterCacheWiring(t *testing.T) {
+	target, e, tk, gen := clusterSetup(t)
+	cfg := clusterConfig(tk, 3, 1)
+	caches := NewShardCaches(cfg.Shards, prefixcache.Config{})
+	cfg.Caches = caches
+	cfg.Policy = NewCacheAware(caches)
+	cl, err := New(cfg, target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	task := gen.Pool()[3]
+	var shards []int
+	for i := 0; i < 4; i++ {
+		resp, err := cl.Serve(context.Background(), Request{Prompt: task.Prompt, MaxNew: 24, Seed: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		shards = append(shards, resp.Shard)
+	}
+	// After the first completion the prompt is resident on the serving
+	// shard; every later identical prompt must be routed back to it.
+	for i := 1; i < len(shards); i++ {
+		if shards[i] != shards[0] {
+			t.Fatalf("request %d routed to shard %d, want affinity shard %d (routes %v)",
+				i, shards[i], shards[0], shards)
+		}
+	}
+	st := cl.Stats()
+	if st.CacheSavedPositions == 0 {
+		t.Fatal("no prefill positions saved cluster-wide")
+	}
+	var withBytes int
+	for _, ss := range st.Shards {
+		if ss.CacheBytes > 0 {
+			withBytes++
+		}
+	}
+	if withBytes == 0 {
+		t.Fatal("no shard reports resident cache bytes")
+	}
+}
+
+// TestClusterCacheMismatch pins the Caches/Shards validation.
+func TestClusterCacheMismatch(t *testing.T) {
+	target, e, tk, _ := clusterSetup(t)
+	cfg := clusterConfig(tk, 3, 1)
+	cfg.Caches = NewShardCaches(2, prefixcache.Config{})
+	if _, err := New(cfg, target, e); err == nil {
+		t.Fatal("expected cache/shard count mismatch error")
+	}
+}
+
+// TestCacheAwareDeterministic replays the same sequential request stream
+// through two identically-configured cache-aware clusters and requires
+// identical routing and identical response tokens — the seed-determinism
+// property the bench experiment relies on.
+func TestCacheAwareDeterministic(t *testing.T) {
+	target, e, tk, gen := clusterSetup(t)
+
+	run := func() ([]int, [][]int) {
+		cfg := clusterConfig(tk, 3, 1)
+		caches := NewShardCaches(cfg.Shards, prefixcache.Config{})
+		cfg.Caches = caches
+		cfg.Policy = NewCacheAware(caches)
+		cl, err := New(cfg, target, e.Clone())
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer cl.Stop()
+		var shards []int
+		var tokens [][]int
+		for i := 0; i < 12; i++ {
+			task := gen.Pool()[i%4]
+			resp, err := cl.Serve(context.Background(), Request{
+				Prompt: task.Prompt, MaxNew: 16, Seed: int64(i * 7),
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			shards = append(shards, resp.Shard)
+			tokens = append(tokens, resp.Tokens)
+		}
+		return shards, tokens
+	}
+
+	s1, t1 := run()
+	s2, t2 := run()
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatalf("routing diverged: %v vs %v", s1, s2)
+	}
+	if !reflect.DeepEqual(t1, t2) {
+		t.Fatal("response tokens diverged under identical seeds")
+	}
+}

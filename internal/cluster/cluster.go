@@ -21,6 +21,7 @@ import (
 	"fastrl/internal/draft"
 	"fastrl/internal/metrics"
 	"fastrl/internal/model"
+	"fastrl/internal/prefixcache"
 	"fastrl/internal/serving"
 	"fastrl/internal/workload"
 )
@@ -57,6 +58,22 @@ type Config struct {
 	Admission AdmissionConfig
 	// Scaler drives elastic SERVING/IDLE/TRAINING transitions.
 	Scaler ScalerConfig
+	// Caches, when non-nil, holds one prefix cache per shard (indexed by
+	// shard ID, length Shards): shard i's replicas share Caches[i] for
+	// prefill reuse and drafter warm-start. Pass the same slice to
+	// NewCacheAware to make routing cache-aware. NewShardCaches builds a
+	// uniformly-budgeted set.
+	Caches []*prefixcache.Cache
+}
+
+// NewShardCaches builds n independent prefix caches with a shared config,
+// ready to pass to Config.Caches and NewCacheAware.
+func NewShardCaches(n int, cfg prefixcache.Config) []*prefixcache.Cache {
+	out := make([]*prefixcache.Cache, n)
+	for i := range out {
+		out[i] = prefixcache.New(cfg)
+	}
+	return out
 }
 
 // shard is one serving shard plus its admission and accounting state.
@@ -128,6 +145,9 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 	if cfg.Shard.QueueDepth < cfg.Admission.MaxPending {
 		cfg.Shard.QueueDepth = cfg.Admission.MaxPending
 	}
+	if cfg.Caches != nil && len(cfg.Caches) != cfg.Shards {
+		return nil, fmt.Errorf("cluster: %d caches for %d shards", len(cfg.Caches), cfg.Shards)
+	}
 	c := &Cluster{
 		cfg:     cfg,
 		liveBuf: make([]int, 0, cfg.Shards),
@@ -135,7 +155,11 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 		lats:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc1),
 	}
 	for i := 0; i < cfg.Shards; i++ {
-		srv, err := serving.New(cfg.Shard, target, drafter)
+		shardCfg := cfg.Shard
+		if cfg.Caches != nil {
+			shardCfg.Cache = cfg.Caches[i]
+		}
+		srv, err := serving.New(shardCfg, target, drafter)
 		if err != nil {
 			for _, sh := range c.shards {
 				sh.srv.Stop()
@@ -290,6 +314,10 @@ type ShardStats struct {
 	// Utilisation is the fraction of scaler-observed time spent SERVING
 	// (0 before the first two scaler observations).
 	Utilisation float64
+	// CacheHitRate / CacheBytes are the shard's prefix-cache probes (zero
+	// without per-shard caches).
+	CacheHitRate float64
+	CacheBytes   int64
 }
 
 // Stats is a cluster-wide snapshot.
@@ -305,6 +333,9 @@ type Stats struct {
 	// MeanUtilisation averages shard utilisation.
 	MeanUtilisation float64
 	Shards          []ShardStats
+	// CacheSavedPositions sums prefill positions skipped via the per-shard
+	// prefix caches (0 without caches).
+	CacheSavedPositions int64
 	// TrainingSessions and Preemptions summarise the scaler's coordinator
 	// log.
 	TrainingSessions int
@@ -318,18 +349,23 @@ func (c *Cluster) Stats() Stats {
 	util := c.scaler.utilisations()
 	for _, sh := range c.shards {
 		ss := ShardStats{
-			ID:          sh.id,
-			State:       coordinator.State(sh.state.Load()),
-			Admitted:    int(sh.admitted.Load()),
-			Served:      int(sh.served.Load()),
-			Shed:        int(sh.shed.Load()),
-			Pending:     sh.srv.Pending(),
-			Utilisation: util[sh.id],
+			ID:           sh.id,
+			State:        coordinator.State(sh.state.Load()),
+			Admitted:     int(sh.admitted.Load()),
+			Served:       int(sh.served.Load()),
+			Shed:         int(sh.shed.Load()),
+			Pending:      sh.srv.Pending(),
+			Utilisation:  util[sh.id],
+			CacheHitRate: sh.srv.CacheHitRate(),
+			CacheBytes:   sh.srv.CacheResidentBytes(),
 		}
 		admitted += int64(ss.Admitted)
 		st.Served += ss.Served
 		st.Shed += ss.Shed
 		st.MeanUtilisation += ss.Utilisation
+		if cache := sh.srv.Cache(); cache != nil {
+			st.CacheSavedPositions += cache.Stats().SavedPositions
+		}
 		st.Shards = append(st.Shards, ss)
 	}
 	st.MeanUtilisation /= float64(len(c.shards))

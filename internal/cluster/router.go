@@ -1,6 +1,10 @@
 package cluster
 
-import "sync/atomic"
+import (
+	"sync/atomic"
+
+	"fastrl/internal/prefixcache"
+)
 
 // Policy picks a shard for a request out of the live serving set. Pick is
 // the router hot path: implementations must not allocate and must be safe
@@ -100,6 +104,62 @@ func hashPrefix(prompt []int, n int) uint64 {
 	h *= 0xff51afd7ed558ccd
 	h ^= h >> 33
 	return h
+}
+
+// CacheAware routes each request to the shard whose prefix cache already
+// covers the longest prefix of its prompt — the measurement-driven
+// successor to PrefixAffinity: instead of hashing a fixed-length prefix
+// blindly, it probes every live shard's cache (MatchLen, allocation-free)
+// and scores by expected matched-prefix length, i.e. by prefill work the
+// shard would actually skip. Ties break toward the lower-loaded shard, and
+// when no shard has any of the prompt cached the policy degrades to
+// least-loaded, so a cold cluster behaves exactly like NewLeastLoaded and
+// the first completion seeds the affinity that later picks exploit.
+type CacheAware struct {
+	caches []*prefixcache.Cache
+	ll     LeastLoaded
+	// LoadSlack bounds how much extra backlog the best-matching shard may
+	// carry over the least-loaded live shard before the pick reverts to
+	// least-loaded: prefix locality is worth a bounded queue, not a
+	// hotspot. Default 16 outstanding requests.
+	LoadSlack int
+}
+
+// NewCacheAware builds the policy over per-shard caches, indexed by shard
+// ID (caches[id] is shard id's cache; it must cover every shard the
+// cluster can route to). The caches are typically the same instances
+// passed to cluster Config.Caches.
+func NewCacheAware(caches []*prefixcache.Cache) *CacheAware {
+	return &CacheAware{caches: caches, LoadSlack: 16}
+}
+
+// Name implements Policy.
+func (p *CacheAware) Name() string { return "cache-aware" }
+
+// Pick implements Policy.
+func (p *CacheAware) Pick(prompt []int, live []int, loads []int) int {
+	best, bestMatch := -1, 0
+	minLoad := loads[0]
+	for _, l := range loads[1:] {
+		if l < minLoad {
+			minLoad = l
+		}
+	}
+	for i, id := range live {
+		m := 0
+		if id < len(p.caches) && p.caches[id] != nil {
+			m = p.caches[id].MatchLen(prompt)
+		}
+		if m > bestMatch || (m == bestMatch && best >= 0 && m > 0 && loads[i] < loads[best]) {
+			best, bestMatch = i, m
+		}
+	}
+	if best < 0 || loads[best]-minLoad > p.LoadSlack {
+		// Cold prompt, or the locality shard is already a hotspot: balance
+		// load instead (the miss re-seeds the prefix on the new shard).
+		return p.ll.Pick(prompt, live, loads)
+	}
+	return best
 }
 
 // rendezvousWeight mixes a prefix hash with a shard ID (splitmix64

@@ -4,6 +4,7 @@ import (
 	"sync"
 
 	"fastrl/internal/gpu"
+	"fastrl/internal/metrics"
 	"fastrl/internal/model"
 )
 
@@ -22,8 +23,9 @@ type NGram struct {
 	// Hit confidence: probability mass placed on a retrieved continuation.
 	Confidence float32
 	table      map[uint64]int // context hash -> most recent next token
-	hits       int
-	misses     int
+	// lookups is the shared bounded hit/miss accounting (metrics.Ratio),
+	// the same helper the prefix cache and serving probes use.
+	lookups metrics.Ratio
 }
 
 // NewNGram creates a drafter matching contexts of length MinOrder..MaxOrder.
@@ -78,7 +80,7 @@ func (g *NGram) Probs(tokens []int, promptLen int, hidden *model.HiddenState, te
 		}
 		h := hashSlice(tokens[len(tokens)-k:], k)
 		if next, ok := g.table[h]; ok {
-			g.hits++
+			g.lookups.Observe(true)
 			rest := (1 - g.Confidence) / float32(g.vocab)
 			for v := range dst {
 				dst[v] = rest
@@ -87,29 +89,21 @@ func (g *NGram) Probs(tokens []int, promptLen int, hidden *model.HiddenState, te
 			return
 		}
 	}
-	g.misses++
+	g.lookups.Observe(false)
 	for v := range dst {
 		dst[v] = uniform
 	}
 }
 
 // HitRate reports the fraction of lookups that matched.
-func (g *NGram) HitRate() float64 {
-	g.mu.RLock()
-	defer g.mu.RUnlock()
-	total := g.hits + g.misses
-	if total == 0 {
-		return 0
-	}
-	return float64(g.hits) / float64(total)
-}
+func (g *NGram) HitRate() float64 { return g.lookups.Rate() }
 
 // Reset clears the retrieval index (e.g. between prompt groups).
 func (g *NGram) Reset() {
 	g.mu.Lock()
 	defer g.mu.Unlock()
 	g.table = make(map[uint64]int)
-	g.hits, g.misses = 0, 0
+	g.lookups.Reset()
 }
 
 // Size returns the number of indexed n-grams.

@@ -1,0 +1,53 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestCacheExperimentAcceptance pins the -exp cache figure's headline
+// properties: cache-aware routing saves at least 30% of prefill positions
+// on the templated-prompt trace, beats (or at worst ties) round-robin,
+// and the savings/hit-rate outputs are deterministic under fixed seeds.
+func TestCacheExperimentAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment replay")
+	}
+	run := func() map[string]float64 {
+		r, err := Run("cache", Options{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics
+	}
+	m := run()
+
+	saved := m["cache-aware/prefill_saved_frac"]
+	if saved < 0.30 {
+		t.Fatalf("cache-aware saved %.1f%% of prefill positions, want >= 30%%", 100*saved)
+	}
+	rr := m["round-robin/prefill_saved_frac"]
+	if saved < rr {
+		t.Fatalf("cache-aware saved %.3f < round-robin %.3f", saved, rr)
+	}
+	if m["cache-aware/hit_rate"] <= 0 {
+		t.Fatal("cache-aware hit rate not positive")
+	}
+	if m["warmstart/ngram_size"] <= 0 {
+		t.Fatal("warm-start produced an empty drafter")
+	}
+
+	// Determinism: replaying the identical trace reproduces the
+	// seed-deterministic metrics exactly (latency percentiles excluded —
+	// they carry wall-clock scheduler noise, as documented in the notes).
+	m2 := run()
+	for _, key := range []string{
+		"round-robin/prefill_saved_frac", "round-robin/hit_rate", "round-robin/saved_positions",
+		"prefix-affinity/prefill_saved_frac", "prefix-affinity/hit_rate",
+		"cache-aware/prefill_saved_frac", "cache-aware/hit_rate", "cache-aware/saved_positions",
+		"warmstart/replayed_pairs", "warmstart/ngram_size",
+	} {
+		if m[key] != m2[key] {
+			t.Errorf("%s diverged across identical replays: %v vs %v", key, m[key], m2[key])
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"fastrl/internal/gpu"
 	"fastrl/internal/model"
+	"fastrl/internal/prefixcache"
 	"fastrl/internal/specdec"
 )
 
@@ -83,6 +84,22 @@ func PerfSnapshot(quick bool) []PerfEntry {
 		entries = append(entries, mk("model/probs-batch-32", func(n int) {
 			for i := 0; i < n; i++ {
 				b.target.ProbsBatch(ctxs, nil, 0.9, rows, sc)
+			}
+		}))
+	}
+	{
+		// Prefix-cache lookup: the routing/prefill hot path, pinned at 0
+		// allocs/op like the other steady-state entries.
+		cache := prefixcache.New(prefixcache.Config{})
+		rng := rand.New(rand.NewSource(5))
+		for i := 0; i < 32; i++ {
+			seq := append(append([]int(nil), prompt...), rng.Intn(64), rng.Intn(64))
+			cache.Insert(seq, len(prompt), nil)
+		}
+		entries = append(entries, mk("prefixcache/lookup", func(n int) {
+			for i := 0; i < n; i++ {
+				node, _ := cache.Lookup(prompt)
+				node.Release()
 			}
 		}))
 	}

@@ -1,0 +1,60 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	var c Counter
+	if c.Load() != 0 {
+		t.Fatalf("zero Counter loads %d", c.Load())
+	}
+	c.Inc()
+	c.Add(4)
+	c.Add(-2)
+	if c.Load() != 3 {
+		t.Fatalf("Counter = %d, want 3", c.Load())
+	}
+}
+
+func TestRatio(t *testing.T) {
+	var r Ratio
+	if r.Rate() != 0 || r.Total() != 0 {
+		t.Fatal("zero Ratio must report 0 before observations")
+	}
+	r.Observe(true)
+	r.Observe(true)
+	r.Observe(false)
+	r.Observe(true)
+	if r.Hits() != 3 || r.Total() != 4 {
+		t.Fatalf("Ratio = %d/%d, want 3/4", r.Hits(), r.Total())
+	}
+	if got := r.Rate(); got != 0.75 {
+		t.Fatalf("Rate = %v, want 0.75", got)
+	}
+}
+
+// TestRatioConcurrent exercises the concurrency contract: hits never
+// exceed total and every observation is counted exactly once.
+func TestRatioConcurrent(t *testing.T) {
+	var r Ratio
+	const workers, per = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Observe(i%2 == 0)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if r.Total() != workers*per {
+		t.Fatalf("total = %d, want %d", r.Total(), workers*per)
+	}
+	if r.Hits() != workers*per/2 {
+		t.Fatalf("hits = %d, want %d", r.Hits(), workers*per/2)
+	}
+}

@@ -1,0 +1,255 @@
+package prefixcache
+
+import (
+	"reflect"
+	"testing"
+
+	"fastrl/internal/model"
+)
+
+func seq(toks ...int) []int { return toks }
+
+func TestLookupEmptyCache(t *testing.T) {
+	c := New(Config{})
+	n, m := c.Lookup(seq(1, 2, 3))
+	if n != nil || m != 0 {
+		t.Fatalf("Lookup on empty cache = (%v, %d)", n, m)
+	}
+	if c.MatchLen(seq(1, 2, 3)) != 0 {
+		t.Fatal("MatchLen on empty cache != 0")
+	}
+	st := c.Stats()
+	if st.Lookups != 1 || st.Hits != 0 || st.HitRate != 0 {
+		t.Fatalf("stats after miss: %+v", st)
+	}
+}
+
+func TestInsertLookupRoundTrip(t *testing.T) {
+	c := New(Config{})
+	tokens := seq(5, 6, 7, 8, 9, 10)
+	c.Insert(tokens, 4, nil)
+
+	// Full-sequence lookup matches everything.
+	n, m := c.Lookup(tokens)
+	if n == nil || m != len(tokens) {
+		t.Fatalf("full lookup matched %d, want %d", m, len(tokens))
+	}
+	n.Release()
+
+	// The prompt boundary is a node boundary: a prompt-only lookup
+	// matches exactly the prompt.
+	n, m = c.Lookup(seq(5, 6, 7, 8))
+	if n == nil || m != 4 {
+		t.Fatalf("prompt lookup matched %d, want 4", m)
+	}
+	if n.Depth() != 4 {
+		t.Fatalf("prompt node depth %d, want 4", n.Depth())
+	}
+	n.Release()
+
+	// A diverging continuation matches only the shared prefix boundary.
+	n, m = c.Lookup(seq(5, 6, 7, 8, 99))
+	if n == nil || m != 4 {
+		t.Fatalf("diverging lookup matched %d, want 4", m)
+	}
+	n.Release()
+
+	// A query diverging inside an edge matches the boundary below it.
+	if got := c.MatchLen(seq(5, 6, 99)); got != 0 {
+		t.Fatalf("mid-edge divergence matched %d, want 0", got)
+	}
+}
+
+func TestEdgeSplitPreservesContent(t *testing.T) {
+	c := New(Config{})
+	c.Insert(seq(1, 2, 3, 4, 5), 0, nil)
+	// Insert a sequence diverging mid-edge: forces a split at depth 3.
+	c.Insert(seq(1, 2, 3, 9, 9), 0, nil)
+
+	for _, tc := range []struct {
+		query []int
+		want  int
+	}{
+		{seq(1, 2, 3, 4, 5), 5},
+		{seq(1, 2, 3, 9, 9), 5},
+		{seq(1, 2, 3), 3},
+		{seq(1, 2), 0}, // depth 2 is inside a compressed edge
+	} {
+		if got := c.MatchLen(tc.query); got != tc.want {
+			t.Errorf("MatchLen(%v) = %d, want %d", tc.query, got, tc.want)
+		}
+	}
+}
+
+func TestLookupReturnsTruePrefix(t *testing.T) {
+	c := New(Config{})
+	c.Insert(seq(1, 2, 3, 4), 2, nil)
+	c.Insert(seq(1, 2, 5, 6), 2, nil)
+	query := seq(1, 2, 3, 4, 7, 8)
+	n, m := c.Lookup(query)
+	if n == nil {
+		t.Fatal("expected a match")
+	}
+	defer n.Release()
+	got := n.AppendTokens(nil)
+	if !reflect.DeepEqual(got, query[:m]) {
+		t.Fatalf("node tokens %v != query prefix %v", got, query[:m])
+	}
+}
+
+func TestHiddenAttachment(t *testing.T) {
+	c := New(Config{})
+	h := &model.HiddenState{Sketch: []float32{1, 2, 3}, TopTokens: []int{7, 8}}
+	bn := c.Insert(seq(1, 2, 3, 4, 5), 3, h)
+	if bn == nil || bn.Depth() != 3 {
+		t.Fatalf("boundary node = %v", bn)
+	}
+	// Mutating the caller's copy must not leak into the cache.
+	h.Sketch[0] = 42
+	n, m := c.Lookup(seq(1, 2, 3))
+	if m != 3 || n.Hidden() == nil {
+		t.Fatalf("prompt boundary lookup: matched %d, hidden %v", m, n.Hidden())
+	}
+	if n.Hidden().Sketch[0] != 1 {
+		t.Fatal("cache aliased caller-owned hidden state")
+	}
+	n.Release()
+
+	// Re-attaching reuses node storage and replaces the state.
+	c.Insert(seq(1, 2, 3, 4, 5), 3, &model.HiddenState{Sketch: []float32{9}})
+	n, _ = c.Lookup(seq(1, 2, 3))
+	if got := n.Hidden().Sketch; len(got) != 1 || got[0] != 9 {
+		t.Fatalf("re-attached hidden = %v", got)
+	}
+	n.Release()
+}
+
+func TestContinuationCountsAndWarmStart(t *testing.T) {
+	c := New(Config{})
+	// Same prompt, two completions; continuation 9 is observed twice, 8
+	// once, at the prompt boundary.
+	c.Insert(seq(1, 2, 9, 5), 2, nil)
+	c.Insert(seq(1, 2, 9, 6), 2, nil)
+	c.Insert(seq(1, 2, 8, 7), 2, nil)
+
+	var got [][2]int // (promptLen, continuation)
+	obs := observerFunc(func(tokens []int, promptLen int) {
+		got = append(got, [2]int{promptLen, tokens[len(tokens)-1]})
+	})
+	replayed := c.WarmStart(obs)
+	if replayed != len(got) || replayed == 0 {
+		t.Fatalf("replayed %d pairs, callback saw %d", replayed, len(got))
+	}
+	// The boundary node (depth 2) must replay 8 before 9 (least-frequent
+	// first, so the most frequent continuation wins in a most-recent-wins
+	// index).
+	var boundaryOrder []int
+	for _, g := range got {
+		if g[0] == 2 {
+			boundaryOrder = append(boundaryOrder, g[1])
+		}
+	}
+	if !reflect.DeepEqual(boundaryOrder, []int{8, 9}) {
+		t.Fatalf("boundary replay order %v, want [8 9]", boundaryOrder)
+	}
+
+	// Determinism: a second replay produces the identical sequence.
+	var got2 [][2]int
+	c.WarmStart(observerFunc(func(tokens []int, promptLen int) {
+		got2 = append(got2, [2]int{promptLen, tokens[len(tokens)-1]})
+	}))
+	if !reflect.DeepEqual(got, got2) {
+		t.Fatal("WarmStart replay is not deterministic")
+	}
+}
+
+type observerFunc func(tokens []int, promptLen int)
+
+func (f observerFunc) Observe(tokens []int, promptLen int) { f(tokens, promptLen) }
+
+func TestEvictionRespectsBudget(t *testing.T) {
+	c := New(Config{BudgetBytes: 2048})
+	for i := 0; i < 200; i++ {
+		c.Insert(seq(i, i+1, i+2, i+3), 2, nil)
+	}
+	st := c.Stats()
+	if st.ResidentBytes > st.BudgetBytes {
+		t.Fatalf("resident %d over budget %d with nothing pinned", st.ResidentBytes, st.BudgetBytes)
+	}
+	if st.Evictions == 0 {
+		t.Fatal("expected evictions under a tight budget")
+	}
+	if st.Nodes == 0 {
+		t.Fatal("eviction emptied the cache entirely")
+	}
+}
+
+func TestEvictionNeverFreesRetained(t *testing.T) {
+	c := New(Config{BudgetBytes: 1024})
+	pinned := seq(1000, 1001, 1002, 1003)
+	c.Insert(pinned, len(pinned), nil)
+	n, m := c.Lookup(pinned)
+	if n == nil || m != len(pinned) {
+		t.Fatalf("pinned lookup matched %d", m)
+	}
+	// Flood the cache; the pinned path must survive arbitrary eviction.
+	for i := 0; i < 500; i++ {
+		c.Insert(seq(i, i+1, i+2, i+3, i+4), 2, nil)
+	}
+	if got := c.MatchLen(pinned); got != len(pinned) {
+		t.Fatalf("pinned prefix evicted: MatchLen = %d, want %d", got, len(pinned))
+	}
+	n.Release()
+	// Once released, continued pressure may reclaim it.
+	for i := 500; i < 1200; i++ {
+		c.Insert(seq(i, i+1, i+2, i+3, i+4), 2, nil)
+	}
+	if st := c.Stats(); st.ResidentBytes > st.BudgetBytes {
+		t.Fatalf("resident %d over budget %d after release", st.ResidentBytes, st.BudgetBytes)
+	}
+}
+
+func TestNegativeBudgetDisablesEviction(t *testing.T) {
+	c := New(Config{BudgetBytes: -1})
+	for i := 0; i < 300; i++ {
+		c.Insert(seq(i, i+1, i+2), 0, nil)
+	}
+	if st := c.Stats(); st.Evictions != 0 {
+		t.Fatalf("evictions %d with eviction disabled", st.Evictions)
+	}
+}
+
+func TestReleaseUnderflowPanics(t *testing.T) {
+	c := New(Config{})
+	c.Insert(seq(1, 2), 0, nil)
+	n, _ := c.Lookup(seq(1, 2))
+	n.Release()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Release did not panic")
+		}
+	}()
+	n.Release()
+}
+
+func TestStatsAccounting(t *testing.T) {
+	c := New(Config{})
+	c.Insert(seq(1, 2, 3, 4), 2, nil)
+	if n, _ := c.Lookup(seq(1, 2, 3, 4)); n != nil {
+		n.Release()
+	}
+	c.Lookup(seq(9, 9))
+	st := c.Stats()
+	if st.Lookups != 2 || st.Hits != 1 || st.HitRate != 0.5 {
+		t.Fatalf("lookup accounting: %+v", st)
+	}
+	if st.SavedPositions != 4 {
+		t.Fatalf("saved positions %d, want 4", st.SavedPositions)
+	}
+	if st.Inserts != 1 {
+		t.Fatalf("inserts %d, want 1", st.Inserts)
+	}
+	if c.Len() != st.Nodes || c.ResidentBytes() != st.ResidentBytes {
+		t.Fatal("probe accessors disagree with Stats")
+	}
+}

@@ -1,0 +1,81 @@
+package prefixcache
+
+import "sort"
+
+// Observer is the online-learning drafter surface the cache replays into.
+// draft.Observer satisfies it; the local declaration keeps prefixcache
+// decoupled from the draft package.
+type Observer interface {
+	Observe(tokens []int, promptLen int)
+}
+
+// WarmStart replays the cache's harvested continuation statistics into an
+// online drafter: for every node with continuation counts, each observed
+// (prefix, next-token) pair is replayed once through obs.Observe with
+// promptLen set to the prefix length, so only the continuation position is
+// indexed. Continuations are replayed least-frequent first, which leaves
+// the most frequent continuation as the drafter's retained entry for
+// most-recent-wins indexes like draft.NGram. The walk order is
+// deterministic (children sorted by first label token).
+//
+// A fresh shard attached to a warm cache — a scaler re-promotion, a
+// redeploy over surviving cache state — calls this once at construction so
+// its drafter starts hot instead of relearning the traffic it is about to
+// receive. Returns the number of replayed pairs.
+//
+// WarmStart holds the cache lock for the duration of the walk; it is a
+// construction-time operation, not a hot path.
+func (c *Cache) WarmStart(obs Observer) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	buf := make([]int, 0, 64)
+	type contEntry struct {
+		tok   int
+		count uint32
+	}
+	var entries []contEntry
+	var replayed int
+	var visit func(n *Node)
+	visit = func(n *Node) {
+		buf = append(buf, n.label...)
+		if len(n.cont) > 0 {
+			entries = entries[:0]
+			for tok, cnt := range n.cont {
+				entries = append(entries, contEntry{tok, cnt})
+			}
+			sort.Slice(entries, func(i, j int) bool {
+				if entries[i].count != entries[j].count {
+					return entries[i].count < entries[j].count
+				}
+				return entries[i].tok < entries[j].tok
+			})
+			for _, e := range entries {
+				seq := append(buf, e.tok)
+				obs.Observe(seq, len(buf))
+				replayed++
+			}
+		}
+		for _, tok := range sortedChildKeys(n) {
+			visit(n.children[tok])
+		}
+		buf = buf[:len(buf)-len(n.label)]
+	}
+	for _, tok := range sortedChildKeys(c.root) {
+		visit(c.root.children[tok])
+	}
+	return replayed
+}
+
+// sortedChildKeys returns a node's children map keys in ascending order so
+// tree walks are deterministic.
+func sortedChildKeys(n *Node) []int {
+	if len(n.children) == 0 {
+		return nil
+	}
+	keys := make([]int, 0, len(n.children))
+	for k := range n.children {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}

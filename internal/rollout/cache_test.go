@@ -1,0 +1,162 @@
+package rollout
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/prefixcache"
+	"fastrl/internal/workload"
+)
+
+// cacheEngine builds an engine sharing the given prefix cache, vanilla
+// decoding only (cache behaviour is mode-independent; vanilla keeps the
+// test focused).
+func cacheEngine(t *testing.T, env *testEnv, cache *prefixcache.Cache) *Engine {
+	t.Helper()
+	cfg := DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+	cfg.SDThreshold = -1
+	cfg.Cache = cache
+	eng, err := New(cfg, env.target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+// poolRequests builds requests straight from the task pool so repeated
+// calls use identical prompts (unlike env.requests, whose sampler state
+// advances between calls).
+func poolRequests(env *testEnv, n, maxNew int) []*Request {
+	var reqs []*Request
+	pool := env.gen.Pool()
+	for i := 0; i < n; i++ {
+		task := pool[i%len(pool)]
+		prior := workload.LengthPrior{TargetLen: maxNew, Sharpness: 25}
+		reqs = append(reqs, NewRequest(i, task.Prompt, maxNew, prior, env.tk.Answer(), env.tk.Eos()))
+	}
+	return reqs
+}
+
+// TestCachePrefillSavings runs the same request population twice through
+// one cache: the first run misses (cold cache), the second skips every
+// prompt position it re-encounters.
+func TestCachePrefillSavings(t *testing.T) {
+	env := newEnv(t)
+	cache := prefixcache.New(prefixcache.Config{})
+
+	cold := cacheEngine(t, env, cache)
+	reqs1 := poolRequests(env, 6, 24)
+	st1 := cold.Run(reqs1, rand.New(rand.NewSource(11)))
+	if st1.PrefillSavedTokens != 0 || st1.PrefillCacheHits != 0 {
+		t.Fatalf("cold run saved %d tokens (%d hits), want 0",
+			st1.PrefillSavedTokens, st1.PrefillCacheHits)
+	}
+
+	warm := cacheEngine(t, env, cache)
+	reqs2 := poolRequests(env, 6, 24)
+	st2 := warm.Run(reqs2, rand.New(rand.NewSource(11)))
+	if st2.PrefillCacheHits != len(reqs2) {
+		t.Fatalf("warm run hit on %d/%d requests", st2.PrefillCacheHits, len(reqs2))
+	}
+	var promptTokens int
+	for _, r := range reqs2 {
+		promptTokens += len(r.Prompt)
+	}
+	if st2.PrefillSavedTokens != promptTokens {
+		t.Fatalf("warm run saved %d of %d prompt tokens, want all (identical prompts)",
+			st2.PrefillSavedTokens, promptTokens)
+	}
+
+	// Cache stats agree with engine accounting.
+	cs := cache.Stats()
+	if cs.SavedPositions != int64(st1.PrefillSavedTokens+st2.PrefillSavedTokens) {
+		t.Fatalf("cache saved %d != engine saved %d", cs.SavedPositions, st2.PrefillSavedTokens)
+	}
+	if cs.Inserts == 0 {
+		t.Fatal("completed sequences were not inserted back")
+	}
+}
+
+// TestCacheDoesNotChangeTokens pins that the cache only changes cost
+// accounting, never sampling: the same seeds produce token-identical
+// responses with and without a cache.
+func TestCacheDoesNotChangeTokens(t *testing.T) {
+	env := newEnv(t)
+
+	gen := func(cache *prefixcache.Cache) [][]int {
+		eng := cacheEngine(t, env, cache)
+		var out [][]int
+		for round := 0; round < 2; round++ {
+			reqs := poolRequests(env, 4, 20)
+			eng.Run(reqs, rand.New(rand.NewSource(int64(round))))
+			for _, r := range reqs {
+				out = append(out, append([]int(nil), r.Tokens...))
+			}
+		}
+		return out
+	}
+
+	withCache := gen(prefixcache.New(prefixcache.Config{}))
+	without := gen(nil)
+	if len(withCache) != len(without) {
+		t.Fatal("request count mismatch")
+	}
+	for i := range withCache {
+		if len(withCache[i]) != len(without[i]) {
+			t.Fatalf("request %d: length %d vs %d", i, len(withCache[i]), len(without[i]))
+		}
+		for j := range withCache[i] {
+			if withCache[i][j] != without[i][j] {
+				t.Fatalf("request %d diverges at position %d", i, j)
+			}
+		}
+	}
+}
+
+// TestCachePrefillCheaper pins the actual virtual-time win: a warm cache
+// makes the prefill phase strictly cheaper for identical prompts.
+func TestCachePrefillCheaper(t *testing.T) {
+	env := newEnv(t)
+	cache := prefixcache.New(prefixcache.Config{})
+
+	prefillTime := func(eng *Engine) time.Duration {
+		reqs := poolRequests(env, 8, 16)
+		eng.Run(reqs, rand.New(rand.NewSource(1)))
+		for _, span := range eng.Timeline.Spans {
+			if span.Label == "prefill" {
+				return span.Duration()
+			}
+		}
+		t.Fatal("no prefill span recorded")
+		return 0
+	}
+
+	coldDur := prefillTime(cacheEngine(t, env, cache))
+	warmDur := prefillTime(cacheEngine(t, env, cache))
+	if warmDur >= coldDur {
+		t.Fatalf("warm prefill %v not cheaper than cold %v", warmDur, coldDur)
+	}
+}
+
+// TestCacheHiddenAtPromptBoundary verifies insert-back attaches the
+// target's hidden sketch at the prompt boundary node.
+func TestCacheHiddenAtPromptBoundary(t *testing.T) {
+	env := newEnv(t)
+	cache := prefixcache.New(prefixcache.Config{})
+	eng := cacheEngine(t, env, cache)
+	reqs := poolRequests(env, 3, 12)
+	eng.Run(reqs, rand.New(rand.NewSource(3)))
+
+	for _, r := range reqs {
+		n, m := cache.Lookup(r.Prompt)
+		if n == nil || m != len(r.Prompt) {
+			t.Fatalf("prompt not cached: matched %d of %d", m, len(r.Prompt))
+		}
+		if h := n.Hidden(); h == nil || len(h.Sketch) == 0 {
+			t.Fatal("no hidden state at prompt boundary")
+		}
+		n.Release()
+	}
+}

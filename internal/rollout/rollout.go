@@ -18,6 +18,7 @@ import (
 	"fastrl/internal/gpu"
 	"fastrl/internal/mab"
 	"fastrl/internal/model"
+	"fastrl/internal/prefixcache"
 	"fastrl/internal/specdec"
 	"fastrl/internal/vclock"
 	"fastrl/internal/workload"
@@ -147,6 +148,13 @@ type Config struct {
 	// paper contrasts with: fast, but the truncated responses degrade
 	// training quality). Zero disables early stopping.
 	StopAtRemaining int
+	// Cache, when non-nil, is a shared radix prefix cache: prefill skips
+	// positions covered by a cached prefix (their target state is already
+	// resident), matched nodes stay retained while their requests decode,
+	// and completed sequences are inserted back with the prompt-boundary
+	// hidden state so later requests — and warm-started drafters — reuse
+	// them. Serving replicas on one shard share a single cache.
+	Cache *prefixcache.Cache
 }
 
 // DefaultConfig returns the paper's engine settings for a device.
@@ -201,6 +209,11 @@ type Stats struct {
 	QueuedSteps int
 	// TruncatedRequests counts requests cut off by StopAtRemaining.
 	TruncatedRequests int
+	// PrefillSavedTokens counts prompt positions whose prefill was skipped
+	// because a cached prefix already covered them; PrefillCacheHits counts
+	// requests that matched the cache at all. Both are 0 without a Cache.
+	PrefillSavedTokens int
+	PrefillCacheHits   int
 }
 
 // MeanAcceptLen returns the paper's accept-length metric
@@ -238,6 +251,16 @@ type Engine struct {
 	// reused across sdStep calls.
 	frontierAgg []int
 	acceptLens  []int
+	// retained holds prefix-cache nodes pinned for the duration of a run
+	// (released before the run returns); hidCached[i] marks requests whose
+	// full prompt matched a node that already carries a hidden state, so
+	// insert-back can skip recomputing it. cacheHid/cacheScratch are
+	// reused buffers for the prompt-boundary hidden states it does
+	// compute.
+	retained     []*prefixcache.Node
+	hidCached    []bool
+	cacheHid     model.HiddenState
+	cacheScratch *model.Scratch
 	// Clock may be shared across engines (one worker per engine); defaults
 	// to a fresh clock.
 	Clock    *vclock.Clock
@@ -311,15 +334,36 @@ func (e *Engine) run(reqs []*Request, rng *rand.Rand, maxIters int) Stats {
 	}
 	start := e.Clock.Now()
 
-	// Prefill all prompts in one pass.
+	// Prefill all prompts in one pass. With a prefix cache, positions
+	// covered by a cached prefix are skipped (their target state is
+	// already resident); the matched nodes stay retained until the run
+	// completes so eviction cannot reclaim state we are decoding on.
 	var promptTokens int
 	for _, r := range reqs {
 		promptTokens += len(r.Prompt)
 	}
 	stats.PromptTokens = promptTokens
+	prefillTokens := promptTokens
+	if e.cfg.Cache != nil {
+		e.hidCached = e.hidCached[:0]
+		for _, r := range reqs {
+			n, matched := e.cfg.Cache.Lookup(r.Prompt)
+			e.hidCached = append(e.hidCached,
+				n != nil && matched == len(r.Prompt) && n.Hidden() != nil)
+			if n == nil {
+				continue
+			}
+			e.retained = append(e.retained, n)
+			prefillTokens -= matched
+			stats.PrefillSavedTokens += matched
+			stats.PrefillCacheHits++
+		}
+	}
 	if promptTokens > 0 {
+		// KVTokens stays at the full prompt length: the cached prefix
+		// contributes resident KV; only its recompute is saved.
 		cost := e.cfg.Device.Forward(e.target.Arch(), gpu.ForwardOpts{
-			Tokens: promptTokens, KVTokens: promptTokens,
+			Tokens: prefillTokens, KVTokens: promptTokens,
 		}).Total() + e.cfg.HostOverhead
 		t0 := e.Clock.Now()
 		e.Clock.Advance(cost)
@@ -399,8 +443,44 @@ func (e *Engine) run(reqs []*Request, rng *rand.Rand, maxIters int) Stats {
 		}
 		stats.Profile = append(stats.Profile, prof)
 	}
+	if e.cfg.Cache != nil {
+		e.cacheInsertBack(reqs)
+	}
 	stats.Elapsed = e.Clock.Now() - start
 	return stats
+}
+
+// cacheInsertBack writes completed sequences into the prefix cache (with
+// the prompt-boundary hidden state, so a later request sharing the prompt
+// can resume from it) and releases the nodes retained at prefill time.
+// Unfinished requests (RunIterations bounds) are not inserted; their
+// retained prefixes are still released — the next run re-pins them.
+func (e *Engine) cacheInsertBack(reqs []*Request) {
+	if e.cacheScratch == nil {
+		e.cacheScratch = model.NewScratch()
+	}
+	for i, r := range reqs {
+		if !r.Done || len(r.Prompt) == 0 {
+			continue
+		}
+		// The hidden sketch is a pure function of the (frozen-at-serving)
+		// target and the prompt, so when the full prompt matched a node
+		// that already carries one, recomputing it would reproduce the
+		// resident value — skip the pass and only harvest continuations.
+		hid := (*model.HiddenState)(nil)
+		if i >= len(e.hidCached) || !e.hidCached[i] {
+			model.FusedHiddenInto(e.target,
+				model.Context{Tokens: r.Prompt, PromptLen: len(r.Prompt)},
+				1, &e.cacheHid, e.cacheScratch)
+			hid = &e.cacheHid
+		}
+		e.cfg.Cache.Insert(r.Tokens, len(r.Prompt), hid)
+	}
+	for i, n := range e.retained {
+		n.Release()
+		e.retained[i] = nil
+	}
+	e.retained = e.retained[:0]
 }
 
 // partitionToolWaits splits active requests into decoding and tool-waiting

@@ -1,0 +1,97 @@
+package serving
+
+import (
+	"context"
+	"testing"
+
+	"fastrl/internal/draft"
+	"fastrl/internal/prefixcache"
+)
+
+// TestServerCacheProbes drives traffic through a cached server and checks
+// the hit-rate/resident-bytes probes move.
+func TestServerCacheProbes(t *testing.T) {
+	target, e, tk, gen := servingSetup(t)
+	cache := prefixcache.New(prefixcache.Config{})
+	cfg := serverConfig(tk, 1)
+	cfg.Cache = cache
+	srv, err := New(cfg, target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	if srv.Cache() != cache {
+		t.Fatal("Cache() probe does not expose the configured cache")
+	}
+	task := gen.Pool()[0]
+	for i := 0; i < 3; i++ {
+		if _, err := srv.Serve(context.Background(), Request{
+			Prompt: task.Prompt, MaxNew: 16, Seed: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if srv.CacheResidentBytes() == 0 {
+		t.Fatal("no resident cache state after served traffic")
+	}
+	// First request misses, later ones hit the identical prompt.
+	if hr := srv.CacheHitRate(); hr <= 0 || hr >= 1 {
+		t.Fatalf("hit rate %v, want in (0, 1)", hr)
+	}
+}
+
+// TestServerProbesNilCache pins nil-safety of the probes.
+func TestServerProbesNilCache(t *testing.T) {
+	target, e, tk, _ := servingSetup(t)
+	srv, err := New(serverConfig(tk, 1), target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+	if srv.Cache() != nil || srv.CacheHitRate() != 0 || srv.CacheResidentBytes() != 0 {
+		t.Fatal("nil-cache probes must report zero values")
+	}
+}
+
+// TestDrafterWarmStart pins the warm-start path: a fresh server attached
+// to a warm cache replays harvested continuation statistics into an
+// online-learning drafter at construction, so the drafter is hot before
+// the first request arrives.
+func TestDrafterWarmStart(t *testing.T) {
+	target, _, tk, gen := servingSetup(t)
+	cache := prefixcache.New(prefixcache.Config{})
+
+	// Phase 1: serve traffic on a first server generation to warm the
+	// cache (drafter-free; the cache warms regardless of drafter type).
+	cfg := serverConfig(tk, 1)
+	cfg.Cache = cache
+	gen1, err := New(cfg, target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		task := gen.Pool()[i%2]
+		if _, err := gen1.Serve(context.Background(), Request{
+			Prompt: task.Prompt, MaxNew: 20, Seed: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	gen1.Stop()
+
+	// Phase 2: a new server generation over the surviving cache with a
+	// fresh n-gram drafter must warm-start it at construction.
+	ng := draft.NewNGram(tk.VocabSize(), 1, 3)
+	if ng.Size() != 0 {
+		t.Fatal("fresh drafter unexpectedly warm")
+	}
+	gen2, err := New(cfg, target, ng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer gen2.Stop()
+	if ng.Size() == 0 {
+		t.Fatal("drafter not warm-started from the cache at construction")
+	}
+}

@@ -17,6 +17,7 @@ import (
 	"fastrl/internal/draft"
 	"fastrl/internal/metrics"
 	"fastrl/internal/model"
+	"fastrl/internal/prefixcache"
 	"fastrl/internal/rollout"
 	"fastrl/internal/workload"
 )
@@ -34,6 +35,15 @@ type Config struct {
 	// AnswerID / EosID configure request control tokens.
 	AnswerID int
 	EosID    int
+	// Cache, when non-nil, is the shard's shared radix prefix cache: every
+	// replica engine consults it at prefill and inserts completed
+	// sequences back. If the drafter learns online (draft.Observer, e.g.
+	// the n-gram drafter) and the cache is already warm at construction —
+	// a scaler re-promotion, a redeploy over surviving cache state — the
+	// server replays the cache's harvested continuation statistics into it
+	// once, so the shard starts with a hot drafter instead of relearning
+	// its own traffic. Setting Engine.Cache directly is equivalent.
+	Cache *prefixcache.Cache
 }
 
 // Request is one serving job.
@@ -106,6 +116,16 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 	if cfg.Engine.Device == nil {
 		return nil, fmt.Errorf("serving: engine device required")
 	}
+	if cfg.Cache == nil {
+		cfg.Cache = cfg.Engine.Cache
+	} else {
+		cfg.Engine.Cache = cfg.Cache
+	}
+	if obs, ok := drafter.(draft.Observer); ok && cfg.Cache != nil {
+		// Drafter warm-start: a server attached to an already-warm cache
+		// inherits its traffic's continuation statistics immediately.
+		cfg.Cache.WarmStart(obs)
+	}
 	s := &Server{
 		cfg:     cfg,
 		target:  target,
@@ -167,6 +187,26 @@ func (s *Server) Pending() int { return s.QueueLen() + s.Inflight() }
 // Replicas returns the configured replica count (the shard's service
 // parallelism, used to convert queue depth into an expected wait).
 func (s *Server) Replicas() int { return s.cfg.Replicas }
+
+// Cache returns the shard's prefix cache (nil when caching is disabled).
+func (s *Server) Cache() *prefixcache.Cache { return s.cfg.Cache }
+
+// CacheHitRate is the shard's prefill cache hit rate probe (0 without a
+// cache or before the first lookup).
+func (s *Server) CacheHitRate() float64 {
+	if s.cfg.Cache == nil {
+		return 0
+	}
+	return s.cfg.Cache.HitRate()
+}
+
+// CacheResidentBytes is the shard's resident cache-footprint probe.
+func (s *Server) CacheResidentBytes() int64 {
+	if s.cfg.Cache == nil {
+		return 0
+	}
+	return s.cfg.Cache.ResidentBytes()
+}
 
 // Submit enqueues a request and returns a channel delivering its response.
 // It fails fast when the context is cancelled or the server is stopped.
