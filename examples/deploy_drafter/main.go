@@ -86,6 +86,11 @@ func main() {
 		Shards: shards,
 		Shard: serving.Config{
 			Engine: ecfg, Replicas: 1,
+			// Each replica is a continuous-batching step-loop: up to 8
+			// requests decode together, joining and leaving the batch at
+			// iteration boundaries — a burst of submissions below shares
+			// each verification pass instead of queueing head-of-line.
+			MaxBatch: 8,
 			AnswerID: sys.Tk.Answer(), EosID: sys.Tk.Eos(),
 		},
 		Policy: cluster.NewCacheAware(caches),

@@ -7,10 +7,14 @@ package main
 import (
 	"fmt"
 	"log"
+	"math/rand"
 	"time"
 
 	"fastrl/internal/core"
+	"fastrl/internal/gpu"
 	"fastrl/internal/model"
+	"fastrl/internal/sched"
+	"fastrl/internal/workload"
 )
 
 func main() {
@@ -65,5 +69,35 @@ func main() {
 		top := model.TopKInto(row, 1, nil)
 		fmt.Printf("  prompt %d: argmax token %q (p=%.3f)\n",
 			i, sys.Tk.Token(top[0]), row[top[0]])
+	}
+
+	// Continuous batching, hands on: the iteration-level scheduler is the
+	// lifecycle under both the trainer and the serving replicas. Admit
+	// requests as they "arrive", advance the whole batch one step at a
+	// time, and retire completions at step boundaries — request 3 joins
+	// while 0-2 are mid-decode, and nobody waits for a stranger to finish.
+	fmt.Println("\ndriving the iteration-level scheduler directly (sched.Batch):")
+	scfg := sched.DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+	scfg.SDThreshold = 0 // always speculate: the trained drafter is hot
+	batch, err := sched.New(scfg, sys.Target, sys.Eagle)
+	if err != nil {
+		log.Fatal(err)
+	}
+	arrivals := sys.Tasks.SampleSeeded(4, 7)
+	next, stepRng := 0, rand.New(rand.NewSource(11))
+	for step := 0; batch.ActiveCount() > 0 || next < len(arrivals); step++ {
+		if next < len(arrivals) && step%2 == 0 { // a new request every other step
+			r := sched.NewRequest(next, arrivals[next].Prompt, 96,
+				workload.LengthPrior{TargetLen: 64, Sharpness: 25},
+				sys.Tk.Answer(), sys.Tk.Eos())
+			r.RNG = rand.New(rand.NewSource(int64(next))) // private stream: batch-mates cannot perturb it
+			batch.Admit(r)
+			next++
+		}
+		batch.Step(stepRng)
+		for _, r := range batch.Retire() {
+			fmt.Printf("  request %d: %3d tokens in %v of virtual decode (accept len %.2f), retired at step %d\n",
+				r.ID, r.Generated(), r.DecodeTime().Round(time.Microsecond), r.MeanAcceptLen(), step)
+		}
 	}
 }

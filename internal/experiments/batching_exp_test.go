@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// TestBatchingExperimentAcceptance pins the -exp batching figure's
+// headline properties: continuous batching beats run-to-completion
+// serving on p95 (and p50) latency over the bursty trace, sustains at
+// least as much effective throughput, and — because the replay runs
+// entirely in virtual time — every metric is deterministic under fixed
+// seeds.
+func TestBatchingExperimentAcceptance(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiment replay")
+	}
+	run := func() map[string]float64 {
+		r, err := Run("batching", Options{Quick: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r.Metrics
+	}
+	m := run()
+
+	rtcP95 := m["run-to-completion/p95_ms"]
+	for _, arm := range []string{"continuous-4", "continuous-16"} {
+		if p95 := m[arm+"/p95_ms"]; p95 >= rtcP95 {
+			t.Fatalf("%s p95 %.2fms not better than run-to-completion %.2fms", arm, p95, rtcP95)
+		}
+		if p50 := m[arm+"/p50_ms"]; p50 >= m["run-to-completion/p50_ms"] {
+			t.Fatalf("%s p50 %.2fms not better than run-to-completion %.2fms",
+				arm, p50, m["run-to-completion/p50_ms"])
+		}
+		if tp := m[arm+"/tokens_per_sec"]; tp < m["run-to-completion/tokens_per_sec"] {
+			t.Fatalf("%s throughput %.0f below run-to-completion %.0f",
+				arm, tp, m["run-to-completion/tokens_per_sec"])
+		}
+	}
+	// A run-to-completion device under backlog is busy (~1) on low-value
+	// work; the makespan column is where continuous batching's win shows.
+	if m["continuous-16/makespan_ms"] > m["run-to-completion/makespan_ms"] {
+		t.Fatal("continuous batching took longer than run-to-completion to drain the trace")
+	}
+
+	// Determinism: the virtual-time replay reproduces every metric
+	// exactly under the same seeds.
+	n := run()
+	for k, v := range m {
+		if n[k] != v {
+			t.Fatalf("metric %s not deterministic: %v vs %v", k, v, n[k])
+		}
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"fastrl/internal/gpu"
 	"fastrl/internal/model"
 	"fastrl/internal/prefixcache"
+	"fastrl/internal/sched"
 	"fastrl/internal/specdec"
+	"fastrl/internal/workload"
 )
 
 // PerfEntry is one hot-path measurement in a BENCH_<date>.json snapshot.
@@ -84,6 +86,67 @@ func PerfSnapshot(quick bool) []PerfEntry {
 		entries = append(entries, mk("model/probs-batch-32", func(n int) {
 			for i := 0; i < n; i++ {
 				b.target.ProbsBatch(ctxs, nil, 0.9, rows, sc)
+			}
+		}))
+	}
+	{
+		// Multi-sequence speculation round: 8 sequences drafted and
+		// verified through one grouped batched target pass — the
+		// continuous-batching analogue of specdec/round-tree-batched.
+		const nSeq = 8
+		eng := &specdec.Engine{Target: b.target, Temp: 0.9}
+		rng := rand.New(rand.NewSource(1))
+		seqs := make([]specdec.Seq, nSeq)
+		rngs := make([]*rand.Rand, nSeq)
+		out := make([]specdec.Result, nSeq)
+		for i := range seqs {
+			seqs[i] = specdec.Seq{Tokens: prompt, PromptLen: len(prompt), EosID: -1}
+			rngs[i] = rng
+		}
+		entries = append(entries, mk("specdec/step-batch-8", func(n int) {
+			for i := 0; i < n; i++ {
+				eng.StepBatch(b.eagle, seqs, p, rngs, out)
+			}
+		}))
+	}
+	{
+		// Scheduler iteration: 8 inflight requests advanced one SD round
+		// by the iteration-level scheduler (admission bookkeeping, bias
+		// staging, batched round, cost model) — the serving replica's
+		// steady-state hot path.
+		cfg := sched.DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+		cfg.SDThreshold = 0
+		cfg.Strategies = []specdec.Params{p}
+		cfg.MAB.Thresholds = []int{1}
+		batch, err := sched.New(cfg, b.target, b.eagle)
+		if err != nil {
+			panic(err)
+		}
+		batch.RecordProfile = false
+		batch.Timeline = nil
+		rng := rand.New(rand.NewSource(2))
+		reqs := make([]*sched.Request, 8)
+		for i := range reqs {
+			reqs[i] = sched.NewRequest(i, prompt, 1<<20,
+				workload.LengthPrior{TargetLen: 1 << 20, Sharpness: 25}, -1, -1)
+			batch.Admit(reqs[i])
+		}
+		batch.Step(rng) // prefill + first round outside the timer
+		// Rewind every sequence to its post-warm-up length before each op:
+		// without this the workload drifts (tokens and KV grow every
+		// iteration) and ns_per_op would depend on how many iterations
+		// testing.Benchmark chose to run.
+		warmLen := make([]int, len(reqs))
+		for i, r := range reqs {
+			warmLen[i] = len(r.Tokens)
+		}
+		entries = append(entries, mk("sched/batch-step-8", func(n int) {
+			for i := 0; i < n; i++ {
+				for j, r := range reqs {
+					r.Tokens = r.Tokens[:warmLen[j]]
+					r.AcceptLens = r.AcceptLens[:0]
+				}
+				batch.Step(rng)
 			}
 		}))
 	}

@@ -1,0 +1,92 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastrl/internal/gpu"
+)
+
+// TestProbsBatchGroupedMatchesPerGroup pins the bit-identity contract of
+// grouped batch scoring: one ProbsBatchGrouped pass over rows from many
+// sequences with per-sequence biases must emit exactly the float32 values
+// of one ProbsBatch call per group.
+func TestProbsBatchGroupedMatchesPerGroup(t *testing.T) {
+	cfg := DefaultConfig(96, gpu.Qwen7B)
+	cfg.Buckets = 1 << 8
+	m := New(cfg, nil)
+	rng := rand.New(rand.NewSource(7))
+
+	mkCtx := func(promptLen, n int) []Context {
+		prompt := make([]int, promptLen)
+		for i := range prompt {
+			prompt[i] = rng.Intn(cfg.Vocab)
+		}
+		ctxs := make([]Context, n)
+		for i := range ctxs {
+			seq := append([]int(nil), prompt...)
+			for k := 0; k <= i; k++ {
+				seq = append(seq, rng.Intn(cfg.Vocab))
+			}
+			ctxs[i] = Context{Tokens: seq, PromptLen: promptLen}
+		}
+		return ctxs
+	}
+
+	type grp struct {
+		ctxs []Context
+		bias map[int]float32
+	}
+	groupsIn := []grp{
+		{ctxs: mkCtx(6, 4), bias: nil},
+		{ctxs: mkCtx(9, 3), bias: map[int]float32{3: 2.5, 17: -1.25}},
+		{ctxs: mkCtx(4, 1), bias: map[int]float32{90: 4}},
+		{ctxs: mkCtx(7, 5), bias: nil},
+	}
+
+	var all []Context
+	var groups []RowGroup
+	for _, g := range groupsIn {
+		all = append(all, g.ctxs...)
+		groups = append(groups, RowGroup{N: len(g.ctxs), Bias: g.bias})
+	}
+	got := make([][]float32, len(all))
+	for i := range got {
+		got[i] = make([]float32, cfg.Vocab)
+	}
+	m.ProbsBatchGrouped(all, groups, 0.9, got, NewScratch())
+
+	row := 0
+	for gi, g := range groupsIn {
+		want := make([][]float32, len(g.ctxs))
+		for i := range want {
+			want[i] = make([]float32, cfg.Vocab)
+		}
+		m.ProbsBatch(g.ctxs, g.bias, 0.9, want, NewScratch())
+		for i := range want {
+			for v := range want[i] {
+				if got[row][v] != want[i][v] {
+					t.Fatalf("group %d row %d token %d: grouped %v != per-group %v",
+						gi, i, v, got[row][v], want[i][v])
+				}
+			}
+			row++
+		}
+	}
+}
+
+// TestProbsBatchGroupedPartitionPanics pins the misuse guard: groups must
+// partition the rows exactly.
+func TestProbsBatchGroupedPartitionPanics(t *testing.T) {
+	cfg := DefaultConfig(32, gpu.Qwen7B)
+	cfg.Buckets = 1 << 6
+	m := New(cfg, nil)
+	ctxs := []Context{{Tokens: []int{1, 2, 3}, PromptLen: 3}}
+	dst := [][]float32{make([]float32, cfg.Vocab)}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched groups did not panic")
+		}
+	}()
+	m.ProbsBatchGrouped(ctxs, []RowGroup{{N: 2}}, 1, dst, nil)
+}

@@ -121,6 +121,67 @@ func (m *LM) ProbsBatch(ctxs []Context, bias map[int]float32, temp float64, dst 
 	}
 }
 
+// RowGroup describes one run of consecutive ProbsBatchGrouped rows that
+// share a logit bias — in practice, the verification rows of one sequence
+// in a multi-sequence speculation step. Per-sequence sampling parameters
+// (the workload length prior) apply row-block-wise, exactly as a serving
+// engine applies per-request logit processors to its slice of a batched
+// forward's logits.
+type RowGroup struct {
+	// N is the number of consecutive rows in the group.
+	N int
+	// Bias is the logit bias shared by the group (nil for none).
+	Bias map[int]float32
+}
+
+// ProbsBatchGrouped scores many contexts in one call like ProbsBatch, but
+// with a per-group logit bias: groups partition the rows in order, and
+// group g's bias applies to its g.N consecutive rows. Rows funnel through
+// the same scoreInto as Probs/ProbsScratch/ProbsBatch, so one grouped
+// pass emits exactly the float32 values of per-group ProbsBatch calls —
+// the property that lets the batched cross-request verification pass of
+// continuous batching stay bit-identical to per-request scoring.
+//
+// A nil sc borrows a pooled scratch, keeping the call allocation-free in
+// steady state.
+func (m *LM) ProbsBatchGrouped(ctxs []Context, groups []RowGroup, temp float64, dst [][]float32, sc *Scratch) {
+	if len(ctxs) != len(dst) {
+		panic("model: ProbsBatchGrouped rows/contexts length mismatch")
+	}
+	total := 0
+	for _, g := range groups {
+		total += g.N
+	}
+	if total != len(ctxs) {
+		panic("model: ProbsBatchGrouped groups do not partition the rows")
+	}
+	if sc == nil {
+		pooled := scratchPool.Get().(*Scratch)
+		defer scratchPool.Put(pooled)
+		sc = pooled
+	}
+	logits := sc.Logits(m.cfg.Vocab)
+	var (
+		phPrefix []int
+		havePH   bool
+		ph       uint64
+	)
+	off := 0
+	for _, g := range groups {
+		ids := sc.sortedBiasIDs(g.Bias)
+		for i := off; i < off+g.N; i++ {
+			ctx := ctxs[i]
+			prefix := ctx.Tokens[:min(ctx.PromptLen, len(ctx.Tokens))]
+			if !havePH || !samePrompt(prefix, phPrefix) {
+				ph = ctx.PromptHash()
+				phPrefix, havePH = prefix, true
+			}
+			m.scoreInto(ctx.Tokens, ph, ids, g.Bias, temp, dst[i], logits)
+		}
+		off += g.N
+	}
+}
+
 // samePrompt reports whether two prompt prefixes are identical, sharing
 // the fast path when they alias the same slice. Tree-verification rows
 // live in per-node arena segments, so pointer identity alone would never

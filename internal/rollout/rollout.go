@@ -1,319 +1,81 @@
-// Package rollout implements the Adaptive Rollout Engine (paper §5): a
-// continuous-batching decode loop over simulated GPU time with elastic
-// speculative-decoding activation, BEG-MAB strategy selection, and a
-// memory-efficient CUDAGraph pool.
+// Package rollout implements the Adaptive Rollout Engine (paper §5) as a
+// run-to-completion driver over the iteration-level scheduler in
+// internal/sched: a closed batch of requests is admitted up front and
+// stepped until every request completes (or an iteration/truncation bound
+// fires). Elastic speculative-decoding activation, BEG-MAB strategy
+// selection, the memory-efficient CUDAGraph pool, tool-wait partitioning,
+// the KV-residency bound and prefix-cache prefill skipping all live in
+// the scheduler — the same lifecycle implementation the serving layer
+// step-loops drive incrementally, so trainer and server cannot drift.
 //
 // Token generation is genuine — every response token is sampled from the
 // target model (speculatively or not, with identical distribution) — while
 // latency is charged to a virtual clock through the gpu roofline model.
+// Token streams are pinned bit-identical to the pre-scheduler engine
+// under fixed seeds (see TestLifecycleGolden).
 package rollout
 
 import (
-	"fmt"
 	"math/rand"
 	"time"
 
-	"fastrl/internal/cudagraph"
 	"fastrl/internal/draft"
 	"fastrl/internal/gpu"
-	"fastrl/internal/mab"
 	"fastrl/internal/model"
-	"fastrl/internal/prefixcache"
-	"fastrl/internal/specdec"
-	"fastrl/internal/vclock"
+	"fastrl/internal/sched"
 	"fastrl/internal/workload"
 )
 
-// Mode distinguishes vanilla decoding from speculative decoding.
-type Mode int
+// Re-exported scheduler types: the request lifecycle lives in
+// internal/sched, shared with the serving layer; existing rollout-based
+// callers keep compiling against these names.
+type (
+	// Request is one in-flight generation.
+	Request = sched.Request
+	// Config parameterises the engine (scheduler).
+	Config = sched.Config
+	// Stats summarises one Run.
+	Stats = sched.Stats
+	// Mode distinguishes vanilla decoding from speculative decoding.
+	Mode = sched.Mode
+	// StepProfile is one engine iteration's record (Fig. 14 data).
+	StepProfile = sched.StepProfile
+	// ToolProfile models multi-turn tool-calling rollouts (paper §7).
+	ToolProfile = sched.ToolProfile
+)
 
 const (
 	// ModeVanilla is ordinary one-token-per-step decoding.
-	ModeVanilla Mode = iota
+	ModeVanilla = sched.ModeVanilla
 	// ModeSD is speculative decoding.
-	ModeSD
+	ModeSD = sched.ModeSD
 )
-
-func (m Mode) String() string {
-	if m == ModeSD {
-		return "sd"
-	}
-	return "vanilla"
-}
-
-// Request is one in-flight generation.
-type Request struct {
-	ID     int
-	Prompt []int
-	// Tokens is prompt + generated (grows during decoding).
-	Tokens []int
-	MaxNew int
-	// Prior is the length prior driving the dynamic EOS/answer bias.
-	Prior workload.LengthPrior
-	// AnswerID and EosID are biased by the prior (negative disables).
-	AnswerID int
-	EosID    int
-
-	Done    bool
-	EosSeen bool
-	// AcceptLens records per-round accepted token counts while in SD mode.
-	AcceptLens []int
-
-	// Tool configures multi-turn tool-calling behaviour (paper §7);
-	// zero value disables it.
-	Tool ToolProfile
-	tool toolState
-}
 
 // NewRequest builds a request from a prompt.
 func NewRequest(id int, prompt []int, maxNew int, prior workload.LengthPrior, answerID, eosID int) *Request {
-	return &Request{
-		ID:       id,
-		Prompt:   prompt,
-		Tokens:   append([]int(nil), prompt...),
-		MaxNew:   maxNew,
-		Prior:    prior,
-		AnswerID: answerID,
-		EosID:    eosID,
-	}
-}
-
-// Generated returns the number of generated (response) tokens.
-func (r *Request) Generated() int { return len(r.Tokens) - len(r.Prompt) }
-
-// Response returns the generated suffix.
-func (r *Request) Response() []int { return r.Tokens[len(r.Prompt):] }
-
-// biasInto writes the dynamic logit bias for the request's current length
-// into dst (an engine-owned map reused across requests) and returns it,
-// or nil when no bias applies.
-func (r *Request) biasInto(dst map[int]float32) map[int]float32 {
-	b := r.Prior.Bias(r.Generated())
-	if b == 0 {
-		return nil
-	}
-	clear(dst)
-	if r.EosID >= 0 {
-		dst[r.EosID] = b
-	}
-	if r.AnswerID >= 0 {
-		dst[r.AnswerID] = b
-	}
-	if len(dst) == 0 {
-		return nil
-	}
-	return dst
-}
-
-// finish marks completion conditions after new tokens landed.
-func (r *Request) finish() {
-	if r.EosSeen || r.Generated() >= r.MaxNew {
-		r.Done = true
-	}
-}
-
-// Config parameterises the engine.
-type Config struct {
-	// Device executes all passes (a TP group acting as one device).
-	Device *gpu.Device
-	// Temp is the sampling temperature.
-	Temp float64
-	// SDThreshold is the elastic activation bound: SD engages only when
-	// the number of running requests drops to or below it (paper default
-	// 32). Zero means SD is always on; negative disables SD entirely.
-	SDThreshold int
-	// Strategies is the SD strategy ladder (grouped by the MAB selector).
-	Strategies []specdec.Params
-	// MAB configures the BEG-MAB tuner.
-	MAB mab.Config
-	// GraphPlan selects the CUDAGraph capture plan: "bucketed" (default),
-	// "single", "naive", or "none".
-	GraphPlan string
-	// HostOverhead is the fixed CPU-side cost per engine iteration
-	// (scheduling, sampling, detokenisation).
-	HostOverhead time.Duration
-	// SDHostOverhead is the additional CPU cost per SD iteration (tree
-	// construction, acceptance bookkeeping).
-	SDHostOverhead time.Duration
-	// SwitchCost is the one-off re-prefill cost when SD activates for a
-	// running batch (paper: ~3s at datacenter scale).
-	SwitchCost time.Duration
-	// KVBudgetBytes caps resident KV-cache bytes (paper §7, uniformly-long
-	// responses): when the active batch's KV exceeds the budget, excess
-	// requests queue instead of decoding, shrinking the running batch.
-	// Zero disables the cap.
-	KVBudgetBytes float64
-	// StopAtRemaining truncates the rollout once this few requests remain
-	// (the premature-termination strategy of partial-rollout systems the
-	// paper contrasts with: fast, but the truncated responses degrade
-	// training quality). Zero disables early stopping.
-	StopAtRemaining int
-	// Cache, when non-nil, is a shared radix prefix cache: prefill skips
-	// positions covered by a cached prefix (their target state is already
-	// resident), matched nodes stay retained while their requests decode,
-	// and completed sequences are inserted back with the prompt-boundary
-	// hidden state so later requests — and warm-started drafters — reuse
-	// them. Serving replicas on one shard share a single cache.
-	Cache *prefixcache.Cache
+	return sched.NewRequest(id, prompt, maxNew, prior, answerID, eosID)
 }
 
 // DefaultConfig returns the paper's engine settings for a device.
 func DefaultConfig(dev *gpu.Device) Config {
-	return Config{
-		Device:         dev,
-		Temp:           0.9,
-		SDThreshold:    32,
-		Strategies:     mab.DefaultStrategies(),
-		MAB:            mab.DefaultConfig(),
-		GraphPlan:      "bucketed",
-		HostOverhead:   250 * time.Microsecond,
-		SDHostOverhead: 1200 * time.Microsecond,
-		SwitchCost:     4 * time.Millisecond,
-	}
+	return sched.DefaultConfig(dev)
 }
 
-// StepProfile is one engine iteration's record (Fig. 14 data).
-type StepProfile struct {
-	// End is the virtual time at iteration end.
-	End time.Duration
-	// Running is the number of requests decoding in this iteration.
-	Running int
-	Mode    Mode
-	// Strategy is the SD strategy used (zero for vanilla).
-	Strategy specdec.Params
-	// TokensOut is the number of response tokens produced this iteration.
-	TokensOut int
-}
-
-// Stats summarises one Run.
-type Stats struct {
-	PromptTokens    int
-	ResponseTokens  int
-	Elapsed         time.Duration
-	Profile         []StepProfile
-	SDSteps         int
-	VanillaSteps    int
-	AcceptLenSum    int
-	AcceptRounds    int
-	GraphMemBytes   float64
-	SwitchCount     int
-	DraftedNodes    int
-	VerifiedTokens  int
-	CompletionTimes []time.Duration
-	// ToolWaitTime is total virtual time requests spent in GPU-free tool
-	// calls; ToolCalls counts them.
-	ToolWaitTime time.Duration
-	ToolCalls    int
-	// QueuedSteps counts iterations where the KV budget forced requests
-	// to queue.
-	QueuedSteps int
-	// TruncatedRequests counts requests cut off by StopAtRemaining.
-	TruncatedRequests int
-	// PrefillSavedTokens counts prompt positions whose prefill was skipped
-	// because a cached prefix already covered them; PrefillCacheHits counts
-	// requests that matched the cache at all. Both are 0 without a Cache.
-	PrefillSavedTokens int
-	PrefillCacheHits   int
-}
-
-// MeanAcceptLen returns the paper's accept-length metric
-// (accepted/rounds + 1), 0 when SD never ran.
-func (s Stats) MeanAcceptLen() float64 {
-	if s.AcceptRounds == 0 {
-		return 0
-	}
-	return float64(s.AcceptLenSum)/float64(s.AcceptRounds) + 1
-}
-
-// Throughput returns response tokens per virtual second.
-func (s Stats) Throughput() float64 {
-	if s.Elapsed <= 0 {
-		return 0
-	}
-	return float64(s.ResponseTokens) / s.Elapsed.Seconds()
-}
-
-// Engine drives a batch of requests to completion.
+// Engine drives a closed batch of requests to completion on the shared
+// iteration-level scheduler.
 type Engine struct {
-	cfg      Config
-	target   *model.LM
-	drafter  draft.Drafter
-	selector *mab.Selector
-	pool     *cudagraph.Pool
-	// spec is the engine-owned speculation engine: its scratch (draft and
-	// verification buffers, node arena) is reused across every request and
-	// round so the decode hot path allocates nothing in steady state. Bias
-	// and EosID are repointed per request before each step.
-	spec specdec.Engine
-	// biasBuf is the reusable dynamic-bias map handed to spec per request.
-	biasBuf map[int]float32
-	// frontierAgg and acceptLens are per-iteration aggregation buffers
-	// reused across sdStep calls.
-	frontierAgg []int
-	acceptLens  []int
-	// retained holds prefix-cache nodes pinned for the duration of a run
-	// (released before the run returns); hidCached[i] marks requests whose
-	// full prompt matched a node that already carries a hidden state, so
-	// insert-back can skip recomputing it. cacheHid/cacheScratch are
-	// reused buffers for the prompt-boundary hidden states it does
-	// compute.
-	retained     []*prefixcache.Node
-	hidCached    []bool
-	cacheHid     model.HiddenState
-	cacheScratch *model.Scratch
-	// Clock may be shared across engines (one worker per engine); defaults
-	// to a fresh clock.
-	Clock    *vclock.Clock
-	Timeline *vclock.Timeline
+	*sched.Batch
+	cfg Config
 }
 
 // New builds an engine. drafter may be nil (vanilla decoding only).
 func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Engine, error) {
-	if cfg.Device == nil {
-		return nil, fmt.Errorf("rollout: nil device")
+	b, err := sched.New(cfg, target, drafter)
+	if err != nil {
+		return nil, err
 	}
-	e := &Engine{cfg: cfg, target: target, drafter: drafter, Clock: &vclock.Clock{}, Timeline: &vclock.Timeline{}}
-	e.spec = specdec.Engine{Target: target, Temp: cfg.Temp}
-	e.biasBuf = make(map[int]float32, 2)
-	if drafter != nil && cfg.SDThreshold >= 0 {
-		sel, err := mab.New(cfg.Strategies, cfg.MAB)
-		if err != nil {
-			return nil, err
-		}
-		e.selector = sel
-		draftArch := drafter.Arch()
-		if draftArch.Layers == 0 {
-			draftArch = gpu.DraftArch(target.Arch())
-		}
-		var plan cudagraph.Plan
-		switch cfg.GraphPlan {
-		case "", "bucketed":
-			plan = cudagraph.BucketedPlan(target.Arch(), draftArch, cfg.Device.TP,
-				cfg.Strategies, cfg.MAB.Thresholds, cudagraph.DefaultBuckets)
-		case "single":
-			plan = cudagraph.SinglePlan(target.Arch(), draftArch, cfg.Device.TP,
-				cfg.Strategies[0], cudagraph.DefaultBuckets)
-		case "naive":
-			plan = cudagraph.NaiveMultiPlan(target.Arch(), draftArch, cfg.Device.TP,
-				cfg.Strategies, cudagraph.DefaultBuckets)
-		case "none":
-			plan = cudagraph.Plan{Name: "none"}
-		default:
-			return nil, fmt.Errorf("rollout: unknown graph plan %q", cfg.GraphPlan)
-		}
-		e.pool = cudagraph.NewPool(plan)
-	}
-	return e, nil
+	return &Engine{Batch: b, cfg: cfg}, nil
 }
-
-// Selector exposes the MAB tuner (nil when SD disabled).
-func (e *Engine) Selector() *mab.Selector { return e.selector }
-
-// Pool exposes the CUDAGraph pool (nil when SD disabled).
-func (e *Engine) Pool() *cudagraph.Pool { return e.pool }
-
-// SetDrafter swaps the draft model (adaptive drafter weight refresh).
-func (e *Engine) SetDrafter(d draft.Drafter) { e.drafter = d }
 
 // Run decodes all requests to completion, returning aggregate statistics.
 func (e *Engine) Run(reqs []*Request, rng *rand.Rand) Stats {
@@ -327,316 +89,47 @@ func (e *Engine) RunIterations(reqs []*Request, rng *rand.Rand, maxIters int) St
 	return e.run(reqs, rng, maxIters)
 }
 
+// run is the run-to-completion loop: every request is admitted before the
+// first step (one batched prefill), then the batch steps until empty, the
+// iteration bound fires, or the premature-termination policy truncates
+// the tail. The scheduler decodes requests in admission order with the
+// shared rng, reproducing the pre-refactor engine's draw order exactly.
 func (e *Engine) run(reqs []*Request, rng *rand.Rand, maxIters int) Stats {
-	var stats Stats
-	if e.pool != nil {
-		stats.GraphMemBytes = e.pool.MemBytes()
-	}
-	start := e.Clock.Now()
-
-	// Prefill all prompts in one pass. With a prefix cache, positions
-	// covered by a cached prefix are skipped (their target state is
-	// already resident); the matched nodes stay retained until the run
-	// completes so eviction cannot reclaim state we are decoding on.
-	var promptTokens int
+	b := e.Batch
+	b.Reset()
+	b.ResetStats()
+	start := b.Clock.Now()
 	for _, r := range reqs {
-		promptTokens += len(r.Prompt)
+		b.Admit(r)
 	}
-	stats.PromptTokens = promptTokens
-	prefillTokens := promptTokens
-	if e.cfg.Cache != nil {
-		e.hidCached = e.hidCached[:0]
-		for _, r := range reqs {
-			n, matched := e.cfg.Cache.Lookup(r.Prompt)
-			e.hidCached = append(e.hidCached,
-				n != nil && matched == len(r.Prompt) && n.Hidden() != nil)
-			if n == nil {
-				continue
-			}
-			e.retained = append(e.retained, n)
-			prefillTokens -= matched
-			stats.PrefillSavedTokens += matched
-			stats.PrefillCacheHits++
-		}
-	}
-	if promptTokens > 0 {
-		// KVTokens stays at the full prompt length: the cached prefix
-		// contributes resident KV; only its recompute is saved.
-		cost := e.cfg.Device.Forward(e.target.Arch(), gpu.ForwardOpts{
-			Tokens: prefillTokens, KVTokens: promptTokens,
-		}).Total() + e.cfg.HostOverhead
-		t0 := e.Clock.Now()
-		e.Clock.Advance(cost)
-		e.Timeline.Record("prefill", t0, e.Clock.Now())
-	}
-
-	sdActive := false
 	for iter := 0; ; iter++ {
 		if maxIters > 0 && iter >= maxIters {
 			break
 		}
-		active := activeRequests(reqs)
-		if len(active) == 0 {
+		if b.ActiveCount() == 0 {
 			break
 		}
 		// Premature termination: the long tail is cut instead of decoded.
-		if e.cfg.StopAtRemaining > 0 && len(active) <= e.cfg.StopAtRemaining && iter > 0 {
-			for _, r := range active {
-				r.Done = true
-				stats.TruncatedRequests++
-				stats.CompletionTimes = append(stats.CompletionTimes, e.Clock.Now()-start)
-			}
+		if e.cfg.StopAtRemaining > 0 && b.ActiveCount() <= e.cfg.StopAtRemaining && iter > 0 {
+			b.TruncateRemaining()
 			break
 		}
-		// Multi-turn: requests inside a tool call do not decode. If every
-		// active request is waiting, jump the clock to the earliest resume.
-		if decoding, waiting := partitionToolWaits(active, e.Clock.Now()); len(waiting) > 0 {
-			if len(decoding) == 0 {
-				earliest := waiting[0].waitingUntil()
-				for _, r := range waiting[1:] {
-					if t := r.waitingUntil(); t < earliest {
-						earliest = t
-					}
-				}
-				e.Clock.AdvanceTo(earliest)
-				continue
-			}
-			active = decoding
-		}
-		// Uniformly-long regime: the KV budget bounds the resident batch.
-		if e.cfg.KVBudgetBytes > 0 {
-			if resident := e.kvResidentLimit(active); resident < len(active) {
-				active = active[:resident]
-				stats.QueuedSteps++
-			}
-		}
-		useSD := e.selector != nil && (e.cfg.SDThreshold == 0 || len(active) <= e.cfg.SDThreshold)
-		if useSD && !sdActive && stats.VanillaSteps > 0 {
-			// Activating SD mid-run re-prefills the running batch to seed
-			// drafter state (paper §6.4: completes within seconds). Runs
-			// that start in SD need no switch.
-			stats.SwitchCount++
-			t0 := e.Clock.Now()
-			e.Clock.Advance(e.cfg.SwitchCost)
-			e.Timeline.Record("sd-switch", t0, e.Clock.Now())
-		}
-		sdActive = useSD
-
-		var prof StepProfile
-		if useSD {
-			prof = e.sdStep(active, rng, &stats)
-			stats.SDSteps++
-		} else {
-			prof = e.vanillaStep(active, rng, &stats)
-			stats.VanillaSteps++
-		}
-		for _, r := range active {
-			if r.maybeStartToolCall(e.Clock.Now()) {
-				stats.ToolCalls++
-				stats.ToolWaitTime += r.Tool.Latency
-			}
-		}
-		for _, r := range active {
-			if r.Done {
-				stats.CompletionTimes = append(stats.CompletionTimes, e.Clock.Now()-start)
-			}
-		}
-		stats.Profile = append(stats.Profile, prof)
+		b.Step(rng)
 	}
-	if e.cfg.Cache != nil {
-		e.cacheInsertBack(reqs)
+	stats := b.Stats()
+	stats.Elapsed = b.Clock.Now() - start
+	// Completion times are recorded against the shared (possibly reused)
+	// clock; rebase a copy to this run — the snapshot's slice aliases
+	// scheduler storage, which must keep its absolute-time contract.
+	rebased := make([]time.Duration, len(stats.CompletionTimes))
+	for i, ct := range stats.CompletionTimes {
+		rebased[i] = ct - start
 	}
-	stats.Elapsed = e.Clock.Now() - start
+	stats.CompletionTimes = rebased
+	// Drop any requests an iteration bound left unfinished (their retained
+	// cache nodes are released; a later Run re-admits and re-pins them)
+	// and clear the retirement buffer for the next run.
+	b.Retire()
+	b.Reset()
 	return stats
-}
-
-// cacheInsertBack writes completed sequences into the prefix cache (with
-// the prompt-boundary hidden state, so a later request sharing the prompt
-// can resume from it) and releases the nodes retained at prefill time.
-// Unfinished requests (RunIterations bounds) are not inserted; their
-// retained prefixes are still released — the next run re-pins them.
-func (e *Engine) cacheInsertBack(reqs []*Request) {
-	if e.cacheScratch == nil {
-		e.cacheScratch = model.NewScratch()
-	}
-	for i, r := range reqs {
-		if !r.Done || len(r.Prompt) == 0 {
-			continue
-		}
-		// The hidden sketch is a pure function of the (frozen-at-serving)
-		// target and the prompt, so when the full prompt matched a node
-		// that already carries one, recomputing it would reproduce the
-		// resident value — skip the pass and only harvest continuations.
-		hid := (*model.HiddenState)(nil)
-		if i >= len(e.hidCached) || !e.hidCached[i] {
-			model.FusedHiddenInto(e.target,
-				model.Context{Tokens: r.Prompt, PromptLen: len(r.Prompt)},
-				1, &e.cacheHid, e.cacheScratch)
-			hid = &e.cacheHid
-		}
-		e.cfg.Cache.Insert(r.Tokens, len(r.Prompt), hid)
-	}
-	for i, n := range e.retained {
-		n.Release()
-		e.retained[i] = nil
-	}
-	e.retained = e.retained[:0]
-}
-
-// partitionToolWaits splits active requests into decoding and tool-waiting
-// sets at the given time.
-func partitionToolWaits(active []*Request, now time.Duration) (decoding, waiting []*Request) {
-	for _, r := range active {
-		if r.waitingUntil() > now {
-			waiting = append(waiting, r)
-		} else {
-			decoding = append(decoding, r)
-		}
-	}
-	return decoding, waiting
-}
-
-// kvResidentLimit returns how many of the active requests fit the KV
-// budget (at least one, so progress is guaranteed).
-func (e *Engine) kvResidentLimit(active []*Request) int {
-	perTok := e.target.Arch().KVBytesPerToken() / float64(e.cfg.Device.TP)
-	var used float64
-	for i, r := range active {
-		used += perTok * float64(len(r.Tokens))
-		if used > e.cfg.KVBudgetBytes && i > 0 {
-			return i
-		}
-	}
-	return len(active)
-}
-
-func activeRequests(reqs []*Request) []*Request {
-	var out []*Request
-	for _, r := range reqs {
-		if !r.Done {
-			out = append(out, r)
-		}
-	}
-	return out
-}
-
-func (e *Engine) kvTokens(active []*Request) int {
-	var kv int
-	for _, r := range active {
-		kv += len(r.Tokens)
-	}
-	return kv
-}
-
-// vanillaStep decodes one token for every active request.
-func (e *Engine) vanillaStep(active []*Request, rng *rand.Rand, stats *Stats) StepProfile {
-	for _, r := range active {
-		e.spec.Bias = r.biasInto(e.biasBuf)
-		e.spec.EosID = r.EosID
-		tok, eos := e.spec.VanillaStep(r.Tokens, len(r.Prompt), rng)
-		r.Tokens = append(r.Tokens, tok)
-		r.EosSeen = r.EosSeen || eos
-		if obs, ok := e.drafter.(draft.Observer); ok && e.drafter != nil {
-			obs.Observe(r.Tokens, len(r.Prompt))
-		}
-		r.finish()
-	}
-	stats.ResponseTokens += len(active)
-
-	// Vanilla decode replays the engine's standard decode graphs.
-	cost := e.cfg.Device.Forward(e.target.Arch(), gpu.ForwardOpts{
-		Tokens: len(active), KVTokens: e.kvTokens(active), CUDAGraph: true,
-	}).Total() + e.cfg.HostOverhead
-	t0 := e.Clock.Now()
-	e.Clock.Advance(cost)
-	e.Timeline.Record("decode", t0, e.Clock.Now())
-	return StepProfile{End: e.Clock.Now(), Running: len(active), Mode: ModeVanilla, TokensOut: len(active)}
-}
-
-// sdStep performs one speculative round for every active request.
-func (e *Engine) sdStep(active []*Request, rng *rand.Rand, stats *Stats) StepProfile {
-	strategy := e.selector.Select(len(active))
-	if cap(e.frontierAgg) < strategy.DraftDepth {
-		e.frontierAgg = make([]int, strategy.DraftDepth)
-	}
-	frontierPerDepth := e.frontierAgg[:strategy.DraftDepth]
-	for i := range frontierPerDepth {
-		frontierPerDepth[i] = 0
-	}
-	acceptLens := e.acceptLens[:0]
-	var (
-		verified  int
-		tokensOut int
-	)
-	for _, r := range active {
-		e.spec.Bias = r.biasInto(e.biasBuf)
-		e.spec.EosID = r.EosID
-		res := e.spec.Step(e.drafter, r.Tokens, len(r.Prompt), strategy, rng)
-		// Clip overshoot past MaxNew (the engine cap).
-		tokens := res.Tokens
-		if over := r.Generated() + len(tokens) - r.MaxNew; over > 0 {
-			tokens = tokens[:len(tokens)-over]
-			res.Eos = false
-		}
-		r.Tokens = append(r.Tokens, tokens...)
-		r.EosSeen = r.EosSeen || res.Eos
-		r.AcceptLens = append(r.AcceptLens, res.AcceptLen)
-		acceptLens = append(acceptLens, res.AcceptLen)
-		tokensOut += len(tokens)
-		for d, w := range res.FrontierPerDepth {
-			if d < len(frontierPerDepth) {
-				frontierPerDepth[d] += w
-			}
-		}
-		verified += res.VerifiedTokens
-		stats.DraftedNodes += res.DraftedNodes
-		if obs, ok := e.drafter.(draft.Observer); ok {
-			obs.Observe(r.Tokens, len(r.Prompt))
-		}
-		r.finish()
-	}
-	stats.ResponseTokens += tokensOut
-	stats.VerifiedTokens += verified
-	stats.AcceptRounds += len(active)
-	for _, a := range acceptLens {
-		stats.AcceptLenSum += a
-	}
-
-	kv := e.kvTokens(active)
-	var cost time.Duration
-	sdHost := e.cfg.SDHostOverhead
-
-	// Drafting: one sequential pass per depth over the batch frontier.
-	draftArch := e.drafter.Arch()
-	if draftArch.Layers == 0 {
-		// Model-free retrieval drafting skips the draft-model forward and
-		// most of the tree bookkeeping (Lookahead-style): half the host
-		// cost, no GPU drafting cost.
-		sdHost /= 2
-	}
-	if draftArch.Layers > 0 {
-		_, graphOK := e.pool.Lookup(cudagraph.KindDraft, len(active), strategy.TopK)
-		for _, w := range frontierPerDepth {
-			if w == 0 {
-				continue
-			}
-			cost += e.cfg.Device.Forward(draftArch, gpu.ForwardOpts{
-				Tokens: w, KVTokens: kv, CUDAGraph: graphOK,
-			}).Total()
-		}
-	}
-
-	// Verification: one target pass over all selected tree nodes.
-	_, graphOK := e.pool.Lookup(cudagraph.KindTarget, len(active), strategy.TokensToVerify)
-	cost += e.cfg.Device.Forward(e.target.Arch(), gpu.ForwardOpts{
-		Tokens: verified, KVTokens: kv, CUDAGraph: graphOK,
-	}).Total()
-	cost += e.cfg.HostOverhead + sdHost
-
-	t0 := e.Clock.Now()
-	e.Clock.Advance(cost)
-	e.Timeline.Record("sd", t0, e.Clock.Now())
-	e.selector.Record(strategy, cost, acceptLens, len(active)) // Record only sums; reuse is safe
-	e.acceptLens = acceptLens[:0]
-	return StepProfile{End: e.Clock.Now(), Running: len(active), Mode: ModeSD, Strategy: strategy, TokensOut: tokensOut}
 }

@@ -1,0 +1,80 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/workload"
+)
+
+// steadyBatch builds a batch with n requests that cannot finish within
+// the measured window, stepped once so every scratch buffer has grown to
+// its high-water mark — the serving replica's steady state.
+func steadyBatch(t testing.TB, env *testEnv, n int, sd bool) (*Batch, []*Request, *rand.Rand) {
+	t.Helper()
+	var cfg Config
+	if sd {
+		cfg = fixedStrategyConfig(gpu.NewDevice(gpu.H100, 1))
+	} else {
+		cfg = DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+		cfg.SDThreshold = -1
+	}
+	var b *Batch
+	var err error
+	if sd {
+		b, err = New(cfg, env.target, env.eagle)
+	} else {
+		b, err = New(cfg, env.target, nil)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A long-running step-loop records neither per-step profiles nor
+	// timeline spans (both unbounded) — the configuration serving uses.
+	b.RecordProfile = false
+	b.Timeline = nil
+	rng := rand.New(rand.NewSource(61))
+	reqs := make([]*Request, n)
+	for i := 0; i < n; i++ {
+		r := NewRequest(i, env.gen.Pool()[i%len(env.gen.Pool())].Prompt, 1<<20,
+			workload.LengthPrior{TargetLen: 1 << 20, Sharpness: 25}, -1, -1)
+		r.RNG = rand.New(rand.NewSource(int64(200 + i)))
+		reqs[i] = r
+		b.Admit(r)
+	}
+	b.Step(rng) // prefill + first round grows all scratch
+	return b, reqs, rng
+}
+
+// TestBatchStepZeroSteadyStateAllocs pins the allocation-free contract of
+// the continuous-batching hot path: once the batch scratch has grown to
+// its high-water mark, a steady-state scheduler iteration — bias staging,
+// a full multi-sequence speculation round through the single grouped
+// scoring pass, acceptance bookkeeping, and the cost model — performs
+// zero heap allocations.
+func TestBatchStepZeroSteadyStateAllocs(t *testing.T) {
+	env := newEnv(t)
+	for _, n := range []int{1, 4, 8} {
+		b, _, rng := steadyBatch(t, env, n, true)
+		allocs := testing.AllocsPerRun(100, func() {
+			b.Step(rng)
+		})
+		if allocs != 0 {
+			t.Errorf("batch=%d: steady-state Step allocates %.1f objects/iter, want 0", n, allocs)
+		}
+	}
+}
+
+// TestBatchStepVanillaZeroSteadyStateAllocs covers the non-speculative
+// decode iteration (the path above the SD threshold).
+func TestBatchStepVanillaZeroSteadyStateAllocs(t *testing.T) {
+	env := newEnv(t)
+	b, _, rng := steadyBatch(t, env, 6, false)
+	allocs := testing.AllocsPerRun(100, func() {
+		b.Step(rng)
+	})
+	if allocs != 0 {
+		t.Errorf("steady-state vanilla Step allocates %.1f objects/iter, want 0", allocs)
+	}
+}

@@ -1,0 +1,41 @@
+package sched
+
+import (
+	"testing"
+)
+
+// benchStep runs the steady-state iteration benchmark at a fixed
+// workload: every op rewinds each sequence to its post-warm-up length so
+// per-op cost does not drift with b.N (tokens and KV otherwise grow every
+// iteration).
+func benchStep(b *testing.B, n int, sd bool) {
+	env := newEnv(b)
+	batch, reqs, rng := steadyBatch(b, env, n, sd)
+	warmLen := make([]int, len(reqs))
+	for i, r := range reqs {
+		warmLen[i] = len(r.Tokens)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j, r := range reqs {
+			r.Tokens = r.Tokens[:warmLen[j]]
+			r.AcceptLens = r.AcceptLens[:0]
+		}
+		batch.Step(rng)
+	}
+}
+
+// BenchmarkBatchStep is the canonical continuous-batching iteration: 8
+// inflight sequences advanced one speculation round by the scheduler
+// through a single grouped batched verification pass. It is snapshotted
+// as the sched/batch-step-8 hot-path entry in BENCH_<date>.json.
+func BenchmarkBatchStep(b *testing.B) { benchStep(b, 8, true) }
+
+// BenchmarkBatchStepSolo is the 1-sequence case, isolating per-iteration
+// scheduler overhead from batching gains.
+func BenchmarkBatchStepSolo(b *testing.B) { benchStep(b, 1, true) }
+
+// BenchmarkBatchStepVanilla measures the batched non-speculative decode
+// iteration.
+func BenchmarkBatchStepVanilla(b *testing.B) { benchStep(b, 8, false) }

@@ -1,0 +1,201 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"fastrl/internal/draft"
+	"fastrl/internal/gpu"
+	"fastrl/internal/model"
+	"fastrl/internal/prefixcache"
+)
+
+// propDrafters builds the drafter roster the equivalence property runs
+// over: the learned Eagle drafter, the vanilla small-LM drafter, and the
+// model-free n-gram drafter warmed on target rollouts and then frozen.
+// Freezing matters: the property compares token streams across different
+// schedules, which is only well-defined when drafter state does not
+// evolve mid-comparison. Online learning keeps losslessness (verification
+// never depends on proposal quality) but gives up bit-reproducibility —
+// deployments choose per drafter via draft.Freeze.
+func propDrafters(t *testing.T, env *testEnv) map[string]draft.Drafter {
+	t.Helper()
+	ng := draft.NewNGram(env.tk.VocabSize(), 1, 3)
+	warmRng := rand.New(rand.NewSource(77))
+	for _, task := range env.gen.Pool()[:8] {
+		seq := model.Generate(env.target, task.Prompt, nil, 0.9, 40, env.tk.Eos(), warmRng)
+		ng.Observe(seq, len(task.Prompt))
+	}
+	if ng.Size() == 0 {
+		t.Fatal("n-gram drafter failed to warm")
+	}
+	return map[string]draft.Drafter{
+		"eagle":        env.eagle,
+		"smalllm":      draft.NewSmallLM("smalllm", env.tk.VocabSize(), gpu.Qwen05B, 99),
+		"ngram-frozen": draft.Freeze(ng),
+	}
+}
+
+// TestContinuousMatchesRunToCompletion is the equivalence property of the
+// iteration-level scheduler: a request's token stream (and its per-round
+// accept lengths) must be bit-identical whether it is decoded alone to
+// completion or continuously batched with other requests, joining and
+// leaving mid-flight — for every drafter, with and without a prefix
+// cache. Per-request RNGs make the sampling stream private, batched
+// scoring emits bit-identical rows to solo scoring, and frozen drafter
+// state makes proposals a pure function of context; the test pins that
+// chain end to end.
+func TestContinuousMatchesRunToCompletion(t *testing.T) {
+	env := newEnv(t)
+	drafters := propDrafters(t, env)
+	const nReqs = 5
+	maxNew := 48
+
+	build := func(seedBase int64) []*Request {
+		reqs := make([]*Request, nReqs)
+		for i := range reqs {
+			reqs[i] = env.poolRequest(i, i, maxNew, seedBase+int64(i))
+		}
+		return reqs
+	}
+
+	for name, d := range drafters {
+		for _, cached := range []bool{false, true} {
+			label := name
+			if cached {
+				label += "+cache"
+			}
+			t.Run(label, func(t *testing.T) {
+				mkCfg := func() Config {
+					cfg := fixedStrategyConfig(gpu.NewDevice(gpu.H100, 1))
+					if cached {
+						cfg.Cache = prefixcache.New(prefixcache.Config{})
+					}
+					return cfg
+				}
+
+				// Run-to-completion baseline: each request decodes alone in
+				// its own fresh batch, start to finish.
+				solo := build(1000)
+				for _, r := range solo {
+					b, err := New(mkCfg(), env.target, d)
+					if err != nil {
+						t.Fatal(err)
+					}
+					b.Admit(r)
+					runToCompletion(t, b, rand.New(rand.NewSource(9)))
+				}
+
+				// Continuous batching: the same requests join one batch at
+				// staggered step boundaries and leave as they finish.
+				cont := build(1000)
+				b, err := New(mkCfg(), env.target, d)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(9))
+				next := 0
+				for step := 0; b.ActiveCount() > 0 || next < len(cont); step++ {
+					if step > 100000 {
+						t.Fatal("continuous run did not converge")
+					}
+					// Two new admissions every three steps: requests join
+					// while earlier ones are mid-decode.
+					if next < len(cont) && step%3 != 2 {
+						b.Admit(cont[next])
+						next++
+					}
+					b.Step(rng)
+					b.Retire()
+				}
+
+				for i := range solo {
+					s, c := solo[i], cont[i]
+					if len(s.Tokens) != len(c.Tokens) {
+						t.Fatalf("request %d: solo %d tokens, continuous %d",
+							i, len(s.Tokens), len(c.Tokens))
+					}
+					for j := range s.Tokens {
+						if s.Tokens[j] != c.Tokens[j] {
+							t.Fatalf("request %d diverges at position %d: solo %d vs continuous %d",
+								i, j, s.Tokens[j], c.Tokens[j])
+						}
+					}
+					if len(s.AcceptLens) != len(c.AcceptLens) {
+						t.Fatalf("request %d: solo %d SD rounds, continuous %d",
+							i, len(s.AcceptLens), len(c.AcceptLens))
+					}
+					for j := range s.AcceptLens {
+						if s.AcceptLens[j] != c.AcceptLens[j] {
+							t.Fatalf("request %d round %d: accept %d vs %d",
+								i, j, s.AcceptLens[j], c.AcceptLens[j])
+						}
+					}
+					if s.MeanAcceptLen() != c.MeanAcceptLen() {
+						t.Fatalf("request %d: accept length %v vs %v — per-request accounting not exact",
+							i, s.MeanAcceptLen(), c.MeanAcceptLen())
+					}
+					if s.EosSeen != c.EosSeen {
+						t.Fatalf("request %d: EOS flag diverged", i)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestContinuousMatchesRunToCompletionVanilla covers the non-speculative
+// path: the same equivalence with SD disabled entirely.
+func TestContinuousMatchesRunToCompletionVanilla(t *testing.T) {
+	env := newEnv(t)
+	const nReqs = 4
+	mkCfg := func() Config {
+		cfg := DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+		cfg.SDThreshold = -1
+		return cfg
+	}
+	build := func() []*Request {
+		reqs := make([]*Request, nReqs)
+		for i := range reqs {
+			reqs[i] = env.poolRequest(i, i, 40, int64(500+i))
+		}
+		return reqs
+	}
+
+	solo := build()
+	for _, r := range solo {
+		b, err := New(mkCfg(), env.target, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b.Admit(r)
+		runToCompletion(t, b, rand.New(rand.NewSource(5)))
+	}
+
+	cont := build()
+	b, err := New(mkCfg(), env.target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	next := 0
+	for step := 0; b.ActiveCount() > 0 || next < len(cont); step++ {
+		if next < len(cont) && step%2 == 0 {
+			b.Admit(cont[next])
+			next++
+		}
+		b.Step(rng)
+		b.Retire()
+	}
+	for i := range solo {
+		s, c := solo[i], cont[i]
+		if len(s.Tokens) != len(c.Tokens) {
+			t.Fatalf("request %d: solo %d tokens, continuous %d", i, len(s.Tokens), len(c.Tokens))
+		}
+		for j := range s.Tokens {
+			if s.Tokens[j] != c.Tokens[j] {
+				t.Fatalf("request %d diverges at position %d", i, j)
+			}
+		}
+	}
+}

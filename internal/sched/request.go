@@ -1,0 +1,173 @@
+package sched
+
+import (
+	"math/rand"
+	"time"
+
+	"fastrl/internal/prefixcache"
+	"fastrl/internal/workload"
+)
+
+// Request is one in-flight generation. A request joins a Batch through
+// Admit, decodes at step boundaries, and leaves through Retire when done.
+type Request struct {
+	ID     int
+	Prompt []int
+	// Tokens is prompt + generated (grows during decoding).
+	Tokens []int
+	MaxNew int
+	// Prior is the length prior driving the dynamic EOS/answer bias.
+	Prior workload.LengthPrior
+	// AnswerID and EosID are biased by the prior (negative disables).
+	AnswerID int
+	EosID    int
+
+	Done    bool
+	EosSeen bool
+	// AcceptLens records per-round accepted token counts while in SD mode
+	// — the request's own accounting, so per-request accept-length metrics
+	// are exact under continuous batching (not whole-engine averages).
+	AcceptLens []int
+
+	// RNG, when non-nil, is the request's private sampling stream: its
+	// token stream becomes independent of batch composition and admission
+	// time (for drafters whose state is frozen during decode), the
+	// property serving relies on for reproducible responses under
+	// continuous batching. When nil, the request draws from the shared
+	// stream passed to Batch.Step — the trainer's batch-coupled mode.
+	RNG *rand.Rand
+
+	// Tag is opaque caller bookkeeping carried through the lifecycle (the
+	// serving layer stores its job handle here).
+	Tag any
+
+	// Tool configures multi-turn tool-calling behaviour (paper §7);
+	// zero value disables it.
+	Tool ToolProfile
+	tool toolState
+
+	// Scheduler-owned lifecycle state.
+	admittedAt  time.Duration
+	finishedAt  time.Duration
+	hasFinished bool
+	truncated   bool
+	// retained pins the request's matched prefix-cache node while it is
+	// inflight; hidCached marks a full-prompt match that already carries a
+	// hidden state, so insert-back can skip recomputing it.
+	retained  *prefixcache.Node
+	hidCached bool
+}
+
+// maxPresize bounds the token-capacity reservation of NewRequest: decode
+// appends stay allocation-free up to this many generated tokens without
+// letting steady-state throughput probes (which use effectively unbounded
+// MaxNew) reserve gigantic buffers.
+const maxPresize = 1 << 14
+
+// NewRequest builds a request from a prompt. Token storage is reserved up
+// front (prompt + MaxNew, bounded), so steady-state decode appends do not
+// allocate.
+func NewRequest(id int, prompt []int, maxNew int, prior workload.LengthPrior, answerID, eosID int) *Request {
+	reserve := maxNew
+	if reserve > maxPresize {
+		reserve = maxPresize
+	}
+	if reserve < 0 {
+		reserve = 0
+	}
+	tokens := make([]int, len(prompt), len(prompt)+reserve)
+	copy(tokens, prompt)
+	return &Request{
+		ID:     id,
+		Prompt: prompt,
+		Tokens: tokens,
+		MaxNew: maxNew,
+		// Every SD round accepts at least one token, so rounds are bounded
+		// by the token reserve; pre-sizing keeps the decode loop free of
+		// bookkeeping reallocations.
+		AcceptLens: make([]int, 0, reserve),
+		Prior:      prior,
+		AnswerID:   answerID,
+		EosID:      eosID,
+	}
+}
+
+// Generated returns the number of generated (response) tokens.
+func (r *Request) Generated() int { return len(r.Tokens) - len(r.Prompt) }
+
+// Response returns the generated suffix.
+func (r *Request) Response() []int { return r.Tokens[len(r.Prompt):] }
+
+// AdmittedAt returns the virtual time the request joined its batch (the
+// start of its prefill step).
+func (r *Request) AdmittedAt() time.Duration { return r.admittedAt }
+
+// FinishedAt returns the virtual time the request completed (zero while
+// still decoding; valid once the request is retired).
+func (r *Request) FinishedAt() time.Duration { return r.finishedAt }
+
+// DecodeTime returns the request's virtual service time inside its batch:
+// admission (prefill start) to completion. Under continuous batching it
+// includes the request's share of co-batched work, which is exactly the
+// latency a served request experiences.
+func (r *Request) DecodeTime() time.Duration {
+	if !r.hasFinished {
+		return 0
+	}
+	return r.finishedAt - r.admittedAt
+}
+
+// Truncated reports whether the request was cut off by batch truncation
+// (the premature-termination strategy) rather than finishing naturally.
+func (r *Request) Truncated() bool { return r.truncated }
+
+// MeanAcceptLen returns the paper's accept-length metric for this request
+// alone (accepted/rounds + 1), 0 when SD never ran for it. Unlike
+// engine-level stats it is exact per request under continuous batching.
+func (r *Request) MeanAcceptLen() float64 {
+	if len(r.AcceptLens) == 0 {
+		return 0
+	}
+	sum := 0
+	for _, a := range r.AcceptLens {
+		sum += a
+	}
+	return float64(sum)/float64(len(r.AcceptLens)) + 1
+}
+
+// biasInto writes the dynamic logit bias for the request's current length
+// into dst (a scheduler-owned map reused across steps) and returns it,
+// or nil when no bias applies.
+func (r *Request) biasInto(dst map[int]float32) map[int]float32 {
+	b := r.Prior.Bias(r.Generated())
+	if b == 0 {
+		return nil
+	}
+	clear(dst)
+	if r.EosID >= 0 {
+		dst[r.EosID] = b
+	}
+	if r.AnswerID >= 0 {
+		dst[r.AnswerID] = b
+	}
+	if len(dst) == 0 {
+		return nil
+	}
+	return dst
+}
+
+// finish marks completion conditions after new tokens landed.
+func (r *Request) finish() {
+	if r.EosSeen || r.Generated() >= r.MaxNew {
+		r.Done = true
+	}
+}
+
+// releaseRetained drops the request's pinned prefix-cache node, if any.
+func (r *Request) releaseRetained() {
+	if r.retained != nil {
+		r.retained.Release()
+		r.retained = nil
+	}
+	r.hidCached = false
+}

@@ -1,0 +1,801 @@
+// Package sched implements the iteration-level scheduler at the heart of
+// continuous batching (Orca/vLLM-style): a Batch of inflight sequences
+// that new requests join and finished requests leave at *step* boundaries
+// rather than batch-of-requests boundaries. One Step decodes every
+// eligible sequence — scoring all of their speculation trees through a
+// single engine-owned model.Scratch + batched target pass — and charges
+// the simulated device exactly one iteration's cost.
+//
+// The scheduler is the single request-lifecycle implementation shared by
+// the trainer (rollout.Engine drives a closed batch to completion) and
+// the serving layer (replica step-loops drain an admission queue into
+// their batch each iteration). Elastic SD activation, BEG-MAB strategy
+// selection, tool-wait partitioning, the KV-residency bound, and
+// prefix-cache prefill skipping all live here, so every caller gets the
+// same semantics.
+//
+// Token generation is genuine — every response token is sampled from the
+// target model (speculatively or not, with identical distribution) —
+// while latency is charged to a virtual clock through the gpu roofline
+// model.
+package sched
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"fastrl/internal/cudagraph"
+	"fastrl/internal/draft"
+	"fastrl/internal/gpu"
+	"fastrl/internal/mab"
+	"fastrl/internal/model"
+	"fastrl/internal/prefixcache"
+	"fastrl/internal/specdec"
+	"fastrl/internal/vclock"
+)
+
+// Mode distinguishes vanilla decoding from speculative decoding.
+type Mode int
+
+const (
+	// ModeVanilla is ordinary one-token-per-step decoding.
+	ModeVanilla Mode = iota
+	// ModeSD is speculative decoding.
+	ModeSD
+)
+
+func (m Mode) String() string {
+	if m == ModeSD {
+		return "sd"
+	}
+	return "vanilla"
+}
+
+// Config parameterises the scheduler.
+type Config struct {
+	// Device executes all passes (a TP group acting as one device).
+	Device *gpu.Device
+	// Temp is the sampling temperature.
+	Temp float64
+	// SDThreshold is the elastic activation bound: SD engages only when
+	// the number of decoding requests drops to or below it (paper default
+	// 32). Zero means SD is always on; negative disables SD entirely.
+	SDThreshold int
+	// Strategies is the SD strategy ladder (grouped by the MAB selector).
+	Strategies []specdec.Params
+	// MAB configures the BEG-MAB tuner.
+	MAB mab.Config
+	// GraphPlan selects the CUDAGraph capture plan: "bucketed" (default),
+	// "single", "naive", or "none".
+	GraphPlan string
+	// HostOverhead is the fixed CPU-side cost per engine iteration
+	// (scheduling, sampling, detokenisation).
+	HostOverhead time.Duration
+	// SDHostOverhead is the additional CPU cost per SD iteration (tree
+	// construction, acceptance bookkeeping).
+	SDHostOverhead time.Duration
+	// SwitchCost is the one-off re-prefill cost when SD activates for a
+	// running batch (paper: ~3s at datacenter scale).
+	SwitchCost time.Duration
+	// KVBudgetBytes caps resident KV-cache bytes (paper §7, uniformly-long
+	// responses): when the decoding batch's KV exceeds the budget, excess
+	// requests queue instead of decoding, shrinking the running batch.
+	// Zero disables the cap.
+	KVBudgetBytes float64
+	// StopAtRemaining truncates a closed run once this few requests remain
+	// (the premature-termination strategy of partial-rollout systems the
+	// paper contrasts with). The scheduler itself never truncates — the
+	// run-to-completion driver (rollout.Engine) applies the policy via
+	// TruncateRemaining; it is carried here so engine configuration stays
+	// one value.
+	StopAtRemaining int
+	// Cache, when non-nil, is a shared radix prefix cache: prefill skips
+	// positions covered by a cached prefix (their target state is already
+	// resident), matched nodes stay retained while their requests are
+	// inflight, and retired sequences are inserted back with the
+	// prompt-boundary hidden state so later requests — and warm-started
+	// drafters — reuse them. Serving replicas on one shard share a single
+	// cache.
+	Cache *prefixcache.Cache
+}
+
+// DefaultConfig returns the paper's engine settings for a device.
+func DefaultConfig(dev *gpu.Device) Config {
+	return Config{
+		Device:         dev,
+		Temp:           0.9,
+		SDThreshold:    32,
+		Strategies:     mab.DefaultStrategies(),
+		MAB:            mab.DefaultConfig(),
+		GraphPlan:      "bucketed",
+		HostOverhead:   250 * time.Microsecond,
+		SDHostOverhead: 1200 * time.Microsecond,
+		SwitchCost:     4 * time.Millisecond,
+	}
+}
+
+// StepProfile is one scheduler iteration's record (Fig. 14 data).
+type StepProfile struct {
+	// End is the virtual time at iteration end.
+	End time.Duration
+	// Running is the number of requests decoding in this iteration.
+	Running int
+	Mode    Mode
+	// Strategy is the SD strategy used (zero for vanilla).
+	Strategy specdec.Params
+	// TokensOut is the number of response tokens produced this iteration.
+	TokensOut int
+}
+
+// Stats summarises scheduler activity since the last ResetStats.
+type Stats struct {
+	PromptTokens    int
+	ResponseTokens  int
+	Elapsed         time.Duration
+	Profile         []StepProfile
+	SDSteps         int
+	VanillaSteps    int
+	AcceptLenSum    int
+	AcceptRounds    int
+	GraphMemBytes   float64
+	SwitchCount     int
+	DraftedNodes    int
+	VerifiedTokens  int
+	CompletionTimes []time.Duration
+	// ToolWaitTime is total virtual time requests spent in GPU-free tool
+	// calls; ToolCalls counts them.
+	ToolWaitTime time.Duration
+	ToolCalls    int
+	// QueuedSteps counts iterations where the KV budget forced requests
+	// to queue.
+	QueuedSteps int
+	// TruncatedRequests counts requests cut off by TruncateRemaining.
+	TruncatedRequests int
+	// PrefillSavedTokens counts prompt positions whose prefill was skipped
+	// because a cached prefix already covered them; PrefillCacheHits counts
+	// requests that matched the cache at all. Both are 0 without a Cache.
+	PrefillSavedTokens int
+	PrefillCacheHits   int
+}
+
+// MeanAcceptLen returns the paper's accept-length metric
+// (accepted/rounds + 1), 0 when SD never ran. It averages over every
+// request the batch decoded; per-request accept lengths live on the
+// requests themselves (Request.MeanAcceptLen).
+func (s Stats) MeanAcceptLen() float64 {
+	if s.AcceptRounds == 0 {
+		return 0
+	}
+	return float64(s.AcceptLenSum)/float64(s.AcceptRounds) + 1
+}
+
+// Throughput returns response tokens per virtual second.
+func (s Stats) Throughput() float64 {
+	if s.Elapsed <= 0 {
+		return 0
+	}
+	return float64(s.ResponseTokens) / s.Elapsed.Seconds()
+}
+
+// Batch is an iteration-level scheduler over inflight sequences. It owns
+// the speculation engine (and through it all decode scratch), the MAB
+// strategy selector, and the CUDAGraph pool; one Batch serves one
+// simulated device worker (trainer engine or serving replica) and is not
+// safe for concurrent use.
+type Batch struct {
+	cfg     Config
+	target  *model.LM
+	drafter draft.Drafter
+
+	selector *mab.Selector
+	pool     *cudagraph.Pool
+	// spec is the batch-owned speculation engine: its scratch (draft and
+	// verification buffers, per-slot tree arenas) is reused across every
+	// request and round so the decode hot path allocates nothing in
+	// steady state.
+	spec specdec.Engine
+
+	// Clock may be shared across batches (one worker per batch); defaults
+	// to a fresh clock. Timeline records labelled cost spans; set it to
+	// nil on long-running step-loops (serving replicas) — like the
+	// per-step profile, an unbounded span log has no place on a hot path
+	// that never ends.
+	Clock    *vclock.Clock
+	Timeline *vclock.Timeline
+
+	// RecordProfile controls per-iteration StepProfile accumulation.
+	// Closed runs (the trainer) keep it on for Fig. 14-style profiles;
+	// long-running serving step-loops turn it off so the scheduler holds
+	// no unbounded per-step state.
+	RecordProfile bool
+
+	// inflight are admitted-and-prefilled requests in admission order;
+	// pending are admitted requests awaiting their prefill at the next
+	// step boundary; retired are finished requests awaiting Retire.
+	inflight []*Request
+	pending  []*Request
+	retired  []*Request
+
+	stats    Stats
+	sdActive bool
+
+	// Per-step scratch reused across iterations.
+	active      []*Request
+	decoding    []*Request
+	seqs        []specdec.Seq
+	rngs        []*rand.Rand
+	results     []specdec.Result
+	vanTok      []int
+	vanEos      []bool
+	biasMaps    []map[int]float32
+	frontierAgg []int
+	acceptLens  []int
+
+	// Prefix-cache insert-back buffers.
+	cacheHid     model.HiddenState
+	cacheScratch *model.Scratch
+}
+
+// New builds a scheduler batch. drafter may be nil (vanilla decoding
+// only).
+func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Batch, error) {
+	if cfg.Device == nil {
+		return nil, fmt.Errorf("sched: nil device")
+	}
+	b := &Batch{
+		cfg:           cfg,
+		target:        target,
+		drafter:       drafter,
+		Clock:         &vclock.Clock{},
+		Timeline:      &vclock.Timeline{},
+		RecordProfile: true,
+	}
+	b.spec = specdec.Engine{Target: target, Temp: cfg.Temp}
+	if drafter != nil && cfg.SDThreshold >= 0 {
+		sel, err := mab.New(cfg.Strategies, cfg.MAB)
+		if err != nil {
+			return nil, err
+		}
+		b.selector = sel
+		draftArch := drafter.Arch()
+		if draftArch.Layers == 0 {
+			draftArch = gpu.DraftArch(target.Arch())
+		}
+		var plan cudagraph.Plan
+		switch cfg.GraphPlan {
+		case "", "bucketed":
+			plan = cudagraph.BucketedPlan(target.Arch(), draftArch, cfg.Device.TP,
+				cfg.Strategies, cfg.MAB.Thresholds, cudagraph.DefaultBuckets)
+		case "single":
+			plan = cudagraph.SinglePlan(target.Arch(), draftArch, cfg.Device.TP,
+				cfg.Strategies[0], cudagraph.DefaultBuckets)
+		case "naive":
+			plan = cudagraph.NaiveMultiPlan(target.Arch(), draftArch, cfg.Device.TP,
+				cfg.Strategies, cudagraph.DefaultBuckets)
+		case "none":
+			plan = cudagraph.Plan{Name: "none"}
+		default:
+			return nil, fmt.Errorf("sched: unknown graph plan %q", cfg.GraphPlan)
+		}
+		b.pool = cudagraph.NewPool(plan)
+		b.stats.GraphMemBytes = b.pool.MemBytes()
+	}
+	return b, nil
+}
+
+// Config returns the batch configuration.
+func (b *Batch) Config() Config { return b.cfg }
+
+// Selector exposes the MAB tuner (nil when SD disabled).
+func (b *Batch) Selector() *mab.Selector { return b.selector }
+
+// Pool exposes the CUDAGraph pool (nil when SD disabled).
+func (b *Batch) Pool() *cudagraph.Pool { return b.pool }
+
+// SetDrafter swaps the draft model (adaptive drafter weight refresh).
+func (b *Batch) SetDrafter(d draft.Drafter) { b.drafter = d }
+
+// Admit schedules a request to join the batch at the next step boundary:
+// its prefill is folded into the next Step's prefill pass together with
+// every other admission since the previous step, exactly one batched
+// prompt forward per iteration.
+func (b *Batch) Admit(r *Request) {
+	b.pending = append(b.pending, r)
+}
+
+// ActiveCount returns the number of admitted requests that have not
+// finished (pending admissions included).
+func (b *Batch) ActiveCount() int {
+	n := 0
+	for _, r := range b.inflight {
+		if !r.Done {
+			n++
+		}
+	}
+	for _, r := range b.pending {
+		if !r.Done {
+			n++
+		}
+	}
+	return n
+}
+
+// Inflight returns the number of requests currently inside the batch
+// (prefilled, not yet retired).
+func (b *Batch) Inflight() int { return len(b.inflight) }
+
+// Stats returns a copy of the accumulated statistics. Slice fields alias
+// scheduler-owned storage that is replaced (not reused) by ResetStats, so
+// a snapshot taken before a reset stays valid.
+func (b *Batch) Stats() Stats {
+	s := b.stats
+	s.Elapsed = b.Clock.Now()
+	return s
+}
+
+// ResetStats clears accumulated statistics (and the SD activation latch,
+// which is defined against the cleared VanillaSteps counter). The
+// run-to-completion driver calls it at the top of every run.
+func (b *Batch) ResetStats() {
+	gm := b.stats.GraphMemBytes
+	b.stats = Stats{GraphMemBytes: gm}
+	b.sdActive = false
+}
+
+// Reset drops every admitted request (releasing retained prefix-cache
+// nodes without insert-back) and clears the retirement buffer. Requests
+// keep their generated tokens; re-admitting them starts a fresh lifecycle
+// (including a fresh prefill), which is how the run-to-completion driver
+// reuses one batch across runs.
+func (b *Batch) Reset() {
+	for _, r := range b.inflight {
+		r.releaseRetained()
+	}
+	for _, r := range b.pending {
+		r.releaseRetained()
+	}
+	b.inflight = b.inflight[:0]
+	b.pending = b.pending[:0]
+	b.retired = b.retired[:0]
+}
+
+// Retire returns the requests that finished since the last call, in the
+// order they completed, and clears the internal buffer. The returned
+// slice aliases scheduler storage valid until the next Step.
+func (b *Batch) Retire() []*Request {
+	out := b.retired
+	b.retired = b.retired[:0]
+	return out
+}
+
+// TruncateRemaining marks every unfinished admitted request as done
+// (truncated) at the current virtual time — the premature-termination
+// strategy: the long tail is cut instead of decoded. Truncated requests
+// retire normally (and are inserted into the prefix cache, like any
+// completed sequence).
+func (b *Batch) TruncateRemaining() {
+	now := b.Clock.Now()
+	for _, r := range b.inflight {
+		if r.Done {
+			continue
+		}
+		r.Done = true
+		r.truncated = true
+		r.finishedAt = now
+		r.hasFinished = true
+		b.stats.TruncatedRequests++
+		b.stats.CompletionTimes = append(b.stats.CompletionTimes, now)
+	}
+	for _, r := range b.pending {
+		if r.Done {
+			continue
+		}
+		r.Done = true
+		r.truncated = true
+		r.finishedAt = now
+		r.hasFinished = true
+		b.stats.TruncatedRequests++
+		b.stats.CompletionTimes = append(b.stats.CompletionTimes, now)
+	}
+	b.collectRetired()
+	// Pending requests never prefilled; retire them too.
+	for _, r := range b.pending {
+		r.releaseRetained()
+		b.retired = append(b.retired, r)
+	}
+	b.pending = b.pending[:0]
+}
+
+// Step runs one scheduler iteration: pending admissions prefill in one
+// pass, tool-waiting requests are partitioned out, the KV budget bounds
+// the decoding set, and every decoding request advances one vanilla token
+// or one speculation round through a single batched scoring pass. It
+// returns the iteration's profile and whether any decoding happened (an
+// all-waiting iteration only advances the clock; an empty batch does
+// nothing).
+//
+// rng is the shared sampling stream used by requests without a private
+// RNG; requests decode in admission order, so a closed batch with a
+// shared stream reproduces the pre-scheduler rollout engine draw-for-draw.
+func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
+	b.prefillPending()
+
+	b.active = b.active[:0]
+	for _, r := range b.inflight {
+		if !r.Done {
+			b.active = append(b.active, r)
+		}
+	}
+	if len(b.active) == 0 {
+		return StepProfile{}, false
+	}
+
+	// Multi-turn: requests inside a tool call do not decode. If every
+	// active request is waiting, jump the clock to the earliest resume.
+	now := b.Clock.Now()
+	b.decoding = b.decoding[:0]
+	waiting := 0
+	earliest := time.Duration(0)
+	for _, r := range b.active {
+		if t := r.waitingUntil(); t > now {
+			if waiting == 0 || t < earliest {
+				earliest = t
+			}
+			waiting++
+		} else {
+			b.decoding = append(b.decoding, r)
+		}
+	}
+	if len(b.decoding) == 0 {
+		b.Clock.AdvanceTo(earliest)
+		return StepProfile{}, false
+	}
+	active := b.decoding
+
+	// Uniformly-long regime: the KV budget bounds the resident batch.
+	if b.cfg.KVBudgetBytes > 0 {
+		if resident := b.kvResidentLimit(active); resident < len(active) {
+			active = active[:resident]
+			b.stats.QueuedSteps++
+		}
+	}
+
+	useSD := b.selector != nil && (b.cfg.SDThreshold == 0 || len(active) <= b.cfg.SDThreshold)
+	if useSD && !b.sdActive && b.stats.VanillaSteps > 0 {
+		// Activating SD mid-run re-prefills the running batch to seed
+		// drafter state (paper §6.4: completes within seconds). Runs
+		// that start in SD need no switch.
+		b.stats.SwitchCount++
+		t0 := b.Clock.Now()
+		b.Clock.Advance(b.cfg.SwitchCost)
+		if b.Timeline != nil {
+			b.Timeline.Record("sd-switch", t0, b.Clock.Now())
+		}
+	}
+	b.sdActive = useSD
+
+	var prof StepProfile
+	if useSD {
+		prof = b.sdStep(active, rng)
+		b.stats.SDSteps++
+	} else {
+		prof = b.vanillaStep(active, rng)
+		b.stats.VanillaSteps++
+	}
+	for _, r := range active {
+		if r.maybeStartToolCall(b.Clock.Now()) {
+			b.stats.ToolCalls++
+			b.stats.ToolWaitTime += r.Tool.Latency
+		}
+	}
+	for _, r := range active {
+		if r.Done && !r.hasFinished {
+			r.finishedAt = b.Clock.Now()
+			r.hasFinished = true
+			b.stats.CompletionTimes = append(b.stats.CompletionTimes, r.finishedAt)
+		}
+	}
+	if b.RecordProfile {
+		b.stats.Profile = append(b.stats.Profile, prof)
+	}
+	b.collectRetired()
+	return prof, true
+}
+
+// prefillPending moves admissions into the inflight set, charging one
+// batched prompt forward for all of them. With a prefix cache, positions
+// covered by a cached prefix are skipped (their target state is already
+// resident); the matched nodes stay retained until the request retires so
+// eviction cannot reclaim state being decoded on.
+func (b *Batch) prefillPending() {
+	if len(b.pending) == 0 {
+		return
+	}
+	var promptTokens int
+	for _, r := range b.pending {
+		promptTokens += len(r.Prompt)
+	}
+	b.stats.PromptTokens += promptTokens
+	prefillTokens := promptTokens
+	if b.cfg.Cache != nil {
+		for _, r := range b.pending {
+			n, matched := b.cfg.Cache.Lookup(r.Prompt)
+			r.hidCached = n != nil && matched == len(r.Prompt) && n.Hidden() != nil
+			if n == nil {
+				continue
+			}
+			r.retained = n
+			prefillTokens -= matched
+			b.stats.PrefillSavedTokens += matched
+			b.stats.PrefillCacheHits++
+		}
+	}
+	for _, r := range b.pending {
+		r.admittedAt = b.Clock.Now()
+	}
+	if promptTokens > 0 {
+		// KVTokens stays at the full prompt length: the cached prefix
+		// contributes resident KV; only its recompute is saved.
+		cost := b.cfg.Device.Forward(b.target.Arch(), gpu.ForwardOpts{
+			Tokens: prefillTokens, KVTokens: promptTokens,
+		}).Total() + b.cfg.HostOverhead
+		t0 := b.Clock.Now()
+		b.Clock.Advance(cost)
+		if b.Timeline != nil {
+			b.Timeline.Record("prefill", t0, b.Clock.Now())
+		}
+	}
+	b.inflight = append(b.inflight, b.pending...)
+	b.pending = b.pending[:0]
+}
+
+// collectRetired moves finished requests out of the inflight set (in
+// admission order) into the retirement buffer, inserting completed
+// sequences into the prefix cache and releasing their retained nodes.
+func (b *Batch) collectRetired() {
+	kept := b.inflight[:0]
+	for _, r := range b.inflight {
+		if !r.Done {
+			kept = append(kept, r)
+			continue
+		}
+		if b.cfg.Cache != nil {
+			b.cacheInsertBack(r)
+		}
+		r.releaseRetained()
+		b.retired = append(b.retired, r)
+	}
+	// Clear the tail so retired requests are not pinned by the backing
+	// array.
+	for i := len(kept); i < len(b.inflight); i++ {
+		b.inflight[i] = nil
+	}
+	b.inflight = kept
+}
+
+// cacheInsertBack writes one completed sequence into the prefix cache
+// with the prompt-boundary hidden state, so a later request sharing the
+// prompt can resume from it.
+func (b *Batch) cacheInsertBack(r *Request) {
+	if len(r.Prompt) == 0 {
+		return
+	}
+	if b.cacheScratch == nil {
+		b.cacheScratch = model.NewScratch()
+	}
+	// The hidden sketch is a pure function of the (frozen-at-serving)
+	// target and the prompt, so when the full prompt matched a node that
+	// already carries one, recomputing it would reproduce the resident
+	// value — skip the pass and only harvest continuations.
+	hid := (*model.HiddenState)(nil)
+	if !r.hidCached {
+		model.FusedHiddenInto(b.target,
+			model.Context{Tokens: r.Prompt, PromptLen: len(r.Prompt)},
+			1, &b.cacheHid, b.cacheScratch)
+		hid = &b.cacheHid
+	}
+	b.cfg.Cache.Insert(r.Tokens, len(r.Prompt), hid)
+}
+
+// kvResidentLimit returns how many of the active requests fit the KV
+// budget (at least one, so progress is guaranteed).
+func (b *Batch) kvResidentLimit(active []*Request) int {
+	perTok := b.target.Arch().KVBytesPerToken() / float64(b.cfg.Device.TP)
+	var used float64
+	for i, r := range active {
+		used += perTok * float64(len(r.Tokens))
+		if used > b.cfg.KVBudgetBytes && i > 0 {
+			return i
+		}
+	}
+	return len(active)
+}
+
+func kvTokens(active []*Request) int {
+	var kv int
+	for _, r := range active {
+		kv += len(r.Tokens)
+	}
+	return kv
+}
+
+// ensureSlots grows the per-step sequence scratch to n slots. Bias maps
+// are allocated once per slot and reused (cleared) every step, so the
+// steady-state step allocates nothing.
+func (b *Batch) ensureSlots(n int) {
+	if cap(b.seqs) < n {
+		b.seqs = make([]specdec.Seq, n)
+		b.rngs = make([]*rand.Rand, n)
+		b.results = make([]specdec.Result, n)
+		b.vanTok = make([]int, n)
+		b.vanEos = make([]bool, n)
+	}
+	b.seqs = b.seqs[:n]
+	b.rngs = b.rngs[:n]
+	b.results = b.results[:n]
+	b.vanTok = b.vanTok[:n]
+	b.vanEos = b.vanEos[:n]
+	for len(b.biasMaps) < n {
+		b.biasMaps = append(b.biasMaps, make(map[int]float32, 2))
+	}
+}
+
+// rngFor returns the request's private stream, or the shared one.
+func rngFor(r *Request, shared *rand.Rand) *rand.Rand {
+	if r.RNG != nil {
+		return r.RNG
+	}
+	return shared
+}
+
+// fillSlots stages the decoding set into the speculation engine's
+// sequence descriptors.
+func (b *Batch) fillSlots(active []*Request, rng *rand.Rand) {
+	b.ensureSlots(len(active))
+	for i, r := range active {
+		b.seqs[i] = specdec.Seq{
+			Tokens:    r.Tokens,
+			PromptLen: len(r.Prompt),
+			Bias:      r.biasInto(b.biasMaps[i]),
+			EosID:     r.EosID,
+		}
+		b.rngs[i] = rngFor(r, rng)
+	}
+}
+
+// clearSlots drops request slice references staged by fillSlots so
+// retired requests are not pinned by scheduler scratch.
+func (b *Batch) clearSlots() {
+	for i := range b.seqs {
+		b.seqs[i] = specdec.Seq{}
+		b.rngs[i] = nil
+	}
+}
+
+// vanillaStep decodes one token for every active request through one
+// grouped batched scoring pass.
+func (b *Batch) vanillaStep(active []*Request, rng *rand.Rand) StepProfile {
+	b.fillSlots(active, rng)
+	b.spec.VanillaStepBatch(b.seqs, b.rngs, b.vanTok, b.vanEos)
+	obs, observing := b.drafter.(draft.Observer)
+	for i, r := range active {
+		r.Tokens = append(r.Tokens, b.vanTok[i])
+		r.EosSeen = r.EosSeen || b.vanEos[i]
+		if observing {
+			obs.Observe(r.Tokens, len(r.Prompt))
+		}
+		r.finish()
+	}
+	b.clearSlots()
+	b.stats.ResponseTokens += len(active)
+
+	// Vanilla decode replays the engine's standard decode graphs.
+	cost := b.cfg.Device.Forward(b.target.Arch(), gpu.ForwardOpts{
+		Tokens: len(active), KVTokens: kvTokens(active), CUDAGraph: true,
+	}).Total() + b.cfg.HostOverhead
+	t0 := b.Clock.Now()
+	b.Clock.Advance(cost)
+	if b.Timeline != nil {
+		b.Timeline.Record("decode", t0, b.Clock.Now())
+	}
+	return StepProfile{End: b.Clock.Now(), Running: len(active), Mode: ModeVanilla, TokensOut: len(active)}
+}
+
+// sdStep performs one speculative round for every active request: every
+// request's tree drafts against the same drafter snapshot and all trees
+// verify through one grouped batched target pass (specdec.StepBatch).
+// Online-learning drafters observe the new tokens after the batch round,
+// as a real batched drafter forward would.
+func (b *Batch) sdStep(active []*Request, rng *rand.Rand) StepProfile {
+	strategy := b.selector.Select(len(active))
+	if cap(b.frontierAgg) < strategy.DraftDepth {
+		b.frontierAgg = make([]int, strategy.DraftDepth)
+	}
+	frontierPerDepth := b.frontierAgg[:strategy.DraftDepth]
+	for i := range frontierPerDepth {
+		frontierPerDepth[i] = 0
+	}
+
+	b.fillSlots(active, rng)
+	b.spec.StepBatch(b.drafter, b.seqs, strategy, b.rngs, b.results)
+
+	acceptLens := b.acceptLens[:0]
+	obs, observing := b.drafter.(draft.Observer)
+	var (
+		verified  int
+		tokensOut int
+	)
+	for i, r := range active {
+		res := &b.results[i]
+		// Clip overshoot past MaxNew (the engine cap).
+		tokens := res.Tokens
+		if over := r.Generated() + len(tokens) - r.MaxNew; over > 0 {
+			tokens = tokens[:len(tokens)-over]
+			res.Eos = false
+		}
+		r.Tokens = append(r.Tokens, tokens...)
+		r.EosSeen = r.EosSeen || res.Eos
+		r.AcceptLens = append(r.AcceptLens, res.AcceptLen)
+		acceptLens = append(acceptLens, res.AcceptLen)
+		tokensOut += len(tokens)
+		for d, w := range res.FrontierPerDepth {
+			if d < len(frontierPerDepth) {
+				frontierPerDepth[d] += w
+			}
+		}
+		verified += res.VerifiedTokens
+		b.stats.DraftedNodes += res.DraftedNodes
+		if observing {
+			obs.Observe(r.Tokens, len(r.Prompt))
+		}
+		r.finish()
+	}
+	b.clearSlots()
+	b.stats.ResponseTokens += tokensOut
+	b.stats.VerifiedTokens += verified
+	b.stats.AcceptRounds += len(active)
+	for _, a := range acceptLens {
+		b.stats.AcceptLenSum += a
+	}
+
+	kv := kvTokens(active)
+	var cost time.Duration
+	sdHost := b.cfg.SDHostOverhead
+
+	// Drafting: one sequential pass per depth over the batch frontier.
+	draftArch := b.drafter.Arch()
+	if draftArch.Layers == 0 {
+		// Model-free retrieval drafting skips the draft-model forward and
+		// most of the tree bookkeeping (Lookahead-style): half the host
+		// cost, no GPU drafting cost.
+		sdHost /= 2
+	}
+	if draftArch.Layers > 0 {
+		_, graphOK := b.pool.Lookup(cudagraph.KindDraft, len(active), strategy.TopK)
+		for _, w := range frontierPerDepth {
+			if w == 0 {
+				continue
+			}
+			cost += b.cfg.Device.Forward(draftArch, gpu.ForwardOpts{
+				Tokens: w, KVTokens: kv, CUDAGraph: graphOK,
+			}).Total()
+		}
+	}
+
+	// Verification: one target pass over all selected tree nodes.
+	_, graphOK := b.pool.Lookup(cudagraph.KindTarget, len(active), strategy.TokensToVerify)
+	cost += b.cfg.Device.Forward(b.target.Arch(), gpu.ForwardOpts{
+		Tokens: verified, KVTokens: kv, CUDAGraph: graphOK,
+	}).Total()
+	cost += b.cfg.HostOverhead + sdHost
+
+	t0 := b.Clock.Now()
+	b.Clock.Advance(cost)
+	if b.Timeline != nil {
+		b.Timeline.Record("sd", t0, b.Clock.Now())
+	}
+	b.selector.Record(strategy, cost, acceptLens, len(active)) // Record only sums; reuse is safe
+	b.acceptLens = acceptLens[:0]
+	return StepProfile{End: b.Clock.Now(), Running: len(active), Mode: ModeSD, Strategy: strategy, TokensOut: tokensOut}
+}

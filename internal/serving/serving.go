@@ -4,6 +4,17 @@
 // engine (which simulates one synchronous training worker), the server
 // runs real concurrent replica goroutines with a shared request queue and
 // reports latency percentiles — the shape of an online inference service.
+//
+// Replicas are continuous-batching step-loop workers over the
+// iteration-level scheduler (internal/sched): each iteration a replica
+// drains newly admitted requests from the shared queue into its batch (up
+// to Config.MaxBatch), advances every inflight request one step through a
+// single batched scoring pass, and retires finished requests at the step
+// boundary — so a long request never blocks the short requests queued
+// behind it, the property that separates iteration-level scheduling from
+// run-to-completion serving. Every request decodes on its own seeded
+// sampling stream, so its token stream is independent of what it happens
+// to be batched with.
 package serving
 
 import (
@@ -19,6 +30,7 @@ import (
 	"fastrl/internal/model"
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/rollout"
+	"fastrl/internal/sched"
 	"fastrl/internal/workload"
 )
 
@@ -28,10 +40,17 @@ type Config struct {
 	// threshold, strategies).
 	Engine rollout.Config
 	// Replicas is the number of concurrent model replicas (each one
-	// worker goroutine with its own engine and virtual clock).
+	// step-loop worker goroutine with its own scheduler batch and virtual
+	// clock).
 	Replicas int
 	// QueueDepth bounds the admission queue.
 	QueueDepth int
+	// MaxBatch caps the number of requests a replica keeps inflight in
+	// its continuous batch (default 8). 1 degenerates to run-to-completion
+	// serving: each request decodes alone, the pre-scheduler behaviour.
+	// The scheduler's KV budget (Engine.KVBudgetBytes) still bounds the
+	// per-step decoding set within the batch.
+	MaxBatch int
 	// AnswerID / EosID configure request control tokens.
 	AnswerID int
 	EosID    int
@@ -113,6 +132,9 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 	if cfg.QueueDepth < 1 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.MaxBatch < 1 {
+		cfg.MaxBatch = 8
+	}
 	if cfg.Engine.Device == nil {
 		return nil, fmt.Errorf("serving: engine device required")
 	}
@@ -140,11 +162,13 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 	return s, nil
 }
 
-// replica is one serving worker: it owns a rollout engine and drains the
-// shared queue.
+// replica is one continuous-batching serving worker: it owns a scheduler
+// batch and step-loops over it, draining the shared admission queue into
+// the batch at every iteration boundary and retiring finished requests at
+// the same granularity.
 func (s *Server) replica(id int) {
 	defer s.wg.Done()
-	eng, err := rollout.New(s.cfg.Engine, s.target, s.drafter)
+	batch, err := sched.New(s.cfg.Engine, s.target, s.drafter)
 	if err != nil {
 		// Configuration errors surface on every job this replica takes.
 		for j := range s.queue {
@@ -152,24 +176,71 @@ func (s *Server) replica(id int) {
 		}
 		return
 	}
-	for j := range s.queue {
+	// A serving step-loop runs indefinitely: per-iteration profiles would
+	// be an unbounded accumulator (the serving layer keeps its own bounded
+	// latency reservoir instead).
+	batch.RecordProfile = false
+	// Shared fallback stream for Batch.Step; never drawn from, since every
+	// admitted request carries its own seeded RNG.
+	rng := rand.New(rand.NewSource(0x5eed ^ int64(id)))
+
+	admit := func(j *job) {
 		s.inflight.Add(1)
-		before := eng.Clock.Now()
-		req := rollout.NewRequest(0, j.req.Prompt, j.req.MaxNew, j.req.Prior, s.cfg.AnswerID, s.cfg.EosID)
-		stats := eng.Run([]*rollout.Request{req}, rand.New(rand.NewSource(j.req.Seed)))
-		decode := eng.Clock.Now() - before
-		resp := Response{
-			Tokens:     req.Response(),
-			DecodeTime: decode,
-			Latency:    time.Since(j.enqueued) + decode,
-			AcceptLen:  stats.MeanAcceptLen(),
+		r := sched.NewRequest(id, j.req.Prompt, j.req.MaxNew, j.req.Prior, s.cfg.AnswerID, s.cfg.EosID)
+		// A private sampling stream per request: its tokens do not depend
+		// on what it is batched with or when it joined the batch.
+		r.RNG = rand.New(rand.NewSource(j.req.Seed))
+		r.Tag = j
+		batch.Admit(r)
+	}
+
+	open := true
+	for {
+		if batch.ActiveCount() == 0 {
+			if !open {
+				return
+			}
+			j, ok := <-s.queue
+			if !ok {
+				return
+			}
+			admit(j)
 		}
-		s.mu.Lock()
-		s.lats.Add(resp.Latency.Seconds())
-		s.served++
-		s.mu.Unlock()
-		s.inflight.Add(-1)
-		j.done <- resp
+		// Continuous batching: fold every queued request into the batch at
+		// this step boundary, up to the batch cap — new work joins mid-
+		// flight instead of waiting for the running requests to finish.
+	drain:
+		for open && batch.ActiveCount() < s.cfg.MaxBatch {
+			select {
+			case j, ok := <-s.queue:
+				if !ok {
+					open = false
+					break drain
+				}
+				admit(j)
+			default:
+				break drain
+			}
+		}
+		batch.Step(rng)
+		for _, r := range batch.Retire() {
+			j := r.Tag.(*job)
+			// Per-request accept length is exact: it is computed from the
+			// request's own accepted rounds, not whole-engine statistics
+			// that would smear co-batched requests together.
+			resp := Response{
+				Tokens:     r.Response(),
+				DecodeTime: r.DecodeTime(),
+				Latency:    time.Since(j.enqueued) + r.DecodeTime(),
+				AcceptLen:  r.MeanAcceptLen(),
+			}
+			s.mu.Lock()
+			s.lats.Add(resp.Latency.Seconds())
+			s.served++
+			s.mu.Unlock()
+			s.inflight.Add(-1)
+			j.done <- resp
+		}
 	}
 }
 

@@ -17,12 +17,14 @@
 // exact greedy equality.)
 //
 // The speculation round is the hottest path in the system: an Engine owns
-// reusable scratch (draft/verify buffers, the node arena, frontier and
-// context slices) so a steady-state round allocates nothing, and the
-// target scores the whole selected tree in one model.ProbsBatch pass
-// instead of one sequential call per position. StepSequential retains the
-// per-position reference path; property tests assert both emit identical
-// token streams for identical seeds.
+// reusable scratch (draft/verify buffers, per-sequence tree arenas,
+// frontier and context slices) so a steady-state round allocates nothing.
+// StepBatch is the primary entry: it drafts one tree per sequence and
+// scores every kept node of every tree in a single model.ProbsBatchGrouped
+// pass — the iteration-level scheduler packs all decoding requests of one
+// step through it. Step is the 1-sequence case. StepSequential retains the
+// per-position reference path; property tests assert all paths emit
+// identical token streams for identical seeds.
 package specdec
 
 import (
@@ -47,12 +49,26 @@ type Params struct {
 // Equal reports whether two strategies are identical.
 func (p Params) Equal(o Params) bool { return p == o }
 
-// Result summarises one speculation round.
+// Seq describes one sequence in a batched round: the verified tokens so
+// far, its prompt length, and its per-sequence sampling controls. The
+// drafter does not see the bias, exactly as a deployed drafter would not
+// see serving-time logit processors applied to the target.
+type Seq struct {
+	Tokens    []int
+	PromptLen int
+	// Bias is an optional per-token logit bias applied to the target (the
+	// workload length prior).
+	Bias map[int]float32
+	// EosID terminates generation when emitted (negative disables).
+	EosID int
+}
+
+// Result summarises one speculation round for one sequence.
 //
-// Tokens and FrontierPerDepth alias engine-owned scratch: they are valid
-// until the next Step/StepSequential/VanillaStep call on the same Engine.
-// Callers that retain them across rounds must copy (appending into their
-// own slice, as the rollout engine does, is a copy).
+// Tokens and FrontierPerDepth alias engine-owned per-sequence scratch:
+// they are valid until the next Step/StepBatch/StepSequential/VanillaStep
+// call on the same Engine. Callers that retain them across rounds must
+// copy (appending into their own slice, as the scheduler does, is a copy).
 type Result struct {
 	// Tokens are the tokens appended to the sequence: zero or more
 	// accepted drafted tokens plus exactly one token sampled from the
@@ -76,21 +92,28 @@ type Result struct {
 
 // Engine wraps a target model with sampling settings for speculation.
 // An Engine retains scratch buffers across rounds and is not safe for
-// concurrent use; every worker (rollout engine, serving replica) owns one.
+// concurrent use; every worker (scheduler batch, serving replica) owns
+// one.
 type Engine struct {
 	Target *model.LM
 	// Temp is the sampling temperature (0 = greedy).
 	Temp float64
-	// Bias is an optional per-token logit bias applied to the target (the
-	// workload length prior). The drafter does not see it, exactly as a
-	// deployed drafter would not see serving-time logit processors.
-	Bias map[int]float32
-	// EosID terminates generation when emitted (set negative to disable).
+	// Bias and EosID are the single-sequence sampling controls consumed by
+	// Step/StepSequential/VanillaStep; StepBatch takes them per Seq.
+	Bias  map[int]float32
 	EosID int
 
 	// sc holds the per-engine scratch reused across rounds; created
 	// lazily on first use so zero-value Engines keep working.
 	sc *scratch
+
+	// Single-sequence adapters reuse these so Step/VanillaStep stay
+	// allocation-free wrappers over the batched entries.
+	seq1 [1]Seq
+	rng1 [1]*rand.Rand
+	out1 [1]Result
+	tok1 [1]int
+	eos1 [1]bool
 }
 
 // node is one drafted token in the speculation tree.
@@ -102,9 +125,38 @@ type node struct {
 	qProb    float64 // draft probability of this token at its parent
 }
 
-// scratch is the engine's reusable working set. Every slice grows to the
-// strategy's high-water mark and is then reused, so a steady-state
-// speculation round performs zero heap allocations.
+// tree is one sequence's speculation tree, retained between the batched
+// drafting and verification stages. Every slice grows to its sequence
+// slot's high-water mark and is then reused, so steady-state rounds
+// perform zero heap allocations.
+type tree struct {
+	nodes            []node
+	frontierPerDepth []int
+	seqBuf           []int // verified prefix + growing path/accept suffix
+
+	// Candidate selection output.
+	keep []int
+
+	// Kept-tree adjacency (children packed into one arena).
+	roots      []int
+	childStart []int
+	childCount []int
+	childArena []int
+
+	// Batched verification: one context per kept node (+1 for the root
+	// position) materialised into the per-tree arena; rowBase is the
+	// tree's first row in the engine's shared row set and rowOf maps a
+	// kept node index to its row offset from rowBase.
+	ctxArena []int
+	rowOf    []int
+	rowBase  int
+
+	accepted []int // emitted tokens (aliased by Result.Tokens)
+}
+
+// scratch is the engine's reusable working set shared across the
+// sequences of a batched round: transient compute buffers plus the
+// per-sequence-slot trees and the packed scoring arenas.
 type scratch struct {
 	msc    *model.Scratch
 	hidden model.HiddenState // drafting-root hidden state
@@ -113,34 +165,28 @@ type scratch struct {
 	qBuf []float32 // draft proposal distribution
 	pBuf []float32 // target row (sequential verification, vanilla step)
 
-	nodes            []node
-	frontier, next   []int
-	frontierPerDepth []int
-	seqBuf           []int // verified prefix + growing path/accept suffix
-	topk             []int
+	frontier, next []int
+	topk           []int
 
 	// Candidate selection.
 	order  []int
 	member []bool
 	chain  []int
-	keep   []int
 
-	// Kept-tree adjacency (children packed into one arena).
-	roots      []int
-	childStart []int
-	childCount []int
-	childArena []int
+	sorted []int // verifyNode candidate ordering
 
-	// Batched verification: one context and one probability row per kept
-	// node (+1 for the root position), scored in a single ProbsBatch pass.
+	// Per-sequence-slot trees (slot i serves the i-th sequence of every
+	// batched call; slots persist so their arenas amortise).
+	trees []*tree
+
+	// Packed scoring across all trees of one batched round: one context
+	// and one probability row per kept node (+1 per tree for the root
+	// position), one RowGroup per sequence, scored in a single
+	// ProbsBatchGrouped pass.
 	ctxs     []model.Context
-	ctxArena []int
+	groups   []model.RowGroup
 	rows     [][]float32
 	rowArena []float32
-	rowOf    []int // node index -> row index (kept nodes only)
-
-	sorted   []int // verifyNode candidate ordering
-	accepted []int // emitted tokens (aliased by Result.Tokens)
 }
 
 func (e *Engine) scratchInit() *scratch {
@@ -148,6 +194,15 @@ func (e *Engine) scratchInit() *scratch {
 		e.sc = &scratch{msc: model.NewScratch()}
 	}
 	return e.sc
+}
+
+// treesFor returns n per-sequence tree slots, growing the slot list only
+// past its high-water mark.
+func (sc *scratch) treesFor(n int) []*tree {
+	for len(sc.trees) < n {
+		sc.trees = append(sc.trees, &tree{})
+	}
+	return sc.trees[:n]
 }
 
 func ensureF32(b []float32, n int) []float32 {
@@ -171,6 +226,13 @@ func maxInt(a, b int) int {
 	return b
 }
 
+// growthSlack is the per-sequence headroom (in tokens) reserved on top of
+// exact need when a growth-coupled scratch buffer reallocates: sequences
+// lengthen every round, so exact-fit growth would allocate once per round
+// in perpetuity. 1024 tokens of headroom amortise reallocation to once
+// per ~dozens-of-rounds while costing a few KB per inflight sequence.
+const growthSlack = 1024
+
 func clampParams(p Params) Params {
 	if p.DraftDepth < 1 {
 		p.DraftDepth = 1
@@ -184,19 +246,53 @@ func clampParams(p Params) Params {
 	return p
 }
 
-// Step performs one draft-and-verify round for a single sequence.
+// StepBatch performs one draft-and-verify round for every sequence under
+// one strategy — the iteration-level unit of continuous batching, where
+// the scheduler packs all decoding requests of a step into a single
+// batched verification forward.
 //
-// tokens is the verified sequence so far. The drafter proposes a
-// confidence tree of candidates conditioned on the target's hidden sketch
-// at the root, the target scores every selected node in one batched pass,
-// and the accepted prefix plus one corrective/bonus token is returned.
-func (e *Engine) Step(d draft.Drafter, tokens []int, promptLen int, p Params, rng *rand.Rand) Result {
+// Drafting runs per sequence against the drafter's current state (one
+// batched draft pass per step, as a real batched drafter forward would),
+// then every kept node of every tree is scored in one
+// model.ProbsBatchGrouped call with per-sequence bias groups, and finally
+// each tree is verified in sequence order drawing from rngs[i]. Because
+// drafting and scoring consume no randomness, a shared rng in every slot
+// reproduces the draw order of sequential per-request Step calls exactly,
+// and per-sequence rngs make each sequence's stream independent of batch
+// composition (frozen drafters) — the property the scheduler's
+// run-to-completion-equivalence tests pin.
+//
+// out[i] receives sequence i's result; Result slices alias per-slot
+// scratch valid until the next round on this Engine.
+func (e *Engine) StepBatch(d draft.Drafter, seqs []Seq, p Params, rngs []*rand.Rand, out []Result) {
+	if len(seqs) != len(rngs) || len(seqs) != len(out) {
+		panic("specdec: StepBatch seqs/rngs/out length mismatch")
+	}
+	if len(seqs) == 0 {
+		return
+	}
 	p = clampParams(p)
-	var res Result
-	e.draftTree(d, tokens, promptLen, p, &res)
-	e.scoreTree(tokens, promptLen)
-	e.verifyBatched(&res, rng)
-	return res
+	sc := e.scratchInit()
+	trees := sc.treesFor(len(seqs))
+	for i := range seqs {
+		out[i] = Result{}
+		e.draftTreeInto(trees[i], d, seqs[i].Tokens, seqs[i].PromptLen, seqs[i].Bias, p, &out[i])
+	}
+	e.scoreTrees(seqs, trees)
+	for i := range seqs {
+		e.verifyTree(trees[i], seqs[i].EosID, rngs[i], &out[i])
+	}
+}
+
+// Step performs one draft-and-verify round for a single sequence: the
+// 1-sequence case of StepBatch, using the engine-level Bias/EosID.
+func (e *Engine) Step(d draft.Drafter, tokens []int, promptLen int, p Params, rng *rand.Rand) Result {
+	e.seq1[0] = Seq{Tokens: tokens, PromptLen: promptLen, Bias: e.Bias, EosID: e.EosID}
+	e.rng1[0] = rng
+	e.StepBatch(d, e.seq1[:], p, e.rng1[:], e.out1[:])
+	e.seq1[0] = Seq{} // drop the caller's slice reference
+	e.rng1[0] = nil
+	return e.out1[0]
 }
 
 // StepSequential is the pre-batching reference path: it drafts the
@@ -206,18 +302,20 @@ func (e *Engine) Step(d draft.Drafter, tokens []int, promptLen int, p Params, rn
 // seeds must emit identical token streams) and as a benchmark reference.
 func (e *Engine) StepSequential(d draft.Drafter, tokens []int, promptLen int, p Params, rng *rand.Rand) Result {
 	p = clampParams(p)
+	sc := e.scratchInit()
+	t := sc.treesFor(1)[0]
 	var res Result
-	e.draftTree(d, tokens, promptLen, p, &res)
-	e.verifySequential(&res, tokens, promptLen, rng)
+	e.draftTreeInto(t, d, tokens, promptLen, e.Bias, p, &res)
+	e.verifySequential(t, &res, tokens, promptLen, rng)
 	return res
 }
 
-// draftTree runs the drafting stage and ancestry-closed candidate
-// selection into the engine scratch. Both verification paths consume the
-// tree it leaves behind, so they are guaranteed to see identical
-// candidates.
-func (e *Engine) draftTree(d draft.Drafter, tokens []int, promptLen int, p Params, res *Result) {
-	sc := e.scratchInit()
+// draftTreeInto runs the drafting stage and ancestry-closed candidate
+// selection for one sequence into its tree. Both verification paths
+// consume the tree it leaves behind, so they are guaranteed to see
+// identical candidates.
+func (e *Engine) draftTreeInto(t *tree, d draft.Drafter, tokens []int, promptLen int, bias map[int]float32, p Params, res *Result) {
+	sc := e.sc
 	vocab := e.Target.Config().Vocab
 	rootCtx := model.Context{Tokens: tokens, PromptLen: promptLen}
 	// Two fused sketches cover both Eagle (1) and Eagle-3 (2) inputs.
@@ -227,20 +325,23 @@ func (e *Engine) draftTree(d draft.Drafter, tokens []int, promptLen int, p Param
 	sc.qBuf = ensureF32(sc.qBuf, vocab)
 	bd, buffered := d.(draft.BufferedDrafter)
 
+	// The sequence grows a few tokens every round, so exact-fit growth
+	// would reallocate once per round forever; headroom keeps steady-state
+	// rounds allocation-free until the sequence outgrows the reserve.
 	need := len(tokens) + p.DraftDepth + 2
-	if cap(sc.seqBuf) < need {
-		sc.seqBuf = make([]int, 0, need)
+	if cap(t.seqBuf) < need {
+		t.seqBuf = make([]int, 0, need+growthSlack)
 	}
-	sc.seqBuf = append(sc.seqBuf[:0], tokens...)
+	t.seqBuf = append(t.seqBuf[:0], tokens...)
 
-	sc.nodes = sc.nodes[:0]
-	sc.frontierPerDepth = sc.frontierPerDepth[:0]
+	t.nodes = t.nodes[:0]
+	t.frontierPerDepth = t.frontierPerDepth[:0]
 	sc.frontier = append(sc.frontier[:0], -1) // -1 denotes the root context
 	for depth := 1; depth <= p.DraftDepth && len(sc.frontier) > 0; depth++ {
-		sc.frontierPerDepth = append(sc.frontierPerDepth, len(sc.frontier))
+		t.frontierPerDepth = append(t.frontierPerDepth, len(sc.frontier))
 		sc.next = sc.next[:0]
 		for _, pi := range sc.frontier {
-			ctx := e.pathContext(tokens, sc.nodes, pi, sc.seqBuf[:len(tokens)])
+			ctx := e.pathContext(tokens, t.nodes, pi, t.seqBuf[:len(tokens)])
 			// Drafting state: at the root the drafter sees the target's
 			// hidden state exactly; deeper nodes draft in the rank-free
 			// mode the drafter was trained for via rank dropout (the root
@@ -254,11 +355,11 @@ func (e *Engine) draftTree(d draft.Drafter, tokens []int, promptLen int, p Param
 			} else {
 				d.Probs(ctx, promptLen, h, e.draftTemp(), sc.qBuf)
 			}
-			e.applyBiasToDraft(sc.qBuf)
+			e.applyBiasToDraft(sc.qBuf, bias)
 			res.DraftedNodes++
 			parentProb := 1.0
 			if pi >= 0 {
-				parentProb = sc.nodes[pi].pathProb
+				parentProb = t.nodes[pi].pathProb
 			}
 			kept := 0
 			sc.topk = model.TopKInto(sc.qBuf, p.TopK, sc.topk)
@@ -271,8 +372,8 @@ func (e *Engine) draftTree(d draft.Drafter, tokens []int, promptLen int, p Param
 					continue
 				}
 				kept++
-				ni := len(sc.nodes)
-				sc.nodes = append(sc.nodes, node{
+				ni := len(t.nodes)
+				t.nodes = append(t.nodes, node{
 					tok:      tok,
 					parent:   pi,
 					depth:    depth,
@@ -285,186 +386,203 @@ func (e *Engine) draftTree(d draft.Drafter, tokens []int, promptLen int, p Param
 		// Depth-limited beam: only the TopK highest-path-probability nodes
 		// expand further, bounding drafting cost (Eagle-2 dynamic trees).
 		if len(sc.next) > p.TopK {
-			topByPathProb(sc.next, p.TopK, sc.nodes)
+			topByPathProb(sc.next, p.TopK, t.nodes)
 			sc.next = sc.next[:p.TopK]
 		}
 		sc.frontier, sc.next = sc.next, sc.frontier
 	}
-	res.FrontierPerDepth = sc.frontierPerDepth
+	res.FrontierPerDepth = t.frontierPerDepth
 
 	// Candidate selection: keep the TokensToVerify highest-confidence
 	// nodes, closed under ancestry so every kept node's parent is kept.
-	keep := sc.selectKept(p.TokensToVerify)
-	sc.buildAdjacency(keep)
+	keep := sc.selectKeptInto(t, p.TokensToVerify)
+	t.buildAdjacency(keep)
 	res.VerifiedTokens = len(keep) + 1 // +1: the root position is scored too
 }
 
 // buildAdjacency packs the kept nodes' child lists into one arena,
 // preserving keep order (the order the old per-node append produced).
-func (sc *scratch) buildAdjacency(keep []int) {
-	n := len(sc.nodes)
-	sc.childStart = ensureInt(sc.childStart, n)
-	sc.childCount = ensureInt(sc.childCount, n)
+func (t *tree) buildAdjacency(keep []int) {
+	n := len(t.nodes)
+	t.childStart = ensureInt(t.childStart, n)
+	t.childCount = ensureInt(t.childCount, n)
 	for i := 0; i < n; i++ {
-		sc.childCount[i] = 0
+		t.childCount[i] = 0
 	}
-	sc.roots = sc.roots[:0]
+	t.roots = t.roots[:0]
 	for _, ni := range keep {
-		if par := sc.nodes[ni].parent; par < 0 {
-			sc.roots = append(sc.roots, ni)
+		if par := t.nodes[ni].parent; par < 0 {
+			t.roots = append(t.roots, ni)
 		} else {
-			sc.childCount[par]++
+			t.childCount[par]++
 		}
 	}
 	off := 0
 	for i := 0; i < n; i++ {
-		sc.childStart[i] = off
-		off += sc.childCount[i]
-		sc.childCount[i] = 0 // reused as the fill cursor below
+		t.childStart[i] = off
+		off += t.childCount[i]
+		t.childCount[i] = 0 // reused as the fill cursor below
 	}
-	sc.childArena = ensureInt(sc.childArena, off)
+	t.childArena = ensureInt(t.childArena, off)
 	for _, ni := range keep {
-		if par := sc.nodes[ni].parent; par >= 0 {
-			sc.childArena[sc.childStart[par]+sc.childCount[par]] = ni
-			sc.childCount[par]++
+		if par := t.nodes[ni].parent; par >= 0 {
+			t.childArena[t.childStart[par]+t.childCount[par]] = ni
+			t.childCount[par]++
 		}
 	}
 }
 
 // childrenOf returns the kept children of a kept node.
-func (sc *scratch) childrenOf(ni int) []int {
-	s := sc.childStart[ni]
-	return sc.childArena[s : s+sc.childCount[ni]]
+func (t *tree) childrenOf(ni int) []int {
+	s := t.childStart[ni]
+	return t.childArena[s : s+t.childCount[ni]]
 }
 
-// scoreTree materialises the context of the root position and of every
-// kept node and scores them all in one batched target pass — the single
-// verification forward the virtual-clock cost model already charges for,
-// instead of one sequential target call per visited position.
-func (e *Engine) scoreTree(tokens []int, promptLen int) {
+// scoreTrees materialises the context of the root position and of every
+// kept node of every tree, and scores them all in one grouped batched
+// target pass — the single verification forward the virtual-clock cost
+// model charges per step, now shared across every sequence of the batch
+// instead of one pass per request. Each sequence's rows form one RowGroup
+// carrying its logit bias, so the packed pass emits bit-identical rows to
+// per-sequence scoring.
+func (e *Engine) scoreTrees(seqs []Seq, trees []*tree) {
 	sc := e.sc
 	vocab := e.Target.Config().Vocab
-	keep := sc.keep
-	nRows := len(keep) + 1
 
-	sc.rowArena = ensureF32(sc.rowArena, nRows*vocab)
+	total := 0
+	for _, t := range trees {
+		t.rowBase = total
+		total += len(t.keep) + 1
+	}
+	sc.rowArena = ensureF32(sc.rowArena, total*vocab)
 	sc.rows = sc.rows[:0]
-	for r := 0; r < nRows; r++ {
+	for r := 0; r < total; r++ {
 		sc.rows = append(sc.rows, sc.rowArena[r*vocab:(r+1)*vocab])
 	}
 
-	L := len(tokens)
-	arenaNeed := 0
-	for _, ni := range keep {
-		arenaNeed += L + sc.nodes[ni].depth
-	}
-	sc.ctxArena = ensureInt(sc.ctxArena, arenaNeed)
 	sc.ctxs = sc.ctxs[:0]
-	sc.ctxs = append(sc.ctxs, model.Context{Tokens: sc.seqBuf[:L], PromptLen: promptLen})
-	sc.rowOf = ensureInt(sc.rowOf, len(sc.nodes))
-	off := 0
-	for j, ni := range keep {
-		end := off + L + sc.nodes[ni].depth
-		seg := sc.ctxArena[off:end]
-		copy(seg, tokens)
-		for i := ni; i >= 0; i = sc.nodes[i].parent {
-			seg[L+sc.nodes[i].depth-1] = sc.nodes[i].tok
+	sc.groups = sc.groups[:0]
+	for i, t := range trees {
+		tokens := seqs[i].Tokens
+		promptLen := seqs[i].PromptLen
+		L := len(tokens)
+		arenaNeed := 0
+		for _, ni := range t.keep {
+			arenaNeed += L + t.nodes[ni].depth
 		}
-		sc.ctxs = append(sc.ctxs, model.Context{Tokens: seg, PromptLen: promptLen})
-		sc.rowOf[ni] = j + 1
-		off = end
+		// Context lengths grow with the sequence every round; headroom
+		// keeps the arena from reallocating once per round (see seqBuf).
+		if cap(t.ctxArena) < arenaNeed {
+			t.ctxArena = make([]int, arenaNeed+growthSlack*(len(t.keep)+1))
+		}
+		t.ctxArena = t.ctxArena[:arenaNeed]
+		sc.ctxs = append(sc.ctxs, model.Context{Tokens: t.seqBuf[:L], PromptLen: promptLen})
+		t.rowOf = ensureInt(t.rowOf, len(t.nodes))
+		off := 0
+		for j, ni := range t.keep {
+			end := off + L + t.nodes[ni].depth
+			seg := t.ctxArena[off:end]
+			copy(seg, tokens)
+			for k := ni; k >= 0; k = t.nodes[k].parent {
+				seg[L+t.nodes[k].depth-1] = t.nodes[k].tok
+			}
+			sc.ctxs = append(sc.ctxs, model.Context{Tokens: seg, PromptLen: promptLen})
+			t.rowOf[ni] = j + 1
+			off = end
+		}
+		sc.groups = append(sc.groups, model.RowGroup{N: len(t.keep) + 1, Bias: seqs[i].Bias})
 	}
 
-	e.Target.ProbsBatch(sc.ctxs, e.Bias, e.Temp, sc.rows, sc.msc)
+	e.Target.ProbsBatchGrouped(sc.ctxs, sc.groups, e.Temp, sc.rows, sc.msc)
 }
 
-// verifyBatched walks the selected tree performing chain-rule rejection
-// sampling against the pre-scored rows. It draws from the RNG in exactly
+// verifyTree walks one selected tree performing chain-rule rejection
+// sampling against its pre-scored rows. It draws from the RNG in exactly
 // the order verifySequential does, so both paths emit identical tokens
 // for identical seeds.
-func (e *Engine) verifyBatched(res *Result, rng *rand.Rand) {
+func (e *Engine) verifyTree(t *tree, eosID int, rng *rand.Rand, res *Result) {
 	sc := e.sc
-	sc.accepted = sc.accepted[:0]
-	candidates := sc.roots
-	row := sc.rows[0]
+	t.accepted = t.accepted[:0]
+	candidates := t.roots
+	row := sc.rows[t.rowBase]
 	for {
-		chosen, corrective := verifyNodeBuf(row, sc.nodes, candidates, &sc.sorted, rng)
+		chosen, corrective := verifyNodeBuf(row, t.nodes, candidates, &sc.sorted, rng)
 		if chosen < 0 {
-			sc.accepted = append(sc.accepted, corrective)
-			res.Eos = e.EosID >= 0 && corrective == e.EosID
+			t.accepted = append(t.accepted, corrective)
+			res.Eos = eosID >= 0 && corrective == eosID
 			break
 		}
-		sc.accepted = append(sc.accepted, sc.nodes[chosen].tok)
+		t.accepted = append(t.accepted, t.nodes[chosen].tok)
 		res.AcceptLen++
-		if e.EosID >= 0 && sc.nodes[chosen].tok == e.EosID {
+		if eosID >= 0 && t.nodes[chosen].tok == eosID {
 			res.Eos = true
 			break
 		}
-		row = sc.rows[sc.rowOf[chosen]]
-		candidates = sc.childrenOf(chosen)
+		row = sc.rows[t.rowBase+t.rowOf[chosen]]
+		candidates = t.childrenOf(chosen)
 		if len(candidates) == 0 {
 			// Deepest accepted node: sample the bonus token from the
 			// (already scored) target distribution at the new context.
 			bonus := model.SampleProbs(row, rng)
-			sc.accepted = append(sc.accepted, bonus)
-			res.Eos = e.EosID >= 0 && bonus == e.EosID
+			t.accepted = append(t.accepted, bonus)
+			res.Eos = eosID >= 0 && bonus == eosID
 			break
 		}
 	}
-	res.Tokens = sc.accepted
+	res.Tokens = t.accepted
 }
 
 // verifySequential is the reference verification: one target call per
 // visited tree position, computed lazily along the accepted path.
-func (e *Engine) verifySequential(res *Result, tokens []int, promptLen int, rng *rand.Rand) {
+func (e *Engine) verifySequential(t *tree, res *Result, tokens []int, promptLen int, rng *rand.Rand) {
 	sc := e.sc
 	vocab := e.Target.Config().Vocab
 	sc.pBuf = ensureF32(sc.pBuf, vocab)
-	sc.accepted = sc.accepted[:0]
-	ctx := sc.seqBuf[:len(tokens)]
-	candidates := sc.roots
+	t.accepted = t.accepted[:0]
+	ctx := t.seqBuf[:len(tokens)]
+	candidates := t.roots
 	for {
 		e.Target.ProbsScratch(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, sc.pBuf, sc.msc)
-		chosen, corrective := verifyNodeBuf(sc.pBuf, sc.nodes, candidates, &sc.sorted, rng)
+		chosen, corrective := verifyNodeBuf(sc.pBuf, t.nodes, candidates, &sc.sorted, rng)
 		if chosen < 0 {
-			sc.accepted = append(sc.accepted, corrective)
+			t.accepted = append(t.accepted, corrective)
 			res.Eos = e.EosID >= 0 && corrective == e.EosID
 			break
 		}
-		sc.accepted = append(sc.accepted, sc.nodes[chosen].tok)
-		ctx = append(ctx, sc.nodes[chosen].tok)
+		t.accepted = append(t.accepted, t.nodes[chosen].tok)
+		ctx = append(ctx, t.nodes[chosen].tok)
 		res.AcceptLen++
-		if e.EosID >= 0 && sc.nodes[chosen].tok == e.EosID {
+		if e.EosID >= 0 && t.nodes[chosen].tok == e.EosID {
 			res.Eos = true
 			break
 		}
-		candidates = sc.childrenOf(chosen)
+		candidates = t.childrenOf(chosen)
 		if len(candidates) == 0 {
 			// Deepest accepted node: sample the bonus token from the
 			// target distribution at the new context.
 			e.Target.ProbsScratch(model.Context{Tokens: ctx, PromptLen: promptLen}, e.Bias, e.Temp, sc.pBuf, sc.msc)
 			bonus := model.SampleProbs(sc.pBuf, rng)
-			sc.accepted = append(sc.accepted, bonus)
+			t.accepted = append(t.accepted, bonus)
 			res.Eos = e.EosID >= 0 && bonus == e.EosID
 			break
 		}
 	}
-	res.Tokens = sc.accepted
+	res.Tokens = t.accepted
 }
 
-// applyBiasToDraft reweights a draft proposal by the engine's logit bias,
-// mirroring how serving engines apply sampling parameters to the draft
-// model as well as the target. Since the drafter emits probabilities, the
-// bias is folded in multiplicatively: q'(v) ∝ q(v)·exp(bias_v/temp).
-// Verification does not depend on q, so exactness is unaffected — this
-// only improves candidate selection.
-func (e *Engine) applyBiasToDraft(q []float32) {
-	if len(e.Bias) == 0 {
+// applyBiasToDraft reweights a draft proposal by the sequence's logit
+// bias, mirroring how serving engines apply sampling parameters to the
+// draft model as well as the target. Since the drafter emits
+// probabilities, the bias is folded in multiplicatively:
+// q'(v) ∝ q(v)·exp(bias_v/temp). Verification does not depend on q, so
+// exactness is unaffected — this only improves candidate selection.
+func (e *Engine) applyBiasToDraft(q []float32, bias map[int]float32) {
+	if len(bias) == 0 {
 		return
 	}
 	temp := e.draftTemp()
 	var sum float64
-	for id, b := range e.Bias {
+	for id, b := range bias {
 		if id >= 0 && id < len(q) {
 			q[id] *= float32(mathExp(float64(b) / temp))
 		}
@@ -569,13 +687,14 @@ func sortByQProb(idx []int, nodes []node) {
 	}
 }
 
-// selectKept fills sc.keep with the indices of up to k nodes with the
-// highest path probability, closed under ancestry.
-func (sc *scratch) selectKept(k int) []int {
-	nodes := sc.nodes
-	sc.keep = sc.keep[:0]
+// selectKeptInto fills t.keep with the indices of up to k of the tree's
+// nodes with the highest path probability, closed under ancestry, using
+// the scratch's shared selection buffers.
+func (sc *scratch) selectKeptInto(t *tree, k int) []int {
+	nodes := t.nodes
+	t.keep = t.keep[:0]
 	if len(nodes) == 0 {
-		return sc.keep
+		return t.keep
 	}
 	sc.order = ensureInt(sc.order, len(nodes))
 	for i := range sc.order {
@@ -590,7 +709,7 @@ func (sc *scratch) selectKept(k int) []int {
 		member[i] = false
 	}
 	for _, ni := range sc.order {
-		if len(sc.keep) >= k {
+		if len(t.keep) >= k {
 			break
 		}
 		// Adding ni requires its uncovered ancestors too.
@@ -598,23 +717,24 @@ func (sc *scratch) selectKept(k int) []int {
 		for i := ni; i >= 0 && !member[i]; i = nodes[i].parent {
 			sc.chain = append(sc.chain, i)
 		}
-		if len(sc.keep)+len(sc.chain) > k {
+		if len(t.keep)+len(sc.chain) > k {
 			continue
 		}
 		for _, i := range sc.chain {
 			member[i] = true
-			sc.keep = append(sc.keep, i)
+			t.keep = append(t.keep, i)
 		}
 	}
-	return sc.keep
+	return t.keep
 }
 
 // selectNodes returns the indices of up to k nodes with the highest path
 // probability, closed under ancestry. (Allocating wrapper over the
 // scratch-based selection, kept for tests and external callers.)
 func selectNodes(nodes []node, k int) []int {
-	sc := &scratch{nodes: nodes}
-	return append([]int(nil), sc.selectKept(k)...)
+	sc := &scratch{}
+	t := &tree{nodes: nodes}
+	return append([]int(nil), sc.selectKeptInto(t, k)...)
 }
 
 // verifyNodeBuf runs chain-rule verification at one tree position. p is
@@ -671,15 +791,56 @@ func verifyNode(p []float32, nodes []node, candidates []int, rng *rand.Rand) (ch
 	return verifyNodeBuf(p, nodes, candidates, &buf, rng)
 }
 
+// VanillaStepBatch performs one ordinary (non-speculative) decode step for
+// every sequence: all rows are scored in a single grouped batched pass and
+// sampled in sequence order from the per-sequence RNGs. outTok[i] and
+// outEos[i] receive sequence i's sampled token and EOS flag. Rows are
+// scored with code identical to the sequential path, so a shared rng in
+// every slot reproduces per-request VanillaStep calls exactly.
+func (e *Engine) VanillaStepBatch(seqs []Seq, rngs []*rand.Rand, outTok []int, outEos []bool) {
+	if len(seqs) != len(rngs) || len(seqs) != len(outTok) || len(seqs) != len(outEos) {
+		panic("specdec: VanillaStepBatch seqs/rngs/out length mismatch")
+	}
+	if len(seqs) == 0 {
+		return
+	}
+	sc := e.scratchInit()
+	vocab := e.Target.Config().Vocab
+	sc.rowArena = ensureF32(sc.rowArena, len(seqs)*vocab)
+	sc.rows = sc.rows[:0]
+	sc.ctxs = sc.ctxs[:0]
+	sc.groups = sc.groups[:0]
+	for i, s := range seqs {
+		sc.rows = append(sc.rows, sc.rowArena[i*vocab:(i+1)*vocab])
+		sc.ctxs = append(sc.ctxs, model.Context{Tokens: s.Tokens, PromptLen: s.PromptLen})
+		sc.groups = append(sc.groups, model.RowGroup{N: 1, Bias: s.Bias})
+	}
+	e.Target.ProbsBatchGrouped(sc.ctxs, sc.groups, e.Temp, sc.rows, sc.msc)
+	for i, s := range seqs {
+		tok := model.SampleProbs(sc.rows[i], rngs[i])
+		outTok[i] = tok
+		outEos[i] = s.EosID >= 0 && tok == s.EosID
+	}
+	// Drop caller slice references: unlike the tree path (which copies
+	// tokens into engine-owned arenas), these contexts alias the callers'
+	// token storage, and truncation alone would keep it reachable.
+	for i := range sc.ctxs {
+		sc.ctxs[i] = model.Context{}
+	}
+	sc.ctxs = sc.ctxs[:0]
+}
+
 // VanillaStep performs one ordinary (non-speculative) decode step,
-// returning the sampled token. It exists so engines share sampling
+// returning the sampled token: the 1-sequence case of VanillaStepBatch,
+// using the engine-level Bias/EosID. It exists so engines share sampling
 // semantics between SD and non-SD paths.
 func (e *Engine) VanillaStep(tokens []int, promptLen int, rng *rand.Rand) (int, bool) {
-	sc := e.scratchInit()
-	sc.pBuf = ensureF32(sc.pBuf, e.Target.Config().Vocab)
-	e.Target.ProbsScratch(model.Context{Tokens: tokens, PromptLen: promptLen}, e.Bias, e.Temp, sc.pBuf, sc.msc)
-	tok := model.SampleProbs(sc.pBuf, rng)
-	return tok, e.EosID >= 0 && tok == e.EosID
+	e.seq1[0] = Seq{Tokens: tokens, PromptLen: promptLen, Bias: e.Bias, EosID: e.EosID}
+	e.rng1[0] = rng
+	e.VanillaStepBatch(e.seq1[:], e.rng1[:], e.tok1[:], e.eos1[:])
+	e.seq1[0] = Seq{}
+	e.rng1[0] = nil
+	return e.tok1[0], e.eos1[0]
 }
 
 func mathExp(x float64) float64 {
