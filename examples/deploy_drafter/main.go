@@ -13,6 +13,7 @@ package main
 import (
 	"context"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"time"
@@ -103,12 +104,16 @@ func main() {
 
 	// Two passes over the same prompt set: the first pays full prefill
 	// and seeds the caches, the second is routed back to the warm shards
-	// and skips the prompt positions already resident.
+	// and skips the prompt positions already resident. Every request goes
+	// through the streaming path — the cluster's primary request surface —
+	// so tokens arrive chunk by chunk as speculation rounds land, and
+	// time-to-first-token is observable per request, not just end-to-end
+	// latency.
 	tasks := sys.Tasks.SampleSeeded(8, 99)
 	for pass := 1; pass <= 2; pass++ {
-		pending := make([]<-chan cluster.Response, 0, len(tasks))
+		streams := make([]*cluster.Stream, 0, len(tasks))
 		for i, task := range tasks {
-			ch, err := cl.Submit(context.Background(), cluster.Request{
+			st, err := cl.Stream(context.Background(), cluster.Request{
 				Prompt: task.Prompt,
 				MaxNew: 192,
 				Prior:  workload.LengthPrior{TargetLen: 128, Sharpness: 25},
@@ -117,24 +122,40 @@ func main() {
 			if err != nil {
 				log.Fatal(err)
 			}
-			pending = append(pending, ch)
+			streams = append(streams, st)
 		}
 		var accept float64
-		var n int
-		for _, ch := range pending {
-			r := <-ch
-			if r.Err != nil {
-				log.Fatal(r.Err)
-			}
-			if r.AcceptLen > 0 {
-				accept += r.AcceptLen
-				n++
+		var n, chunks int
+		for _, st := range streams {
+			for {
+				ev, err := st.Recv()
+				if err == io.EOF {
+					break
+				}
+				if err != nil {
+					log.Fatal(err)
+				}
+				switch ev.Kind {
+				case serving.EventTokens:
+					// A consumer that keeps up sees one chunk per speculation
+					// round's accepted run; this one drains lazily, so chunks
+					// published since the last pull coalesce.
+					chunks++
+				case serving.EventUsage:
+					if ev.Usage.Err != nil {
+						log.Fatal(ev.Usage.Err)
+					}
+					if ev.Usage.AcceptLen > 0 {
+						accept += ev.Usage.AcceptLen
+						n++
+					}
+				}
 			}
 		}
 		st := cl.Stats()
-		var saved int64 = st.CacheSavedPositions
-		fmt.Printf("  pass %d: served %d | accept len %.2f | p50 %v | prefill positions saved so far %d\n",
-			pass, st.Served, accept/float64(max(n, 1)), st.P50.Round(time.Microsecond), saved)
+		fmt.Printf("  pass %d: served %d in %d chunks | accept len %.2f | p50 %v | ttft p50 %v | itl p50 %v | prefill positions saved so far %d\n",
+			pass, st.Served, chunks, accept/float64(max(n, 1)), st.P50.Round(time.Microsecond),
+			st.TTFTP50.Round(time.Microsecond), st.ITLP50.Round(time.Microsecond), st.CacheSavedPositions)
 	}
 	for _, ss := range cl.Stats().Shards {
 		fmt.Printf("  shard %d: served %d, cache hit rate %.0f%%, resident %d KB\n",

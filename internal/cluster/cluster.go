@@ -7,10 +7,15 @@
 // move shards between SERVING, IDLE, and drafter TRAINING as offered load
 // rises and falls — so speculative-decoding spot training and serving
 // compete for the same capacity, exactly as in the paper's deployment.
+//
+// The request surface is streaming-first: Cluster.Stream routes a
+// streaming session to a shard and propagates cancellation back to it;
+// Submit and Serve are thin wrappers that drain one.
 package cluster
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math"
 	"sync"
@@ -40,7 +45,9 @@ type Request struct {
 	Deadline time.Duration
 }
 
-// Response is a served completion plus which shard served it.
+// Response is a served completion plus which shard served it. Error
+// reporting follows serving.Response: Serve's (and Stream.Wait's) error
+// return is authoritative, Err exists for the channel path (Submit).
 type Response struct {
 	serving.Response
 	Shard int
@@ -117,12 +124,19 @@ type Cluster struct {
 	liveBuf []int
 	loadBuf []int
 
-	// statsMu guards the cluster-wide latency reservoir and accept-length
-	// accumulator (the same bounded-reservoir discipline as serving).
+	// statsMu guards the cluster-wide latency/TTFT/ITL reservoirs and the
+	// accept-length accumulator (the same bounded-reservoir discipline as
+	// serving). The TTFT and ITL reservoirs take one sample per completed
+	// request (serving.Response.TTFT / .ITL — the per-request mean ITL),
+	// since per-chunk samples live in the shard they streamed from.
 	statsMu   sync.Mutex
 	lats      *metrics.Reservoir
+	ttfts     *metrics.Reservoir
+	itls      *metrics.Reservoir
 	acceptSum float64
 	acceptN   int
+	cancelled int
+	errored   int
 
 	stopped atomic.Bool
 }
@@ -153,6 +167,8 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 		liveBuf: make([]int, 0, cfg.Shards),
 		loadBuf: make([]int, 0, cfg.Shards),
 		lats:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc1),
+		ttfts:   metrics.NewReservoir(serving.MaxLatencySamples, 0xc2),
+		itls:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc3),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		shardCfg := cfg.Shard
@@ -212,13 +228,28 @@ func (c *Cluster) PickShard(prompt []int) int {
 	return id
 }
 
-// Submit routes a request, applies the routed shard's admission control,
-// and returns a channel delivering its response. A shed request fails
-// with *ErrShedded; every admitted request is guaranteed a response on
-// the returned channel.
-func (c *Cluster) Submit(ctx context.Context, req Request) (<-chan Response, error) {
+// Stream is a streaming session routed through the cluster: a
+// serving.Stream bound to the shard that owns the request, with the
+// cluster's admission accounting attached to its terminal event.
+// Cancellation (context or Cancel) propagates to the owning shard's
+// replica, which evicts the request at its next step boundary.
+type Stream struct {
+	inner *serving.Stream
+	// Shard is the shard the request was routed to.
+	Shard int
+}
+
+// Stream routes a request, applies the routed shard's admission control,
+// and returns its streaming session — the primary request path (Submit
+// and Serve are wrappers over it). A shed request fails with *ErrShedded;
+// every admitted request is guaranteed exactly one terminal event.
+func (c *Cluster) Stream(ctx context.Context, req Request) (*Stream, error) {
 	if c.stopped.Load() {
 		return nil, fmt.Errorf("cluster: stopped")
+	}
+	if err := ctx.Err(); err != nil {
+		// A dead caller must not reserve an admission slot.
+		return nil, err
 	}
 	sh := c.shards[c.PickShard(req.Prompt)]
 	// Reserve an admission slot first: the reservation is atomic, so the
@@ -229,7 +260,7 @@ func (c *Cluster) Submit(ctx context.Context, req Request) (<-chan Response, err
 		sh.shed.Add(1)
 		return nil, err
 	}
-	inner, err := sh.srv.Submit(ctx, serving.Request{
+	inner, err := sh.srv.Stream(ctx, serving.Request{
 		Prompt: req.Prompt, MaxNew: req.MaxNew, Prior: req.Prior, Seed: req.Seed,
 	})
 	if err != nil {
@@ -241,33 +272,82 @@ func (c *Cluster) Submit(ctx context.Context, req Request) (<-chan Response, err
 		return nil, err
 	}
 	sh.admitted.Add(1)
+	// The shard's replica invokes this hook exactly once at the terminal
+	// event, before any waiter observes it — so the admission slot is
+	// released and the stats settled by the time a drained Wait returns,
+	// and released even when the caller abandons the stream entirely,
+	// with no per-request drain goroutine.
+	inner.OnFinish(func(r serving.Response) { c.complete(sh, r) })
+	return &Stream{inner: inner, Shard: sh.id}, nil
+}
+
+// Recv returns the next event from the owning shard (see
+// serving.Stream.Recv).
+func (st *Stream) Recv() (serving.Event, error) { return st.inner.Recv() }
+
+// Wait blocks until the terminal event and returns the final response;
+// the error return is authoritative (see serving.Stream.Wait).
+func (st *Stream) Wait() (Response, error) {
+	r, err := st.inner.Wait()
+	return Response{Response: r, Shard: st.Shard}, err
+}
+
+// Cancel marks the request for retirement on its owning shard.
+func (st *Stream) Cancel() { st.inner.Cancel() }
+
+// Submit routes a request and returns a channel delivering its response —
+// a wrapper that drains a Stream. A shed request fails with *ErrShedded;
+// every admitted request is guaranteed a response on the returned channel
+// (Response.Err is the failure signal on this path).
+func (c *Cluster) Submit(ctx context.Context, req Request) (<-chan Response, error) {
+	st, err := c.Stream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
 	out := make(chan Response, 1)
-	go func() {
-		r := <-inner
-		c.complete(sh, r)
-		out <- Response{Response: r, Shard: sh.id}
-	}()
+	// Goroutine-free delivery: this hook is registered after the
+	// accounting hook, so by the time the buffered send publishes the
+	// response the admission slot is already released.
+	shard := st.Shard
+	st.inner.OnFinish(func(r serving.Response) { out <- Response{Response: r, Shard: shard} })
 	return out, nil
 }
 
-// Serve submits and waits.
+// Serve submits and waits — a wrapper that drains a Stream. The returned
+// error is authoritative; on mid-flight cancellation it returns the
+// partial response together with context.Canceled.
 func (c *Cluster) Serve(ctx context.Context, req Request) (Response, error) {
-	ch, err := c.Submit(ctx, req)
+	st, err := c.Stream(ctx, req)
 	if err != nil {
 		return Response{}, err
 	}
-	select {
-	case r := <-ch:
-		return r, r.Err
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
-	}
+	return st.Wait()
 }
 
-// complete folds one response into the shard's service-time estimate and
-// the cluster-wide latency/accept accounting.
+// complete folds one terminal response into the shard's service-time
+// estimate and the cluster-wide latency/TTFT/ITL/accept accounting.
+// Requests that terminate with an error release their admission slot but
+// are excluded from the served count, the latency statistics, and the
+// service-time EWMA: a cancelled partial decode is not a representative
+// service sample, and a hard failure (replica configuration error)
+// carries zero-valued timings that would drag the percentiles and the
+// admission estimate toward zero. The error itself reaches the caller
+// through the response.
 func (c *Cluster) complete(sh *shard, r serving.Response) {
 	sh.outstanding.Add(-1)
+	if r.Err != nil {
+		c.statsMu.Lock()
+		if errors.Is(r.Err, context.Canceled) {
+			c.cancelled++
+		} else {
+			// Hard failures stay countable: every admitted request lands
+			// in exactly one of Served/Cancelled/Errored (sheds never
+			// reach complete), preserving the no-silent-drop property.
+			c.errored++
+		}
+		c.statsMu.Unlock()
+		return
+	}
 	sh.served.Add(1)
 	alpha := c.cfg.Admission.SvcAlpha
 	for {
@@ -284,6 +364,12 @@ func (c *Cluster) complete(sh *shard, r serving.Response) {
 	}
 	c.statsMu.Lock()
 	c.lats.Add(r.Latency.Seconds())
+	if r.TTFT > 0 {
+		c.ttfts.Add(r.TTFT.Seconds())
+	}
+	if r.ITL > 0 {
+		c.itls.Add(r.ITL.Seconds())
+	}
 	if r.AcceptLen > 0 {
 		c.acceptSum += r.AcceptLen
 		c.acceptN++
@@ -324,10 +410,25 @@ type ShardStats struct {
 type Stats struct {
 	Served int
 	Shed   int
+	// Cancelled counts requests that were admitted but retired through
+	// mid-flight cancellation; Errored counts admitted requests that
+	// terminated with a hard failure. Both are excluded from the latency
+	// percentiles and the service-time EWMA, but every admitted request
+	// lands in exactly one of Served/Cancelled/Errored.
+	Cancelled int
+	Errored   int
 	// ShedRate is shed / (admitted + shed).
 	ShedRate float64
 	P50      time.Duration
 	P95      time.Duration
+	// TTFTP50/TTFTP95 are per-request time-to-first-token percentiles;
+	// ITLP50/ITLP95 are percentiles over per-request mean inter-token
+	// latencies (per-chunk ITL distributions live in each shard's own
+	// serving.Stats).
+	TTFTP50 time.Duration
+	TTFTP95 time.Duration
+	ITLP50  time.Duration
+	ITLP95  time.Duration
 	// MeanAcceptLen averages per-request SD accept lengths (0 without SD).
 	MeanAcceptLen float64
 	// MeanUtilisation averages shard utilisation.
@@ -375,6 +476,12 @@ func (c *Cluster) Stats() Stats {
 	c.statsMu.Lock()
 	st.P50 = time.Duration(c.lats.Percentile(50) * float64(time.Second))
 	st.P95 = time.Duration(c.lats.Percentile(95) * float64(time.Second))
+	st.TTFTP50 = time.Duration(c.ttfts.Percentile(50) * float64(time.Second))
+	st.TTFTP95 = time.Duration(c.ttfts.Percentile(95) * float64(time.Second))
+	st.ITLP50 = time.Duration(c.itls.Percentile(50) * float64(time.Second))
+	st.ITLP95 = time.Duration(c.itls.Percentile(95) * float64(time.Second))
+	st.Cancelled = c.cancelled
+	st.Errored = c.errored
 	if c.acceptN > 0 {
 		st.MeanAcceptLen = c.acceptSum / float64(c.acceptN)
 	}

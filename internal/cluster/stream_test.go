@@ -1,0 +1,191 @@
+package cluster
+
+import (
+	"context"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"fastrl/internal/serving"
+	"fastrl/internal/workload"
+)
+
+// TestClusterStreamMatchesServe pins the cluster-level wrapper
+// equivalence: token chunks drained from a routed stream concatenate to
+// exactly what Serve returns for the same seed (routing included — both
+// paths go through the same policy), with exactly one terminal event, and
+// TTFT/ITL percentiles surface in the cluster stats.
+func TestClusterStreamMatchesServe(t *testing.T) {
+	target, e, tk, gen := clusterSetup(t)
+	req := Request{
+		Prompt: gen.Pool()[0].Prompt, MaxNew: 48, Seed: 3,
+		Prior: workload.LengthPrior{TargetLen: 40, Sharpness: 25},
+	}
+
+	mk := func() *Cluster {
+		cfg := clusterConfig(tk, 2, 1)
+		cfg.Policy = NewPrefixAffinity(4) // deterministic routing
+		cl, err := New(cfg, target, e)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return cl
+	}
+
+	clA := mk()
+	want, err := clA.Serve(context.Background(), req)
+	clA.Stop()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	clB := mk()
+	defer clB.Stop()
+	st, err := clB.Stream(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Shard != want.Shard {
+		t.Fatalf("stream routed to shard %d, serve to %d", st.Shard, want.Shard)
+	}
+	var tokens []int
+	var usage serving.Response
+	terminals := 0
+	for {
+		ev, err := st.Recv()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		switch ev.Kind {
+		case serving.EventTokens:
+			tokens = append(tokens, ev.Tokens...)
+		case serving.EventUsage:
+			usage = ev.Usage
+			terminals++
+		}
+	}
+	if terminals != 1 {
+		t.Fatalf("saw %d terminal events, want exactly 1", terminals)
+	}
+	if len(tokens) != len(want.Tokens) {
+		t.Fatalf("streamed %d tokens, one-shot %d", len(tokens), len(want.Tokens))
+	}
+	for i := range want.Tokens {
+		if tokens[i] != want.Tokens[i] {
+			t.Fatalf("streamed token %d differs from the one-shot response", i)
+		}
+	}
+	if usage.TTFT <= 0 {
+		t.Fatalf("usage TTFT = %v", usage.TTFT)
+	}
+
+	stats := clB.Stats()
+	if stats.Served != 1 {
+		t.Fatalf("served = %d, want 1", stats.Served)
+	}
+	if stats.TTFTP50 <= 0 || stats.TTFTP95 < stats.TTFTP50 {
+		t.Fatalf("cluster TTFT percentiles wrong: p50=%v p95=%v", stats.TTFTP50, stats.TTFTP95)
+	}
+	if stats.ITLP50 <= 0 {
+		t.Fatalf("cluster ITL p50 = %v, want > 0 for a multi-chunk response", stats.ITLP50)
+	}
+}
+
+// TestClusterStreamCancelReleasesAdmission pins cancellation propagation
+// through the router: cancelling a routed stream retires the request on
+// its owning shard, releases the admission reservation (so the slot can
+// be re-used), and is accounted as cancelled, not served — without
+// perturbing the shard's remaining traffic.
+func TestClusterStreamCancelReleasesAdmission(t *testing.T) {
+	target, e, tk, gen := clusterSetup(t)
+	cfg := clusterConfig(tk, 1, 1)
+	cfg.Admission.MaxPending = 2
+	cl, err := New(cfg, target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	st, err := cl.Stream(context.Background(), Request{
+		Prompt: gen.Pool()[0].Prompt, MaxNew: 1 << 19, Seed: 1,
+		Prior: workload.LengthPrior{TargetLen: 1 << 19, Sharpness: 25},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Confirm it is decoding, then cancel mid-flight.
+	if ev, err := st.Recv(); err != nil || ev.Kind != serving.EventTokens {
+		t.Fatalf("first event: kind=%d err=%v", ev.Kind, err)
+	}
+	st.Cancel()
+	resp, err := st.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait error = %v, want context.Canceled", err)
+	}
+	if len(resp.Tokens) == 0 {
+		t.Fatal("no partial tokens on a mid-flight cancel")
+	}
+
+	// The admission slot is released: with MaxPending 2, two fresh
+	// requests must both be admitted and served.
+	for i := 0; i < 2; i++ {
+		r, err := cl.Serve(context.Background(), Request{
+			Prompt: gen.Pool()[1+i].Prompt, MaxNew: 24, Seed: int64(10 + i),
+		})
+		if err != nil {
+			t.Fatalf("post-cancel serve %d: %v", i, err)
+		}
+		if len(r.Tokens) == 0 {
+			t.Fatalf("post-cancel serve %d returned no tokens", i)
+		}
+	}
+
+	stats := cl.Stats()
+	if stats.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", stats.Cancelled)
+	}
+	if stats.Served != 2 {
+		t.Fatalf("served = %d, want 2 (cancelled request must not count)", stats.Served)
+	}
+	// Outstanding reservations drain to zero once everything terminal.
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		total := 0
+		for _, ss := range cl.Stats().Shards {
+			total += ss.Pending
+		}
+		if total == 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("shard backlog never drained: %d", total)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestClusterStreamOnCancelledContext pins the fast-fail: an
+// already-cancelled context neither reserves an admission slot nor
+// enqueues.
+func TestClusterStreamOnCancelledContext(t *testing.T) {
+	target, e, tk, gen := clusterSetup(t)
+	cl, err := New(clusterConfig(tk, 2, 1), target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := cl.Stream(ctx, Request{Prompt: gen.Pool()[0].Prompt, MaxNew: 8}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Stream on dead ctx = %v, want context.Canceled", err)
+	}
+	for _, ss := range cl.Stats().Shards {
+		if ss.Pending != 0 || ss.Admitted != 0 {
+			t.Fatalf("dead caller consumed shard %d resources: %+v", ss.ID, ss)
+		}
+	}
+}

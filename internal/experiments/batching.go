@@ -30,6 +30,12 @@ type batchingArm struct {
 	elapsed    time.Duration
 	busyFrac   float64
 	throughput float64 // response tokens per busy virtual second
+	// Streaming SLO metrics: time-to-first-token (arrival to the step
+	// boundary that emitted the request's first token) and mean
+	// inter-token latency (first token to completion, per subsequent
+	// token) — the two latencies a streaming client actually observes.
+	ttft50, ttft95 time.Duration
+	itl50, itl95   time.Duration
 }
 
 // runBatching replays one bursty arrival trace through the iteration-level
@@ -78,7 +84,7 @@ func runBatching(opts Options) (*Result, error) {
 
 	res := &Result{}
 	tbl := &metrics.Table{Header: []string{
-		"admission", "served", "p50 ms", "p95 ms", "mean ms", "makespan ms", "busy", "tok/s",
+		"admission", "served", "p50 ms", "p95 ms", "ttft50 ms", "ttft95 ms", "itl50 ms", "itl95 ms", "mean ms", "makespan ms", "busy", "tok/s",
 	}}
 	for i := range arms {
 		if errs[i] != nil {
@@ -89,6 +95,10 @@ func runBatching(opts Options) (*Result, error) {
 			fmt.Sprintf("%d", a.served),
 			metrics.F(float64(a.p50)/float64(time.Millisecond), 2),
 			metrics.F(float64(a.p95)/float64(time.Millisecond), 2),
+			metrics.F(float64(a.ttft50)/float64(time.Millisecond), 2),
+			metrics.F(float64(a.ttft95)/float64(time.Millisecond), 2),
+			metrics.F(float64(a.itl50)/float64(time.Millisecond), 2),
+			metrics.F(float64(a.itl95)/float64(time.Millisecond), 2),
 			metrics.F(float64(a.meanLat)/float64(time.Millisecond), 2),
 			metrics.F(float64(a.elapsed)/float64(time.Millisecond), 1),
 			metrics.F(a.busyFrac, 3),
@@ -96,6 +106,10 @@ func runBatching(opts Options) (*Result, error) {
 		)
 		res.Metric(a.name+"/p50_ms", float64(a.p50)/float64(time.Millisecond))
 		res.Metric(a.name+"/p95_ms", float64(a.p95)/float64(time.Millisecond))
+		res.Metric(a.name+"/ttft_p50_ms", float64(a.ttft50)/float64(time.Millisecond))
+		res.Metric(a.name+"/ttft_p95_ms", float64(a.ttft95)/float64(time.Millisecond))
+		res.Metric(a.name+"/itl_p50_ms", float64(a.itl50)/float64(time.Millisecond))
+		res.Metric(a.name+"/itl_p95_ms", float64(a.itl95)/float64(time.Millisecond))
 		res.Metric(a.name+"/mean_ms", float64(a.meanLat)/float64(time.Millisecond))
 		res.Metric(a.name+"/makespan_ms", float64(a.elapsed)/float64(time.Millisecond))
 		res.Metric(a.name+"/busy_frac", a.busyFrac)
@@ -108,6 +122,7 @@ func runBatching(opts Options) (*Result, error) {
 		"latency is virtual: arrival to retirement, queueing included; the replay is wall-clock-free and seed-deterministic",
 		"identical token streams across arms (per-request RNG, frozen drafter, fixed SD strategy): the deltas are pure scheduling",
 		"run-to-completion (max batch 1) suffers head-of-line blocking under the burst; continuous batching admits arrivals at step boundaries and amortises each verification pass across the batch",
+		"ttft/itl are the streaming-client SLOs: arrival to first token, and mean per-token gap after it — run-to-completion's ttft collapses into its queueing delay while continuous batching trades a little itl for admission at the next step boundary",
 	)
 	return res, nil
 }
@@ -130,6 +145,8 @@ func replayBatchingArm(b *bench, arrivals []workload.Arrival, maxNew int, arm *b
 
 	pool := b.gen.Pool()
 	lats := make([]float64, 0, len(arrivals))
+	ttfts := make([]float64, 0, len(arrivals))
+	itls := make([]float64, 0, len(arrivals))
 	next := 0
 	for {
 		now := batch.Clock.Now()
@@ -155,6 +172,14 @@ func replayBatchingArm(b *bench, arrivals []workload.Arrival, maxNew int, arm *b
 		for _, r := range batch.Retire() {
 			at := r.Tag.(time.Duration)
 			lats = append(lats, (r.FinishedAt() - at).Seconds())
+			if ft, ok := r.FirstTokenAt(); ok {
+				ttfts = append(ttfts, (ft - at).Seconds())
+				// Same ITL definition as serving.Response.ITL: the span
+				// after the first chunk, per token delivered after it.
+				if gen, fc := r.Generated(), r.FirstChunkTokens(); gen > fc {
+					itls = append(itls, (r.FinishedAt() - ft).Seconds()/float64(gen-fc))
+				}
+			}
 			arm.tokens += r.Generated()
 			arm.served++
 		}
@@ -173,6 +198,10 @@ func replayBatchingArm(b *bench, arrivals []workload.Arrival, maxNew int, arm *b
 	}
 	arm.p50 = time.Duration(metrics.Percentile(lats, 50) * float64(time.Second))
 	arm.p95 = time.Duration(metrics.Percentile(lats, 95) * float64(time.Second))
+	arm.ttft50 = time.Duration(metrics.Percentile(ttfts, 50) * float64(time.Second))
+	arm.ttft95 = time.Duration(metrics.Percentile(ttfts, 95) * float64(time.Second))
+	arm.itl50 = time.Duration(metrics.Percentile(itls, 50) * float64(time.Second))
+	arm.itl95 = time.Duration(metrics.Percentile(itls, 95) * float64(time.Second))
 	var sum float64
 	for _, l := range lats {
 		sum += l

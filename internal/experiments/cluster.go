@@ -87,7 +87,7 @@ func runCluster(opts Options) (*Result, error) {
 
 	res := &Result{}
 	tbl := &metrics.Table{Header: []string{
-		"policy", "served", "shed%", "p50 ms", "p95 ms", "util", "accept", "train sessions", "preempts",
+		"policy", "served", "shed%", "p50 ms", "p95 ms", "ttft50 ms", "ttft95 ms", "itl50 ms", "itl95 ms", "util", "accept", "train sessions", "preempts",
 	}}
 	for _, arm := range arms {
 		if arm.err != nil {
@@ -99,6 +99,10 @@ func runCluster(opts Options) (*Result, error) {
 			metrics.F(100*st.ShedRate, 1),
 			metrics.F(float64(st.P50)/float64(time.Millisecond), 2),
 			metrics.F(float64(st.P95)/float64(time.Millisecond), 2),
+			metrics.F(float64(st.TTFTP50)/float64(time.Millisecond), 2),
+			metrics.F(float64(st.TTFTP95)/float64(time.Millisecond), 2),
+			metrics.F(float64(st.ITLP50)/float64(time.Millisecond), 2),
+			metrics.F(float64(st.ITLP95)/float64(time.Millisecond), 2),
 			metrics.F(st.MeanUtilisation, 2),
 			metrics.F(st.MeanAcceptLen, 2),
 			fmt.Sprintf("%d", st.TrainingSessions),
@@ -106,6 +110,10 @@ func runCluster(opts Options) (*Result, error) {
 		)
 		res.Metric(arm.policy+"/p50_ms", float64(st.P50)/float64(time.Millisecond))
 		res.Metric(arm.policy+"/p95_ms", float64(st.P95)/float64(time.Millisecond))
+		res.Metric(arm.policy+"/ttft_p50_ms", float64(st.TTFTP50)/float64(time.Millisecond))
+		res.Metric(arm.policy+"/ttft_p95_ms", float64(st.TTFTP95)/float64(time.Millisecond))
+		res.Metric(arm.policy+"/itl_p50_ms", float64(st.ITLP50)/float64(time.Millisecond))
+		res.Metric(arm.policy+"/itl_p95_ms", float64(st.ITLP95)/float64(time.Millisecond))
 		res.Metric(arm.policy+"/shed_rate", st.ShedRate)
 		res.Metric(arm.policy+"/utilisation", st.MeanUtilisation)
 		res.Metric(arm.policy+"/accept_len", st.MeanAcceptLen)
@@ -117,6 +125,7 @@ func runCluster(opts Options) (*Result, error) {
 			len(arrivals), duration, shards, replicas),
 		"lulls park shards in coordinator-driven drafter spot training; the burst preempts them back to serving with a one-window reactive lag (the scaler only sees completed windows), so the burst's first window is where shedding concentrates",
 		"latency is queue wall time + virtual decode time; shed requests return typed ErrShedded with retry-after hints",
+		"ttft/itl come from the streaming request path every served request now takes: ttft is queue wall + virtual decode to the first token chunk, itl the per-request mean gap between chunks",
 		"this figure is a live concurrency measurement: latencies (and shed counts near the admission boundary) vary slightly run-to-run, unlike the seed-deterministic paper figures; token-level determinism is pinned separately by cluster's tests",
 		"prefix-affinity concentrates related requests per shard (lower latency, hotter drafter context) at the cost of a higher shed rate under burst — the locality/balance trade-off",
 	)

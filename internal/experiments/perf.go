@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+	"io"
 	"math/rand"
 	"testing"
 
@@ -8,6 +10,7 @@ import (
 	"fastrl/internal/model"
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/sched"
+	"fastrl/internal/serving"
 	"fastrl/internal/specdec"
 	"fastrl/internal/workload"
 )
@@ -149,6 +152,40 @@ func PerfSnapshot(quick bool) []PerfEntry {
 				batch.Step(rng)
 			}
 		}))
+	}
+	{
+		// Streamed serving round trip: one request through the streaming
+		// request path (enqueue, continuous-batching replica, per-step
+		// event publication, drain to the terminal Usage event). Setup is
+		// per-request so allocs/op is small but nonzero; the per-event
+		// emission inside it is pinned at 0 allocs separately
+		// (serving's TestStreamEmissionZeroAllocs).
+		cfg := sched.DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+		cfg.SDThreshold = 0
+		cfg.Strategies = []specdec.Params{p}
+		cfg.MAB.Thresholds = []int{1}
+		srv, err := serving.New(serving.Config{Engine: cfg, Replicas: 1, MaxBatch: 8}, b.target, b.eagle)
+		if err != nil {
+			panic(err)
+		}
+		entries = append(entries, mk("serving/stream-serve", func(n int) {
+			for i := 0; i < n; i++ {
+				st, err := srv.Stream(context.Background(), serving.Request{
+					Prompt: prompt, MaxNew: 32, Seed: int64(i),
+				})
+				if err != nil {
+					panic(err)
+				}
+				for {
+					if _, err := st.Recv(); err == io.EOF {
+						break
+					} else if err != nil {
+						panic(err)
+					}
+				}
+			}
+		}))
+		srv.Stop()
 	}
 	{
 		// Prefix-cache lookup: the routing/prefill hot path, pinned at 0

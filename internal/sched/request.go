@@ -2,6 +2,7 @@ package sched
 
 import (
 	"math/rand"
+	"sync/atomic"
 	"time"
 
 	"fastrl/internal/prefixcache"
@@ -46,11 +47,27 @@ type Request struct {
 	Tool ToolProfile
 	tool toolState
 
+	// cancelReq is the cross-goroutine cancellation flag: any goroutine may
+	// set it through Cancel while the batch-owning goroutine keeps
+	// stepping. The batch observes it at the next step boundary and retires
+	// the request (Batch.sweepCancelled), so cancellation costs the decode
+	// loop one atomic load per request per step and nothing else.
+	cancelReq atomic.Bool
+
 	// Scheduler-owned lifecycle state.
 	admittedAt  time.Duration
 	finishedAt  time.Duration
 	hasFinished bool
 	truncated   bool
+	cancelled   bool
+	// firstTokenAt is the virtual time the first response token landed —
+	// the anchor for time-to-first-token metrics — and firstTokN how many
+	// tokens that first step delivered (an SD round's whole accepted run
+	// lands at once, so mean inter-token latency divides the tail span by
+	// the tokens *after* this first chunk).
+	firstTokenAt time.Duration
+	firstTokN    int
+	hasFirstTok  bool
 	// retained pins the request's matched prefix-cache node while it is
 	// inflight; hidCached marks a full-prompt match that already carries a
 	// hidden state, so insert-back can skip recomputing it.
@@ -120,6 +137,39 @@ func (r *Request) DecodeTime() time.Duration {
 // Truncated reports whether the request was cut off by batch truncation
 // (the premature-termination strategy) rather than finishing naturally.
 func (r *Request) Truncated() bool { return r.truncated }
+
+// Cancel marks the request for retirement at the next step boundary: the
+// owning batch stops decoding it, releases its prefix-cache pins, drops
+// its KV charge, and frees its batch slot, retiring it with the tokens
+// generated so far. Safe to call from any goroutine at any point in the
+// lifecycle (the serving layer calls it from client goroutines while the
+// replica steps the batch); cancelling a request that already finished is
+// a no-op — natural completion wins the race.
+func (r *Request) Cancel() { r.cancelReq.Store(true) }
+
+// CancelRequested reports whether Cancel has been called. The request
+// keeps decoding until the owning batch's next step boundary observes the
+// flag.
+func (r *Request) CancelRequested() bool { return r.cancelReq.Load() }
+
+// Cancelled reports whether the request actually retired via
+// cancellation (false when it finished naturally before the batch
+// observed a Cancel).
+func (r *Request) Cancelled() bool { return r.cancelled }
+
+// FirstTokenAt returns the virtual time the request's first response
+// token landed — admission-to-first-token is the request's virtual TTFT
+// component — and whether a token has landed yet.
+func (r *Request) FirstTokenAt() (time.Duration, bool) {
+	return r.firstTokenAt, r.hasFirstTok
+}
+
+// FirstChunkTokens returns how many tokens the request's first decoded
+// step delivered (0 before any token lands). Mean inter-token latency is
+// (FinishedAt - FirstTokenAt) / (Generated - FirstChunkTokens) — the
+// denominator serving.Response.ITL uses, kept identical here so
+// experiment figures agree across layers.
+func (r *Request) FirstChunkTokens() int { return r.firstTokN }
 
 // MeanAcceptLen returns the paper's accept-length metric for this request
 // alone (accepted/rounds + 1), 0 when SD never ran for it. Unlike

@@ -152,6 +152,9 @@ type Stats struct {
 	QueuedSteps int
 	// TruncatedRequests counts requests cut off by TruncateRemaining.
 	TruncatedRequests int
+	// CancelledRequests counts requests retired through the cancellation
+	// path (Request.Cancel / Batch.Cancel) rather than finishing.
+	CancelledRequests int
 	// PrefillSavedTokens counts prompt positions whose prefill was skipped
 	// because a cached prefix already covered them; PrefillCacheHits counts
 	// requests that matched the cache at all. Both are 0 without a Cache.
@@ -369,6 +372,79 @@ func (b *Batch) Retire() []*Request {
 	return out
 }
 
+// Cancel marks every live admitted request with the given ID for
+// retirement at the next step boundary and reports whether one was
+// found. Like every Batch method it must run on the batch-owning
+// goroutine; cross-goroutine cancellation goes through Request.Cancel,
+// which is safe from anywhere and what this method delegates to.
+func (b *Batch) Cancel(reqID int) bool {
+	found := false
+	for _, r := range b.pending {
+		if r.ID == reqID && !r.Done {
+			r.Cancel()
+			found = true
+		}
+	}
+	for _, r := range b.inflight {
+		if r.ID == reqID && !r.Done {
+			r.Cancel()
+			found = true
+		}
+	}
+	return found
+}
+
+// sweepCancelled retires cancellation-marked requests at the step
+// boundary: pending admissions leave before ever prefilling (a request
+// cancelled in the admission queue never enters a batch and its prompt is
+// never charged), inflight requests leave before the decode set is built
+// — freeing their batch slot and KV charge for the next admission — and
+// both release their retained prefix-cache pins. Cancelled sequences are
+// NOT inserted back into the cache: the stream was abandoned, so there is
+// no completed sequence worth sharing. A request that already finished
+// naturally is skipped (Done wins), so a cancel racing natural completion
+// resolves to exactly one terminal state.
+func (b *Batch) sweepCancelled() {
+	now := b.Clock.Now()
+	kept := b.pending[:0]
+	for _, r := range b.pending {
+		if r.CancelRequested() && !r.Done {
+			r.Done = true
+			r.cancelled = true
+			// A pending request never prefilled, so admittedAt was never
+			// stamped; anchor it here so DecodeTime() is zero rather than
+			// the batch clock's whole lifetime.
+			r.admittedAt = now
+			r.finishedAt = now
+			r.hasFinished = true
+			r.releaseRetained()
+			b.stats.CancelledRequests++
+			b.retired = append(b.retired, r)
+			continue
+		}
+		kept = append(kept, r)
+	}
+	for i := len(kept); i < len(b.pending); i++ {
+		b.pending[i] = nil
+	}
+	b.pending = kept
+
+	swept := false
+	for _, r := range b.inflight {
+		if r.CancelRequested() && !r.Done {
+			r.Done = true
+			r.cancelled = true
+			r.finishedAt = now
+			r.hasFinished = true
+			b.stats.CancelledRequests++
+			swept = true
+		}
+	}
+	if swept {
+		b.collectRetired()
+	}
+}
+
 // TruncateRemaining marks every unfinished admitted request as done
 // (truncated) at the current virtual time — the premature-termination
 // strategy: the long tail is cut instead of decoded. Truncated requests
@@ -419,6 +495,7 @@ func (b *Batch) TruncateRemaining() {
 // RNG; requests decode in admission order, so a closed batch with a
 // shared stream reproduces the pre-scheduler rollout engine draw-for-draw.
 func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
+	b.sweepCancelled()
 	b.prefillPending()
 
 	b.active = b.active[:0]
@@ -490,6 +567,14 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 		}
 	}
 	for _, r := range active {
+		// Tokens land at the step's end in virtual time: the first-token
+		// timestamp (the per-request TTFT anchor) is stamped after the
+		// iteration's cost has been charged to the clock.
+		if !r.hasFirstTok && r.Generated() > 0 {
+			r.hasFirstTok = true
+			r.firstTokenAt = b.Clock.Now()
+			r.firstTokN = r.Generated()
+		}
 		if r.Done && !r.hasFinished {
 			r.finishedAt = b.Clock.Now()
 			r.hasFinished = true
@@ -560,7 +645,7 @@ func (b *Batch) collectRetired() {
 			kept = append(kept, r)
 			continue
 		}
-		if b.cfg.Cache != nil {
+		if b.cfg.Cache != nil && !r.cancelled {
 			b.cacheInsertBack(r)
 		}
 		r.releaseRetained()

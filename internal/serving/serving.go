@@ -15,6 +15,11 @@
 // run-to-completion serving. Every request decodes on its own seeded
 // sampling stream, so its token stream is independent of what it happens
 // to be batched with.
+//
+// The request surface is streaming-first: Server.Stream returns a
+// pull-based session of token/accept/usage events with real mid-flight
+// cancellation (see stream.go); Submit and Serve are thin wrappers that
+// drain one.
 package serving
 
 import (
@@ -75,7 +80,14 @@ type Request struct {
 	Seed int64
 }
 
-// Response is the served completion.
+// Response is the served completion (the payload of a stream's terminal
+// Usage event).
+//
+// Error reporting: on paths that return an explicit error — Serve,
+// Stream.Wait — that error return is authoritative and Err merely mirrors
+// it. Err exists for the channel path (Submit), which has no error return
+// of its own; callers holding an error return should use it and ignore
+// Err.
 type Response struct {
 	Tokens []int
 	// Latency is the modelled service latency: queueing (wall) plus the
@@ -83,15 +95,22 @@ type Response struct {
 	Latency time.Duration
 	// DecodeTime is the virtual decode component alone.
 	DecodeTime time.Duration
+	// TTFT is time-to-first-token: queue wall time plus the virtual
+	// decode time from admission to the step boundary that emitted the
+	// first token chunk (zero if no token was ever produced).
+	TTFT time.Duration
+	// ITL is the request's mean inter-token latency in virtual time — the
+	// span from the first token chunk to the last, spread over the tokens
+	// delivered after the first chunk (zero for single-chunk responses).
+	ITL time.Duration
 	// AcceptLen is the mean SD accept length (0 without SD).
 	AcceptLen float64
-	Err       error
-}
-
-type job struct {
-	req      Request
-	enqueued time.Time
-	done     chan Response
+	// Err reports per-request failure on the channel path (Submit); it is
+	// context.Canceled when the request was cancelled mid-flight, in which
+	// case Tokens holds the partial response. Where an explicit error is
+	// returned alongside the Response, that error is the authoritative
+	// copy of this field.
+	Err error
 }
 
 // MaxLatencySamples bounds the latency-sample reservoir: long-running
@@ -110,6 +129,10 @@ type Server struct {
 	// together with the queue length it is the server's externally visible
 	// load (the probe cluster routing policies weigh shards by).
 	inflight atomic.Int64
+	// reqSeq issues unique scheduler-request IDs across replicas, so
+	// ID-keyed batch operations (sched.Batch.Cancel) address exactly one
+	// request.
+	reqSeq atomic.Int64
 	wg       sync.WaitGroup
 	// stopMu serialises queue sends against Stop closing the queue: Submit
 	// holds the read side across its send (replicas drain the queue without
@@ -119,9 +142,15 @@ type Server struct {
 	stopMu  sync.RWMutex
 	stopped bool
 	mu      sync.Mutex
-	// lats is a bounded uniform sample over all served latencies.
-	lats   *metrics.Reservoir
-	served int
+	// lats is a bounded uniform sample over all served latencies; ttfts
+	// and itls sample time-to-first-token per request and inter-token
+	// latency per streamed chunk, fed by the replicas' event publishing.
+	lats      *metrics.Reservoir
+	ttfts     *metrics.Reservoir
+	itls      *metrics.Reservoir
+	served    int
+	cancelled int
+	errored   int
 }
 
 // New builds a server. drafter may be nil (vanilla decoding).
@@ -154,6 +183,8 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 		drafter: drafter,
 		queue:   make(chan *job, cfg.QueueDepth),
 		lats:    metrics.NewReservoir(MaxLatencySamples, 0x1a7),
+		ttfts:   metrics.NewReservoir(MaxLatencySamples, 0x1a8),
+		itls:    metrics.NewReservoir(MaxLatencySamples, 0x1a9),
 	}
 	for r := 0; r < cfg.Replicas; r++ {
 		s.wg.Add(1)
@@ -164,15 +195,18 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 
 // replica is one continuous-batching serving worker: it owns a scheduler
 // batch and step-loops over it, draining the shared admission queue into
-// the batch at every iteration boundary and retiring finished requests at
-// the same granularity.
+// the batch at every iteration boundary, publishing every running
+// request's new tokens into its stream at the same granularity, and
+// retiring finished (or cancelled) requests at step boundaries.
 func (s *Server) replica(id int) {
 	defer s.wg.Done()
 	batch, err := sched.New(s.cfg.Engine, s.target, s.drafter)
 	if err != nil {
 		// Configuration errors surface on every job this replica takes.
 		for j := range s.queue {
-			j.done <- Response{Err: err}
+			if j.claimed.CompareAndSwap(false, true) {
+				s.finishJob(j, Response{Err: err}, false)
+			}
 		}
 		return
 	}
@@ -183,15 +217,40 @@ func (s *Server) replica(id int) {
 	// Shared fallback stream for Batch.Step; never drawn from, since every
 	// admitted request carries its own seeded RNG.
 	rng := rand.New(rand.NewSource(0x5eed ^ int64(id)))
+	// running tracks the jobs inside this replica's batch so each step can
+	// publish their stream progress; samples batches the step's TTFT/ITL
+	// reservoir feeds into one stats-lock acquisition.
+	running := make([]*job, 0, s.cfg.MaxBatch)
+	samples := &stepSamples{
+		ttfts: make([]float64, 0, s.cfg.MaxBatch),
+		itls:  make([]float64, 0, s.cfg.MaxBatch),
+	}
 
 	admit := func(j *job) {
+		if !j.claimed.CompareAndSwap(false, true) {
+			// A canceller already claimed and finished this job while it
+			// sat in the queue; drop it.
+			return
+		}
+		if j.cancelReq.Load() {
+			// Cancelled while queued: the request retires without ever
+			// entering a batch — no prefill, no KV, no slot.
+			s.finishJob(j, Response{Err: context.Canceled}, false)
+			return
+		}
 		s.inflight.Add(1)
-		r := sched.NewRequest(id, j.req.Prompt, j.req.MaxNew, j.req.Prior, s.cfg.AnswerID, s.cfg.EosID)
+		r := sched.NewRequest(int(s.reqSeq.Add(1)), j.req.Prompt, j.req.MaxNew, j.req.Prior, s.cfg.AnswerID, s.cfg.EosID)
 		// A private sampling stream per request: its tokens do not depend
 		// on what it is batched with or when it joined the batch.
 		r.RNG = rand.New(rand.NewSource(j.req.Seed))
 		r.Tag = j
+		j.sr.Store(r)
+		if j.cancelReq.Load() {
+			// A cancel that raced admission: make sure the batch sees it.
+			r.Cancel()
+		}
 		batch.Admit(r)
+		running = append(running, j)
 	}
 
 	open := true
@@ -223,7 +282,35 @@ func (s *Server) replica(id int) {
 			}
 		}
 		batch.Step(rng)
-		for _, r := range batch.Retire() {
+		now := batch.Clock.Now()
+		retired := batch.Retire()
+		// Publish the step's progress — retiring requests first, so their
+		// final chunk (and its TTFT/ITL bookkeeping) lands before the
+		// terminal event — then fold the step's SLO samples into the
+		// reservoirs before any terminal event wakes a client: a caller
+		// returning from Wait must find its samples already in Stats.
+		for _, r := range retired {
+			s.publishProgress(r.Tag.(*job), r, now, samples)
+		}
+		for _, r := range retired {
+			j := r.Tag.(*job)
+			for i, rj := range running {
+				if rj == j {
+					copy(running[i:], running[i+1:])
+					// Clear the vacated tail slot so the retired job is
+					// not pinned by the backing array (the sched package's
+					// convention for its inflight list).
+					running[len(running)-1] = nil
+					running = running[:len(running)-1]
+					break
+				}
+			}
+		}
+		for _, j := range running {
+			s.publishProgress(j, j.sr.Load(), now, samples)
+		}
+		samples.flush(s)
+		for _, r := range retired {
 			j := r.Tag.(*job)
 			// Per-request accept length is exact: it is computed from the
 			// request's own accepted rounds, not whole-engine statistics
@@ -232,14 +319,16 @@ func (s *Server) replica(id int) {
 				Tokens:     r.Response(),
 				DecodeTime: r.DecodeTime(),
 				Latency:    time.Since(j.enqueued) + r.DecodeTime(),
+				TTFT:       j.ttft,
 				AcceptLen:  r.MeanAcceptLen(),
 			}
-			s.mu.Lock()
-			s.lats.Add(resp.Latency.Seconds())
-			s.served++
-			s.mu.Unlock()
-			s.inflight.Add(-1)
-			j.done <- resp
+			if gen := len(resp.Tokens); gen > j.firstChunk && j.lastTokV > j.firstTokV {
+				resp.ITL = (j.lastTokV - j.firstTokV) / time.Duration(gen-j.firstChunk)
+			}
+			if r.Cancelled() {
+				resp.Err = context.Canceled
+			}
+			s.finishJob(j, resp, true)
 		}
 	}
 }
@@ -279,35 +368,76 @@ func (s *Server) CacheResidentBytes() int64 {
 	return s.cfg.Cache.ResidentBytes()
 }
 
-// Submit enqueues a request and returns a channel delivering its response.
-// It fails fast when the context is cancelled or the server is stopped.
-func (s *Server) Submit(ctx context.Context, req Request) (<-chan Response, error) {
+// Stream enqueues a request and returns its streaming session — the
+// primary request path (Submit and Serve are wrappers over it). It fails
+// fast when ctx is already cancelled, the queue send would block past a
+// cancellation, or the server is stopped. The returned stream delivers
+// token chunks at step boundaries, per-round accept updates, and exactly
+// one terminal Usage event; cancelling ctx (or calling Stream.Cancel)
+// retires the request at the replica's next step boundary, freeing its
+// batch slot, KV charge, and prefix-cache pins.
+func (s *Server) Stream(ctx context.Context, req Request) (*Stream, error) {
 	s.stopMu.RLock()
 	defer s.stopMu.RUnlock()
 	if s.stopped {
 		return nil, fmt.Errorf("serving: server stopped")
 	}
-	j := &job{req: req, enqueued: time.Now(), done: make(chan Response, 1)}
+	// A dead caller must not consume a queue slot: without this check the
+	// select below chooses arbitrarily between a ready queue and a
+	// ready Done channel, so an already-cancelled context could still
+	// enqueue (and, on a full queue, block forever pre-redesign).
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	j := newJob(req)
 	select {
 	case s.queue <- j:
-		return j.done, nil
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
+	st := &Stream{srv: s, j: j, ctx: ctx}
+	if done := ctx.Done(); done != nil {
+		// The watcher propagates a context cancellation even when nobody
+		// is blocked in Recv/Wait (a caller that walked away); it exits
+		// at the terminal event.
+		go func() {
+			select {
+			case <-done:
+				s.cancelJob(j)
+			case <-j.term:
+			}
+		}()
+	}
+	return st, nil
 }
 
-// Serve submits and waits.
+// Submit enqueues a request and returns a channel delivering its
+// response — a wrapper that drains a Stream to its terminal event. On
+// this path Response.Err is the only failure signal (see Response);
+// cancelling ctx after a successful Submit delivers the partial response
+// with Err = context.Canceled.
+func (s *Server) Submit(ctx context.Context, req Request) (<-chan Response, error) {
+	st, err := s.Stream(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	ch := make(chan Response, 1)
+	// Goroutine-free delivery: the terminal hook fires exactly once and
+	// the buffered send cannot block.
+	st.OnFinish(func(r Response) { ch <- r })
+	return ch, nil
+}
+
+// Serve submits and waits for completion — a wrapper that drains a
+// Stream. The returned error is authoritative (Response.Err mirrors it);
+// on mid-flight cancellation it returns the partial response together
+// with context.Canceled.
 func (s *Server) Serve(ctx context.Context, req Request) (Response, error) {
-	ch, err := s.Submit(ctx, req)
+	st, err := s.Stream(ctx, req)
 	if err != nil {
 		return Response{}, err
 	}
-	select {
-	case r := <-ch:
-		return r, r.Err
-	case <-ctx.Done():
-		return Response{}, ctx.Err()
-	}
+	return st.Wait()
 }
 
 // Stop drains the queue and shuts the replicas down.
@@ -326,8 +456,28 @@ func (s *Server) Stop() {
 // Stats summarises served traffic.
 type Stats struct {
 	Served int
-	P50    time.Duration
-	P95    time.Duration
+	// Errored counts requests that terminated with a hard failure
+	// (replica configuration errors) — excluded from the percentiles
+	// like cancellations, but never silently dropped from the counters.
+	Errored int
+	// Cancelled counts requests retired through the cancellation path.
+	// They are excluded from the end-to-end latency percentiles (P50/P95
+	// sample only completed responses), but the chunks they streamed
+	// before cancellation still contribute TTFT/ITL samples — those
+	// latencies were really delivered. The cluster layer, which samples
+	// once per completed request instead of per chunk, excludes cancelled
+	// requests from its TTFT/ITL percentiles entirely.
+	Cancelled int
+	P50       time.Duration
+	P95       time.Duration
+	// TTFTP50/TTFTP95 are time-to-first-token percentiles; ITLP50/ITLP95
+	// are inter-token latency percentiles over per-chunk samples (each
+	// streamed chunk contributes one sample: its virtual gap divided by
+	// its token count).
+	TTFTP50 time.Duration
+	TTFTP95 time.Duration
+	ITLP50  time.Duration
+	ITLP95  time.Duration
 }
 
 // Stats returns latency percentiles over everything served so far (a
@@ -336,8 +486,14 @@ func (s *Server) Stats() Stats {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return Stats{
-		Served: s.served,
-		P50:    time.Duration(s.lats.Percentile(50) * float64(time.Second)),
-		P95:    time.Duration(s.lats.Percentile(95) * float64(time.Second)),
+		Served:    s.served,
+		Errored:   s.errored,
+		Cancelled: s.cancelled,
+		P50:       time.Duration(s.lats.Percentile(50) * float64(time.Second)),
+		P95:       time.Duration(s.lats.Percentile(95) * float64(time.Second)),
+		TTFTP50:   time.Duration(s.ttfts.Percentile(50) * float64(time.Second)),
+		TTFTP95:   time.Duration(s.ttfts.Percentile(95) * float64(time.Second)),
+		ITLP50:    time.Duration(s.itls.Percentile(50) * float64(time.Second)),
+		ITLP95:    time.Duration(s.itls.Percentile(95) * float64(time.Second)),
 	}
 }
