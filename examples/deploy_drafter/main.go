@@ -12,10 +12,12 @@ package main
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"log"
 	"os"
+	"sync/atomic"
 	"time"
 
 	"fastrl/internal/cluster"
@@ -96,6 +98,15 @@ func main() {
 		},
 		Policy: cluster.NewCacheAware(caches),
 		Caches: caches,
+		// A tight per-shard backlog makes admission control a live part of
+		// the demo: shed requests come back as typed *ErrShedded with a
+		// retry-after hint, and the submit helper below backs off and
+		// retries instead of failing.
+		Admission: cluster.AdmissionConfig{MaxPending: 6},
+		// Failover keeps streams alive through the phase-4 shard kill:
+		// requests stranded on the dead shard replay on the survivor,
+		// bit-identical and exactly-once.
+		Failover: cluster.FailoverConfig{Enabled: true},
 	}, sys.Target, served)
 	if err != nil {
 		log.Fatal(err)
@@ -113,7 +124,7 @@ func main() {
 	for pass := 1; pass <= 2; pass++ {
 		streams := make([]*cluster.Stream, 0, len(tasks))
 		for i, task := range tasks {
-			st, err := cl.Stream(context.Background(), cluster.Request{
+			st, err := submitWithBackoff(cl, cluster.Request{
 				Prompt: task.Prompt,
 				MaxNew: 192,
 				Prior:  workload.LengthPrior{TargetLen: 128, Sharpness: 25},
@@ -161,6 +172,76 @@ func main() {
 		fmt.Printf("  shard %d: served %d, cache hit rate %.0f%%, resident %d KB\n",
 			ss.ID, ss.Served, 100*ss.CacheHitRate, ss.CacheBytes/1024)
 	}
-	fmt.Println("the drafter cost nothing to train, and repeat prompts skip their")
-	fmt.Println("prefill via the shared radix prefix cache (paper's free byproduct, cached)")
+	if retries := sheddedRetries.Load(); retries > 0 {
+		fmt.Printf("  admission shed %d submissions; all admitted after retry-after backoff\n", retries)
+	}
+
+	// ---- Phase 4: chaos drill. Kill shard 0 while a wave of streams is
+	// in flight: failover resubmits the stranded requests to shard 1 and
+	// replays them from their private RNG seeds, so every stream still
+	// completes exactly once. Then revive shard 0 warm — prefix cache
+	// re-seeded from the survivor's hottest prefixes — and confirm it
+	// rejoins the serving set.
+	fmt.Println("phase 4: chaos drill — killing shard 0 mid-flight...")
+	drill := sys.Tasks.SampleSeeded(8, 123)
+	streams := make([]*cluster.Stream, 0, len(drill))
+	for i, task := range drill {
+		st, err := submitWithBackoff(cl, cluster.Request{
+			Prompt: task.Prompt,
+			MaxNew: 192,
+			Prior:  workload.LengthPrior{TargetLen: 128, Sharpness: 25},
+			Seed:   int64(300 + i),
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		streams = append(streams, st)
+	}
+	cl.CrashShard(0, 0)
+	for _, st := range streams {
+		if _, err := st.Wait(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	st := cl.Stats()
+	fmt.Printf("  all %d streams completed | failovers %d | duplicate deliveries %d\n",
+		len(streams), st.Failovers, st.DuplicateDeliveries)
+	if err := cl.ReviveShard(0, 0); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  shard 0 revived warm: serving shards %v, cache resident %d KB\n",
+		cl.Scaler().ServingShards(), caches[0].ResidentBytes()/1024)
+
+	fmt.Println("the drafter cost nothing to train, repeat prompts skip their prefill")
+	fmt.Println("via the shared radix prefix cache, and a shard kill is absorbed by")
+	fmt.Println("deterministic failover (paper's free byproduct, cached and durable)")
+}
+
+// sheddedRetries counts submissions that were shed and retried.
+var sheddedRetries atomic.Int64
+
+// submitWithBackoff submits a streaming request, honouring admission
+// control's typed shed errors: a *cluster.ErrShedded carries the shard's
+// retry-after estimate, which seeds a bounded exponential backoff (hint
+// or current backoff, whichever is larger, capped at 50ms, at most 6
+// retries). Anything else — including a nil error — returns immediately.
+func submitWithBackoff(cl *cluster.Cluster, req cluster.Request) (*cluster.Stream, error) {
+	backoff := time.Millisecond
+	for attempt := 0; ; attempt++ {
+		st, err := cl.Stream(context.Background(), req)
+		var shed *cluster.ErrShedded
+		if err == nil || !errors.As(err, &shed) || attempt >= 6 {
+			return st, err
+		}
+		sheddedRetries.Add(1)
+		wait := shed.RetryAfter
+		if wait < backoff {
+			wait = backoff
+		}
+		if wait > 50*time.Millisecond {
+			wait = 50 * time.Millisecond
+		}
+		time.Sleep(wait)
+		backoff *= 2
+	}
 }

@@ -100,4 +100,9 @@ func main() {
 				r.ID, r.Generated(), r.DecodeTime().Round(time.Microsecond), r.MeanAcceptLen(), step)
 		}
 	}
+
+	fmt.Println("\nnext: `go run ./cmd/tltbench -exp all -quick` replays the paper figures;")
+	fmt.Println("`-exp chaos` kills and revives shards mid-trace to show deterministic,")
+	fmt.Println("exactly-once failover; ./examples/deploy_drafter serves the trained")
+	fmt.Println("drafter through the sharded cluster, chaos drill included.")
 }

@@ -56,7 +56,7 @@ func (e *ErrShedded) Error() string {
 func (sh *shard) admit(n int, deadline time.Duration, cfg AdmissionConfig) error {
 	backlog := n - 1 // requests ahead of this one
 	svc := sh.svcEstimate()
-	replicas := sh.srv.Replicas()
+	replicas := sh.server().Replicas()
 	if n > cfg.MaxPending {
 		// Queue-bound shedding: retry once the backlog beyond the cap has
 		// drained through the shard's replicas.

@@ -28,6 +28,7 @@ import (
 	"fastrl/internal/model"
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/serving"
+	"fastrl/internal/spot"
 	"fastrl/internal/workload"
 )
 
@@ -71,6 +72,9 @@ type Config struct {
 	// NewCacheAware to make routing cache-aware. NewShardCaches builds a
 	// uniformly-budgeted set.
 	Caches []*prefixcache.Cache
+	// Failover configures dead-shard failover (see FailoverConfig); the
+	// zero value disables it.
+	Failover FailoverConfig
 }
 
 // NewShardCaches builds n independent prefix caches with a shared config,
@@ -85,8 +89,14 @@ func NewShardCaches(n int, cfg prefixcache.Config) []*prefixcache.Cache {
 
 // shard is one serving shard plus its admission and accounting state.
 type shard struct {
-	id  int
-	srv *serving.Server
+	id int
+	// srv is an atomic pointer because revival swaps in a freshly built
+	// server after a crash; readers take one load and work against that
+	// snapshot.
+	srv atomic.Pointer[serving.Server]
+	// cache is the shard's prefix cache (nil without per-shard caches),
+	// kept here so revival can wipe and re-warm it.
+	cache *prefixcache.Cache
 	// state mirrors the coordinator's view (coordinator.Busy == SERVING);
 	// the router reads it lock-free on every pick.
 	state atomic.Int32
@@ -105,8 +115,12 @@ type shard struct {
 	svcBits atomic.Uint64
 	// stateTime accumulates observed time per coordinator state; guarded
 	// by the scaler's mutex.
-	stateTime [3]time.Duration
+	stateTime [coordinator.NumStates]time.Duration
 }
+
+// server returns the shard's current serving.Server. The pointer is never
+// nil after construction.
+func (sh *shard) server() *serving.Server { return sh.srv.Load() }
 
 func (sh *shard) svcEstimate() time.Duration {
 	return time.Duration(math.Float64frombits(sh.svcBits.Load()) * float64(time.Second))
@@ -117,6 +131,20 @@ type Cluster struct {
 	cfg    Config
 	shards []*shard
 	scaler *Scaler
+	// target/drafter are kept so a dead shard can be rebuilt on revival.
+	target  *model.LM
+	drafter draft.Drafter
+
+	// failMu guards the failover-session registry and the recorded drafter
+	// checkpoint; dupDeliveries counts terminal events a client actually
+	// received twice for one logical request (must stay 0 — the chaos
+	// experiment asserts it).
+	failMu        sync.Mutex
+	sessions      map[*foSession]int
+	ckpt          *spot.Checkpointer
+	ckptPath      string
+	dupDeliveries atomic.Int64
+	failovers     atomic.Int64
 
 	// routeMu serialises routing decisions so the live/load snapshot
 	// buffers are reused allocation-free across picks.
@@ -152,6 +180,7 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 	}
 	cfg.Admission = cfg.Admission.withDefaults()
 	cfg.Scaler = cfg.Scaler.withDefaults(cfg.Shards)
+	cfg.Failover = cfg.Failover.withDefaults()
 	// Every admitted request must have a queue slot: with QueueDepth <
 	// MaxPending an admitted submit could block in the shard's queue send
 	// instead of shedding fast, which is exactly what admission control is
@@ -163,12 +192,15 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 		return nil, fmt.Errorf("cluster: %d caches for %d shards", len(cfg.Caches), cfg.Shards)
 	}
 	c := &Cluster{
-		cfg:     cfg,
-		liveBuf: make([]int, 0, cfg.Shards),
-		loadBuf: make([]int, 0, cfg.Shards),
-		lats:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc1),
-		ttfts:   metrics.NewReservoir(serving.MaxLatencySamples, 0xc2),
-		itls:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc3),
+		cfg:      cfg,
+		target:   target,
+		drafter:  drafter,
+		sessions: make(map[*foSession]int),
+		liveBuf:  make([]int, 0, cfg.Shards),
+		loadBuf:  make([]int, 0, cfg.Shards),
+		lats:     metrics.NewReservoir(serving.MaxLatencySamples, 0xc1),
+		ttfts:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc2),
+		itls:     metrics.NewReservoir(serving.MaxLatencySamples, 0xc3),
 	}
 	for i := 0; i < cfg.Shards; i++ {
 		shardCfg := cfg.Shard
@@ -178,11 +210,15 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 		srv, err := serving.New(shardCfg, target, drafter)
 		if err != nil {
 			for _, sh := range c.shards {
-				sh.srv.Stop()
+				sh.server().Stop()
 			}
 			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
-		sh := &shard{id: i, srv: srv}
+		sh := &shard{id: i}
+		if cfg.Caches != nil {
+			sh.cache = cfg.Caches[i]
+		}
+		sh.srv.Store(srv)
 		sh.state.Store(int32(coordinator.Busy))
 		c.shards = append(c.shards, sh)
 	}
@@ -212,15 +248,25 @@ func (c *Cluster) PickShard(prompt []int) int {
 	for _, sh := range c.shards {
 		if coordinator.State(sh.state.Load()) == coordinator.Busy {
 			live = append(live, sh.id)
-			loads = append(loads, sh.srv.Pending())
+			loads = append(loads, sh.server().Pending())
 		}
 	}
 	if len(live) == 0 {
 		// The scaler floors the serving set at MinServing, so this is a
-		// belt-and-braces fallback, not a steady state.
+		// belt-and-braces fallback, not a steady state. Dead shards stay
+		// excluded even here; only a cluster with every shard down routes
+		// blindly.
+		for _, sh := range c.shards {
+			if coordinator.State(sh.state.Load()) != coordinator.Dead {
+				live = append(live, sh.id)
+				loads = append(loads, sh.server().Pending())
+			}
+		}
+	}
+	if len(live) == 0 {
 		for _, sh := range c.shards {
 			live = append(live, sh.id)
-			loads = append(loads, sh.srv.Pending())
+			loads = append(loads, sh.server().Pending())
 		}
 	}
 	id := live[c.cfg.Policy.Pick(prompt, live, loads)]
@@ -233,10 +279,17 @@ func (c *Cluster) PickShard(prompt []int) int {
 // cluster's admission accounting attached to its terminal event.
 // Cancellation (context or Cancel) propagates to the owning shard's
 // replica, which evicts the request at its next step boundary.
+//
+// With failover enabled the session survives shard death: a stream whose
+// shard crashes or hangs is transparently resubmitted to a survivor (see
+// failover.go), and Shard reports only the initial route.
 type Stream struct {
 	inner *serving.Stream
-	// Shard is the shard the request was routed to.
+	// Shard is the shard the request was first routed to.
 	Shard int
+	// fo carries the failover session when Config.Failover.Enabled; events
+	// and the terminal response then route through it.
+	fo *foSession
 }
 
 // Stream routes a request, applies the routed shard's admission control,
@@ -244,34 +297,17 @@ type Stream struct {
 // and Serve are wrappers over it). A shed request fails with *ErrShedded;
 // every admitted request is guaranteed exactly one terminal event.
 func (c *Cluster) Stream(ctx context.Context, req Request) (*Stream, error) {
-	if c.stopped.Load() {
-		return nil, fmt.Errorf("cluster: stopped")
+	if c.cfg.Failover.Enabled {
+		fo := &foSession{c: c, ctx: ctx, req: req}
+		if err := fo.bind(); err != nil {
+			return nil, err
+		}
+		return &Stream{inner: fo.current(), Shard: fo.shardID(), fo: fo}, nil
 	}
-	if err := ctx.Err(); err != nil {
-		// A dead caller must not reserve an admission slot.
-		return nil, err
-	}
-	sh := c.shards[c.PickShard(req.Prompt)]
-	// Reserve an admission slot first: the reservation is atomic, so the
-	// cap holds exactly even when many submits race.
-	n := int(sh.outstanding.Add(1))
-	if err := sh.admit(n, req.Deadline, c.cfg.Admission); err != nil {
-		sh.outstanding.Add(-1)
-		sh.shed.Add(1)
-		return nil, err
-	}
-	inner, err := sh.srv.Stream(ctx, serving.Request{
-		Prompt: req.Prompt, MaxNew: req.MaxNew, Prior: req.Prior, Seed: req.Seed,
-	})
+	inner, sh, err := c.submitAttempt(ctx, req)
 	if err != nil {
-		// Context cancellation or a stopped shard: the reservation is
-		// released and the submission counts as neither admitted nor shed —
-		// the caller got its error directly. (The reserved slot guarantees
-		// queue capacity, so the send itself cannot block.)
-		sh.outstanding.Add(-1)
 		return nil, err
 	}
-	sh.admitted.Add(1)
 	// The shard's replica invokes this hook exactly once at the terminal
 	// event, before any waiter observes it — so the admission slot is
 	// released and the stats settled by the time a drained Wait returns,
@@ -281,19 +317,72 @@ func (c *Cluster) Stream(ctx context.Context, req Request) (*Stream, error) {
 	return &Stream{inner: inner, Shard: sh.id}, nil
 }
 
+// submitAttempt routes one submission attempt: pick a shard, reserve an
+// admission slot, and open the shard stream. It attaches no terminal
+// accounting — callers decide between whole-request accounting (complete)
+// and per-attempt slot release (failover sessions).
+func (c *Cluster) submitAttempt(ctx context.Context, req Request) (*serving.Stream, *shard, error) {
+	if c.stopped.Load() {
+		return nil, nil, fmt.Errorf("cluster: stopped")
+	}
+	if err := ctx.Err(); err != nil {
+		// A dead caller must not reserve an admission slot.
+		return nil, nil, err
+	}
+	sh := c.shards[c.PickShard(req.Prompt)]
+	// Reserve an admission slot first: the reservation is atomic, so the
+	// cap holds exactly even when many submits race.
+	n := int(sh.outstanding.Add(1))
+	if err := sh.admit(n, req.Deadline, c.cfg.Admission); err != nil {
+		sh.outstanding.Add(-1)
+		sh.shed.Add(1)
+		return nil, nil, err
+	}
+	inner, err := sh.server().Stream(ctx, serving.Request{
+		Prompt: req.Prompt, MaxNew: req.MaxNew, Prior: req.Prior, Seed: req.Seed,
+	})
+	if err != nil {
+		// Context cancellation or a stopped/crashed shard: the reservation
+		// is released and the submission counts as neither admitted nor
+		// shed — the caller got its error directly. (The reserved slot
+		// guarantees queue capacity, so the send itself cannot block.)
+		sh.outstanding.Add(-1)
+		return nil, nil, err
+	}
+	sh.admitted.Add(1)
+	return inner, sh, nil
+}
+
 // Recv returns the next event from the owning shard (see
 // serving.Stream.Recv).
-func (st *Stream) Recv() (serving.Event, error) { return st.inner.Recv() }
+func (st *Stream) Recv() (serving.Event, error) {
+	if st.fo != nil {
+		return st.fo.Recv()
+	}
+	return st.inner.Recv()
+}
 
 // Wait blocks until the terminal event and returns the final response;
-// the error return is authoritative (see serving.Stream.Wait).
+// the error return is authoritative (see serving.Stream.Wait). With
+// failover enabled, Wait drives the session's event pump (resubmission
+// happens between events), so use either Wait or Recv on a failover
+// stream, not both.
 func (st *Stream) Wait() (Response, error) {
+	if st.fo != nil {
+		return st.fo.Wait()
+	}
 	r, err := st.inner.Wait()
 	return Response{Response: r, Shard: st.Shard}, err
 }
 
 // Cancel marks the request for retirement on its owning shard.
-func (st *Stream) Cancel() { st.inner.Cancel() }
+func (st *Stream) Cancel() {
+	if st.fo != nil {
+		st.fo.Cancel()
+		return
+	}
+	st.inner.Cancel()
+}
 
 // Submit routes a request and returns a channel delivering its response —
 // a wrapper that drains a Stream. A shed request fails with *ErrShedded;
@@ -334,7 +423,20 @@ func (c *Cluster) Serve(ctx context.Context, req Request) (Response, error) {
 // admission estimate toward zero. The error itself reaches the caller
 // through the response.
 func (c *Cluster) complete(sh *shard, r serving.Response) {
+	c.settleAttempt(sh)
+	c.recordOutcome(sh, r)
+}
+
+// settleAttempt releases one admission slot on the shard that carried an
+// attempt. Failover sessions call it once per attempt (each attempt holds
+// its own reservation); recordOutcome then runs once per logical request.
+func (c *Cluster) settleAttempt(sh *shard) {
 	sh.outstanding.Add(-1)
+}
+
+// recordOutcome folds one logical request's terminal response into the
+// accounting, attributed to the shard that delivered it.
+func (c *Cluster) recordOutcome(sh *shard, r serving.Response) {
 	if r.Err != nil {
 		c.statsMu.Lock()
 		if errors.Is(r.Err, context.Canceled) {
@@ -377,13 +479,15 @@ func (c *Cluster) complete(sh *shard, r serving.Response) {
 	c.statsMu.Unlock()
 }
 
-// Stop shuts every shard down, draining in-flight work.
+// Stop shuts every shard down, draining in-flight work. It is idempotent
+// and safe to call concurrently with itself and with failover-driven
+// teardown: serving.Server.Stop is itself idempotent and every caller
+// blocks until the shard's replicas have exited, so whichever Stop
+// returns first still returns to a fully-drained cluster.
 func (c *Cluster) Stop() {
-	if c.stopped.Swap(true) {
-		return
-	}
+	c.stopped.Store(true)
 	for _, sh := range c.shards {
-		sh.srv.Stop()
+		sh.server().Stop()
 	}
 }
 
@@ -429,6 +533,19 @@ type Stats struct {
 	TTFTP95 time.Duration
 	ITLP50  time.Duration
 	ITLP95  time.Duration
+	// P999/TTFTP999 are extreme-tail percentiles over a seen-weighted merge
+	// of the per-shard reservoirs (see metrics.MergeReservoirs) — the
+	// cluster-level tails the chaos experiment reports across a failure
+	// window.
+	P999     time.Duration
+	TTFTP999 time.Duration
+	// DuplicateDeliveries counts terminal events a client observed twice
+	// for one logical request under failover. The failover dedup keeps it
+	// at zero; the chaos experiment asserts that.
+	DuplicateDeliveries int
+	// Failovers counts successful mid-flight resubmissions (a request that
+	// survived its shard's death by replaying on a survivor).
+	Failovers int
 	// MeanAcceptLen averages per-request SD accept lengths (0 without SD).
 	MeanAcceptLen float64
 	// MeanUtilisation averages shard utilisation.
@@ -455,16 +572,16 @@ func (c *Cluster) Stats() Stats {
 			Admitted:     int(sh.admitted.Load()),
 			Served:       int(sh.served.Load()),
 			Shed:         int(sh.shed.Load()),
-			Pending:      sh.srv.Pending(),
+			Pending:      sh.server().Pending(),
 			Utilisation:  util[sh.id],
-			CacheHitRate: sh.srv.CacheHitRate(),
-			CacheBytes:   sh.srv.CacheResidentBytes(),
+			CacheHitRate: sh.server().CacheHitRate(),
+			CacheBytes:   sh.server().CacheResidentBytes(),
 		}
 		admitted += int64(ss.Admitted)
 		st.Served += ss.Served
 		st.Shed += ss.Shed
 		st.MeanUtilisation += ss.Utilisation
-		if cache := sh.srv.Cache(); cache != nil {
+		if cache := sh.server().Cache(); cache != nil {
 			st.CacheSavedPositions += cache.Stats().SavedPositions
 		}
 		st.Shards = append(st.Shards, ss)
@@ -486,6 +603,26 @@ func (c *Cluster) Stats() Stats {
 		st.MeanAcceptLen = c.acceptSum / float64(c.acceptN)
 	}
 	c.statsMu.Unlock()
+	// Cluster p99.9 merges the per-shard reservoirs weighted by observed
+	// mass: the cluster-level reservoir holds one sample per request, too
+	// coarse for a 99.9th tail on its own.
+	latSrcs := make([]*metrics.Reservoir, 0, 2*len(c.shards))
+	ttftSrcs := make([]*metrics.Reservoir, 0, len(c.shards))
+	c.statsMu.Lock()
+	latSrcs = append(latSrcs, c.lats.Clone())
+	ttftSrcs = append(ttftSrcs, c.ttfts.Clone())
+	c.statsMu.Unlock()
+	for _, sh := range c.shards {
+		lats, ttfts := sh.server().TailReservoirs()
+		latSrcs = append(latSrcs, lats)
+		ttftSrcs = append(ttftSrcs, ttfts)
+	}
+	mergedLat := metrics.MergeReservoirs(serving.MaxLatencySamples, 0xc9, latSrcs...)
+	mergedTTFT := metrics.MergeReservoirs(serving.MaxLatencySamples, 0xca, ttftSrcs...)
+	st.P999 = time.Duration(mergedLat.Percentile(99.9) * float64(time.Second))
+	st.TTFTP999 = time.Duration(mergedTTFT.Percentile(99.9) * float64(time.Second))
+	st.DuplicateDeliveries = int(c.dupDeliveries.Load())
+	st.Failovers = int(c.failovers.Load())
 	st.TrainingSessions, st.Preemptions = c.scaler.sessionCounts()
 	return st
 }

@@ -1,0 +1,348 @@
+// Chaos-grade fault injection and warm recovery. A seeded FaultPlan
+// schedules crash/hang/slow-shard events at virtual-time points (driven by
+// a vclock.Clock); a FaultInjector applies them against the cluster as the
+// experiment clock advances. Recovery rebuilds a dead shard's
+// serving.Server warm: drafter weights restored from the spot
+// Checkpointer's latest checkpoint, prefix cache re-warmed from the
+// hottest retained prefixes on the survivors.
+package cluster
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"time"
+
+	"fastrl/internal/coordinator"
+	"fastrl/internal/draft"
+	"fastrl/internal/serving"
+	"fastrl/internal/spot"
+	"fastrl/internal/vclock"
+)
+
+// FaultKind discriminates injectable faults.
+type FaultKind uint8
+
+const (
+	// FaultCrash kills a shard at a step boundary: running requests fail
+	// with serving.ErrCrashed (failover resubmits them), the shard leaves
+	// the serving set until revived.
+	FaultCrash FaultKind = iota + 1
+	// FaultHang freezes a shard's replicas without failing anything — the
+	// fault the health monitor must detect and escalate to a crash.
+	FaultHang
+	// FaultSlow injects a per-step stall, degrading the shard's throughput
+	// without killing it.
+	FaultSlow
+	// FaultRevive ends a shard's fault: a dead shard is rebuilt warm, a
+	// slow/hung shard restored to full speed.
+	FaultRevive
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case FaultCrash:
+		return "crash"
+	case FaultHang:
+		return "hang"
+	case FaultSlow:
+		return "slow"
+	case FaultRevive:
+		return "revive"
+	}
+	return fmt.Sprintf("fault(%d)", int(k))
+}
+
+// FaultEvent is one scheduled fault at a virtual-time point.
+type FaultEvent struct {
+	// At is the virtual time the event fires.
+	At time.Duration
+	// Kind is what happens.
+	Kind FaultKind
+	// Shard is the target shard.
+	Shard int
+	// Stall is the injected per-step stall (FaultSlow only).
+	Stall time.Duration
+}
+
+// FaultPlan is a deterministic schedule of fault events, ordered by time.
+type FaultPlan struct {
+	Events []FaultEvent
+}
+
+// FaultPlanConfig parameterises GenerateFaultPlan.
+type FaultPlanConfig struct {
+	// Seed drives shard and kind selection.
+	Seed int64
+	// Shards is the cluster size (targets are drawn from [0, Shards)).
+	Shards int
+	// Duration is the window faults are spread over.
+	Duration time.Duration
+	// Faults is how many fault/revive pairs to schedule. Default 1.
+	Faults int
+	// MTTR is the virtual time between a fault and its revive; clamped so
+	// at most one shard is down at a time. Default Duration/(4*Faults).
+	MTTR time.Duration
+	// Kinds restricts the drawn fault kinds (default crash and hang).
+	Kinds []FaultKind
+	// Stall is the injected stall for FaultSlow events. Default 2ms.
+	Stall time.Duration
+}
+
+// GenerateFaultPlan builds a deterministic fault plan: Faults evenly-spaced
+// fault times across Duration, each paired with a revive MTTR later
+// (clamped before the next fault, so at most one shard is down at a time
+// and the plan composes with MinServing ≥ 1 clusters). The seed picks
+// which shard dies; kinds cycle through Kinds in order.
+func GenerateFaultPlan(cfg FaultPlanConfig) FaultPlan {
+	if cfg.Shards < 1 || cfg.Duration <= 0 {
+		return FaultPlan{}
+	}
+	if cfg.Faults < 1 {
+		cfg.Faults = 1
+	}
+	if len(cfg.Kinds) == 0 {
+		cfg.Kinds = []FaultKind{FaultCrash, FaultHang}
+	}
+	if cfg.Stall <= 0 {
+		cfg.Stall = 2 * time.Millisecond
+	}
+	spacing := cfg.Duration / time.Duration(cfg.Faults+1)
+	if cfg.MTTR <= 0 {
+		cfg.MTTR = spacing / 4
+		if cfg.MTTR <= 0 {
+			cfg.MTTR = 1
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	var plan FaultPlan
+	for i := 1; i <= cfg.Faults; i++ {
+		at := spacing * time.Duration(i)
+		revive := at + cfg.MTTR
+		if next := at + spacing; revive >= next {
+			revive = at + spacing*3/4
+		}
+		ev := FaultEvent{
+			At: at,
+			// Kinds cycle rather than draw randomly so every configured kind
+			// is exercised whenever Faults >= len(Kinds) — a chaos run that
+			// never crashes (or never hangs) tests half the failover machinery.
+			Kind:  cfg.Kinds[(i-1)%len(cfg.Kinds)],
+			Shard: rng.Intn(cfg.Shards),
+		}
+		if ev.Kind == FaultSlow {
+			ev.Stall = cfg.Stall
+		}
+		plan.Events = append(plan.Events, ev, FaultEvent{At: revive, Kind: FaultRevive, Shard: ev.Shard})
+	}
+	sort.SliceStable(plan.Events, func(i, j int) bool { return plan.Events[i].At < plan.Events[j].At })
+	return plan
+}
+
+// FaultInjector replays a FaultPlan against a cluster as virtual time
+// advances.
+type FaultInjector struct {
+	c     *Cluster
+	plan  FaultPlan
+	clock *vclock.Clock
+	next  int
+}
+
+// NewFaultInjector binds a plan to the cluster and the experiment clock.
+func (c *Cluster) NewFaultInjector(plan FaultPlan, clock *vclock.Clock) *FaultInjector {
+	return &FaultInjector{c: c, plan: plan, clock: clock}
+}
+
+// Advance moves the virtual clock to t and applies every event that became
+// due, returning the applied events in order.
+func (fi *FaultInjector) Advance(t time.Duration) []FaultEvent {
+	now := fi.clock.AdvanceTo(t)
+	var applied []FaultEvent
+	for fi.next < len(fi.plan.Events) && fi.plan.Events[fi.next].At <= now {
+		ev := fi.plan.Events[fi.next]
+		fi.next++
+		fi.c.applyFault(ev, now)
+		applied = append(applied, ev)
+	}
+	return applied
+}
+
+// Done reports whether every event has been applied.
+func (fi *FaultInjector) Done() bool { return fi.next >= len(fi.plan.Events) }
+
+func (c *Cluster) applyFault(ev FaultEvent, now time.Duration) {
+	switch ev.Kind {
+	case FaultCrash:
+		c.CrashShard(ev.Shard, now)
+	case FaultHang:
+		c.HangShard(ev.Shard)
+	case FaultSlow:
+		c.SlowShard(ev.Shard, ev.Stall)
+	case FaultRevive:
+		c.ReviveShard(ev.Shard, now)
+	}
+}
+
+// CrashShard kills a shard at its replicas' next step boundary. Order
+// matters: the shard leaves the routing set before the server crashes, so
+// failover resubmissions racing the crash cannot route back onto the
+// dying shard; the session sweep then unsticks anything the server-side
+// job failure missed.
+func (c *Cluster) CrashShard(id int, now time.Duration) {
+	c.scaler.markDead(id, now)
+	c.shards[id].server().Crash()
+	c.failoverShard(id, serving.ErrCrashed)
+}
+
+// HangShard freezes a shard's replicas mid-decode without terminating
+// anything — the silent fault. Detection and escalation are the health
+// monitor's job (see Monitor.Poll).
+func (c *Cluster) HangShard(id int) {
+	c.shards[id].server().Hang()
+}
+
+// SlowShard injects a per-step stall into a shard's replicas.
+func (c *Cluster) SlowShard(id int, stall time.Duration) {
+	c.shards[id].server().SetStall(stall)
+}
+
+// CheckpointDrafter checkpoints the cluster's drafter through ck and
+// records the checkpoint so dead-shard revival can warm-start from it.
+// The drafter must be a *draft.Eagle (the trainable drafter); byte sizes
+// model the full-scale checkpoint volume (see spot.Checkpointer.Save).
+func (c *Cluster) CheckpointDrafter(ck *spot.Checkpointer, trainableBytes, frozenBytes int64) (spot.SaveStats, error) {
+	eagle, ok := c.drafter.(*draft.Eagle)
+	if !ok {
+		return spot.SaveStats{}, fmt.Errorf("cluster: drafter %T is not checkpointable", c.drafter)
+	}
+	stats, err := ck.Save(eagle, trainableBytes, frozenBytes)
+	if err != nil {
+		return stats, err
+	}
+	c.failMu.Lock()
+	c.ckpt, c.ckptPath = ck, stats.Path
+	c.failMu.Unlock()
+	return stats, nil
+}
+
+// ReviveShard brings a faulted shard back into the serving set. A
+// degraded (slow or hung) shard is restored in place. A dead shard is
+// rebuilt warm: a fresh serving.Server over the shared target, drafter
+// weights restored from the recorded checkpoint (when one exists), and
+// the shard's prefix cache wiped and re-warmed from the hottest retained
+// prefixes across the surviving shards.
+func (c *Cluster) ReviveShard(id int, now time.Duration) error {
+	sh := c.shards[id]
+	if !sh.server().Crashed() {
+		// Degraded, not dead: clear the injected faults and rejoin.
+		sh.server().SetStall(0)
+		sh.server().Unhang()
+		c.scaler.markRecovered(id, now)
+		return nil
+	}
+	// Reclaim the dead server's replica goroutines (idempotent; the crash
+	// already initiated shutdown).
+	sh.server().Crash()
+
+	shardCfg := c.cfg.Shard
+	if sh.cache != nil {
+		// Wipe state from before the crash, then re-warm from the hottest
+		// prefixes the survivors retained — the revived shard starts with a
+		// working set instead of a cold cache.
+		sh.cache.Clear()
+		c.rewarmCache(sh)
+		shardCfg.Cache = sh.cache
+	}
+	drafter, err := c.recoveredDrafter()
+	if err != nil {
+		return err
+	}
+	srv, err := serving.New(shardCfg, c.target, drafter)
+	if err != nil {
+		return fmt.Errorf("cluster: reviving shard %d: %w", id, err)
+	}
+	sh.srv.Store(srv)
+	c.scaler.markRecovered(id, now)
+	return nil
+}
+
+// recoveredDrafter returns the drafter a revived shard should serve with:
+// a clone restored from the recorded checkpoint when one exists (the
+// warm-recovery path), else the shared live drafter.
+func (c *Cluster) recoveredDrafter() (draft.Drafter, error) {
+	c.failMu.Lock()
+	ck, path := c.ckpt, c.ckptPath
+	c.failMu.Unlock()
+	if ck == nil {
+		return c.drafter, nil
+	}
+	eagle, ok := c.drafter.(*draft.Eagle)
+	if !ok {
+		return c.drafter, nil
+	}
+	if err := ck.Wait(); err != nil {
+		return nil, fmt.Errorf("cluster: drafter checkpoint write failed: %w", err)
+	}
+	clone := eagle.Clone()
+	if _, err := spot.Load(path, clone); err != nil {
+		return nil, fmt.Errorf("cluster: restoring drafter: %w", err)
+	}
+	return clone, nil
+}
+
+// hotPrefixLimit bounds how many survivor prefixes a revival re-warms.
+const hotPrefixLimit = 64
+
+// rewarmCache seeds a revived shard's prefix cache with the hottest
+// retained prefixes from the surviving shards' caches.
+func (c *Cluster) rewarmCache(dead *shard) {
+	for _, other := range c.shards {
+		if other == dead || other.cache == nil {
+			continue
+		}
+		for _, p := range other.cache.HotPrefixes(hotPrefixLimit) {
+			if len(p) == 0 {
+				continue
+			}
+			dead.cache.Insert(p, len(p), nil)
+		}
+	}
+}
+
+// RollingRestart restarts every serving shard in sequence under load:
+// each shard is drained (removed from routing, outstanding requests
+// allowed to finish), stopped, rebuilt warm, and returned to the serving
+// set before the next shard starts — the cluster never loses more than
+// one shard of capacity.
+func (c *Cluster) RollingRestart(now time.Duration) error {
+	for _, sh := range c.shards {
+		if coordinator.State(sh.state.Load()) != coordinator.Busy {
+			continue
+		}
+		c.scaler.markDead(sh.id, now)
+		// Graceful drain: the router no longer picks the shard; wait for
+		// its outstanding requests to finish.
+		for sh.outstanding.Load() > 0 && !sh.server().Crashed() {
+			time.Sleep(100 * time.Microsecond)
+		}
+		sh.server().Stop()
+		shardCfg := c.cfg.Shard
+		if sh.cache != nil {
+			// A graceful restart keeps the cache contents; only release is
+			// needed on real hardware. Here the cache object is shared with
+			// the replaced server, so nothing to do.
+			shardCfg.Cache = sh.cache
+		}
+		drafter, err := c.recoveredDrafter()
+		if err != nil {
+			return err
+		}
+		srv, err := serving.New(shardCfg, c.target, drafter)
+		if err != nil {
+			return fmt.Errorf("cluster: rolling restart of shard %d: %w", sh.id, err)
+		}
+		sh.srv.Store(srv)
+		c.scaler.markRecovered(sh.id, now)
+	}
+	return nil
+}

@@ -1,0 +1,142 @@
+// Shard health monitoring: the detection half of failover. The monitor
+// polls each shard's liveness signals (crash flag, decode-step progress)
+// and drives the coordinator's Dead/Degraded transitions — crashed shards
+// are marked dead and their sessions failed over, hung shards (inflight
+// work but no step progress across consecutive polls) are escalated to a
+// crash so their stranded requests replay on survivors, and abnormally
+// slow shards are degraded out of the routing set. Recovery is explicit:
+// ReviveShard returns a shard once its fault is cleared.
+package cluster
+
+import (
+	"fmt"
+	"time"
+
+	"fastrl/internal/coordinator"
+	"fastrl/internal/metrics"
+)
+
+// MonitorConfig parameterises the health monitor.
+type MonitorConfig struct {
+	// HangPolls is how many consecutive reliable polls a shard may show
+	// inflight work with zero step progress before the monitor escalates
+	// the hang to a crash. Polls where several shards are simultaneously
+	// stalled-with-inflight are not charged (see Poll). Default 3.
+	HangPolls int
+	// SlowFactor enables slow-shard detection when > 0: a serving shard
+	// whose per-poll step progress falls below SlowFactor times the live
+	// median is marked Degraded (excluded from routing, nothing killed).
+	SlowFactor float64
+}
+
+func (m MonitorConfig) withDefaults() MonitorConfig {
+	if m.HangPolls < 1 {
+		m.HangPolls = 3
+	}
+	return m
+}
+
+// HealthEvent records one monitor-driven transition.
+type HealthEvent struct {
+	Shard int
+	// Kind is FaultCrash for a detected death or hang escalation, and
+	// FaultSlow for a slow-shard degradation.
+	Kind FaultKind
+}
+
+func (e HealthEvent) String() string { return fmt.Sprintf("shard %d: %v", e.Shard, e.Kind) }
+
+// Monitor polls shard health and applies failure transitions.
+type Monitor struct {
+	c         *Cluster
+	cfg       MonitorConfig
+	lastSteps []int64
+	stalls    []int
+}
+
+// NewMonitor builds a health monitor over the cluster.
+func (c *Cluster) NewMonitor(cfg MonitorConfig) *Monitor {
+	return &Monitor{
+		c:         c,
+		cfg:       cfg.withDefaults(),
+		lastSteps: make([]int64, len(c.shards)),
+		stalls:    make([]int, len(c.shards)),
+	}
+}
+
+// Poll takes one health observation at virtual time now and applies any
+// transitions it implies, returning them. Poll is the monitor's only
+// method with side effects; callers run it on their experiment cadence.
+func (m *Monitor) Poll(now time.Duration) []HealthEvent {
+	deltas := make([]float64, len(m.c.shards))
+	stalled := 0
+	for i, sh := range m.c.shards {
+		srv := sh.server()
+		s := srv.StepCount()
+		deltas[i] = float64(s - m.lastSteps[i])
+		m.lastSteps[i] = s
+		if coordinator.State(sh.state.Load()) != coordinator.Dead &&
+			!srv.Crashed() && srv.Inflight() > 0 && deltas[i] == 0 {
+			stalled++
+		}
+	}
+	// Several shards stalled-with-inflight in the same interval is the
+	// signature of the monitoring process itself being starved of CPU (or
+	// of a mass outage no single escalation fixes), not of one shard
+	// hanging: a hung shard strands only its own requests while survivors
+	// keep stepping. Freeze the stall counters for this interval — neither
+	// charge nor acquit — so starvation can't escalate a healthy shard,
+	// and a real hang still accumulates as soon as observation recovers.
+	reliable := stalled <= 1
+	var evs []HealthEvent
+	for i, sh := range m.c.shards {
+		if coordinator.State(sh.state.Load()) == coordinator.Dead {
+			m.stalls[i] = 0
+			continue
+		}
+		srv := sh.server()
+		if srv.Crashed() {
+			// Crash already happened server-side; propagate it to routing
+			// and fail over whatever sessions are still bound.
+			m.c.CrashShard(i, now)
+			evs = append(evs, HealthEvent{Shard: i, Kind: FaultCrash})
+			m.stalls[i] = 0
+			continue
+		}
+		if srv.Inflight() > 0 && deltas[i] == 0 {
+			// Work on board but no step progress: a hang candidate. Only
+			// escalation frees the stranded requests — a hung replica never
+			// reaches a step boundary, so cancellation alone cannot.
+			if reliable {
+				m.stalls[i]++
+				if m.stalls[i] >= m.cfg.HangPolls {
+					m.c.CrashShard(i, now)
+					evs = append(evs, HealthEvent{Shard: i, Kind: FaultCrash})
+					m.stalls[i] = 0
+				}
+			}
+			continue
+		}
+		m.stalls[i] = 0
+		if m.cfg.SlowFactor > 0 && coordinator.State(sh.state.Load()) == coordinator.Busy {
+			med := m.liveMedian(deltas)
+			if med > 0 && deltas[i] < m.cfg.SlowFactor*med {
+				m.c.scaler.markDegraded(i, now)
+				evs = append(evs, HealthEvent{Shard: i, Kind: FaultSlow})
+			}
+		}
+	}
+	return evs
+}
+
+// liveMedian is the median per-poll step progress across serving shards
+// that made any progress — the baseline slow detection compares against.
+func (m *Monitor) liveMedian(deltas []float64) float64 {
+	live := make([]float64, 0, len(deltas))
+	for i, sh := range m.c.shards {
+		if coordinator.State(sh.state.Load()) == coordinator.Busy && deltas[i] > 0 {
+			live = append(live, deltas[i])
+		}
+	}
+	return metrics.Median(live)
+}

@@ -99,7 +99,10 @@ func (s *Scaler) Observe(offered float64, now time.Duration) []coordinator.Actio
 			if serving == target {
 				break
 			}
-			if s.coord.State(sh.id) != coordinator.Busy {
+			// Only Idle/Training shards are promotable: WorkerBusy is a
+			// no-op on Dead/Degraded shards, so counting them as serving
+			// would silently under-provision the live set.
+			if st := s.coord.State(sh.id); st == coordinator.Idle || st == coordinator.Training {
 				actions = append(actions, s.coord.WorkerBusy(sh.id, now)...)
 				serving++
 			}
@@ -120,6 +123,36 @@ func (s *Scaler) Observe(offered float64, now time.Duration) []coordinator.Actio
 	for _, sh := range s.c.shards {
 		sh.state.Store(int32(s.coord.State(sh.id)))
 	}
+	return actions
+}
+
+// markDead records a shard's death in the coordinator (preempting any
+// training it led or joined) and mirrors the state for the router, which
+// stops picking it on the very next PickShard.
+func (s *Scaler) markDead(id int, now time.Duration) []coordinator.Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	actions := s.coord.WorkerDead(id, now)
+	s.c.shards[id].state.Store(int32(s.coord.State(id)))
+	return actions
+}
+
+// markDegraded records a shard as degraded (still alive, excluded from
+// routing until it recovers).
+func (s *Scaler) markDegraded(id int, now time.Duration) []coordinator.Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	actions := s.coord.WorkerDegraded(id, now)
+	s.c.shards[id].state.Store(int32(s.coord.State(id)))
+	return actions
+}
+
+// markRecovered returns a Dead/Degraded shard to the serving set.
+func (s *Scaler) markRecovered(id int, now time.Duration) []coordinator.Action {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	actions := s.coord.WorkerRecovered(id, now)
+	s.c.shards[id].state.Store(int32(s.coord.State(id)))
 	return actions
 }
 

@@ -15,6 +15,12 @@ const (
 	MsgBusy
 	// MsgRolloutComplete reports the global rollout barrier.
 	MsgRolloutComplete
+	// MsgDead reports a health-monitor crash/hang verdict for a worker.
+	MsgDead
+	// MsgDegraded reports a health-monitor slow-shard verdict.
+	MsgDegraded
+	// MsgRecovered reports a worker revived after death or degradation.
+	MsgRecovered
 )
 
 // Msg is one worker message.
@@ -103,6 +109,12 @@ func (b *Bus) loop() {
 				actions = b.c.WorkerBusy(m.Worker, m.At)
 			case MsgRolloutComplete:
 				actions = b.c.RolloutComplete(m.At)
+			case MsgDead:
+				actions = b.c.WorkerDead(m.Worker, m.At)
+			case MsgDegraded:
+				actions = b.c.WorkerDegraded(m.Worker, m.At)
+			case MsgRecovered:
+				actions = b.c.WorkerRecovered(m.Worker, m.At)
 			}
 			b.mu.Unlock()
 			for _, a := range actions {

@@ -26,6 +26,17 @@ const (
 	Idle
 	// Training: engaged in drafter spot training.
 	Training
+	// Degraded: the health monitor observed the worker falling behind
+	// (slow shard). It keeps its inflight work but the router stops
+	// routing new requests to it.
+	Degraded
+	// Dead: the worker crashed or hung; its inflight work is failed over
+	// to survivors and it takes no new work until revived.
+	Dead
+
+	// NumStates is the number of defined worker states, for sizing
+	// per-state accumulators.
+	NumStates = int(Dead) + 1
 )
 
 func (s State) String() string {
@@ -36,6 +47,10 @@ func (s State) String() string {
 		return "IDLE"
 	case Training:
 		return "TRAINING"
+	case Degraded:
+		return "DEGRADED"
+	case Dead:
+		return "DEAD"
 	}
 	return fmt.Sprintf("state(%d)", int(s))
 }
@@ -155,8 +170,13 @@ func (c *Coordinator) emit(a Action) Action {
 // session is already running, the new worker joins its data-parallel
 // group.
 func (c *Coordinator) WorkerIdle(worker int, now time.Duration) []Action {
-	if c.states[worker] == Training {
+	switch c.states[worker] {
+	case Training:
 		// A training worker cannot go idle without preemption first.
+		return nil
+	case Dead, Degraded:
+		// A failed or quarantined worker must be recovered explicitly
+		// before rejoining the idle pool.
 		return nil
 	}
 	c.states[worker] = Idle
@@ -182,6 +202,11 @@ func (c *Coordinator) WorkerIdle(worker int, now time.Duration) []Action {
 // WorkerBusy processes a transition back to rollout duty (e.g. the next
 // RL step starting on this worker).
 func (c *Coordinator) WorkerBusy(worker int, now time.Duration) []Action {
+	if c.states[worker] == Dead || c.states[worker] == Degraded {
+		// Failed or quarantined workers cannot be promoted back to duty by
+		// load pressure; WorkerRecovered is the only way out.
+		return nil
+	}
 	var actions []Action
 	if c.states[worker] == Training {
 		actions = append(actions, c.emit(Action{
@@ -193,6 +218,57 @@ func (c *Coordinator) WorkerBusy(worker int, now time.Duration) []Action {
 	}
 	c.states[worker] = Busy
 	return actions
+}
+
+// WorkerDead processes a health-monitor verdict that the worker crashed or
+// hung. If the worker was mid-training the session is preempted (and the
+// leadership migrated) exactly as for a busy preemption, so a shard failure
+// never strands a training session.
+func (c *Coordinator) WorkerDead(worker int, now time.Duration) []Action {
+	if c.states[worker] == Dead {
+		return nil
+	}
+	var actions []Action
+	if c.states[worker] == Training {
+		actions = append(actions, c.emit(Action{
+			Kind: PreemptTraining, Workers: []int{worker}, Leader: c.leader, At: now,
+		}))
+		if worker == c.leader {
+			c.migrateLeader(now, &actions)
+		}
+	}
+	c.states[worker] = Dead
+	return actions
+}
+
+// WorkerDegraded quarantines a slow worker: it keeps running (and keeps its
+// inflight requests) but is excluded from routing and training until
+// recovered. A dead worker stays dead — degradation is a weaker verdict.
+func (c *Coordinator) WorkerDegraded(worker int, now time.Duration) []Action {
+	if c.states[worker] == Dead || c.states[worker] == Degraded {
+		return nil
+	}
+	var actions []Action
+	if c.states[worker] == Training {
+		actions = append(actions, c.emit(Action{
+			Kind: PreemptTraining, Workers: []int{worker}, Leader: c.leader, At: now,
+		}))
+		if worker == c.leader {
+			c.migrateLeader(now, &actions)
+		}
+	}
+	c.states[worker] = Degraded
+	return actions
+}
+
+// WorkerRecovered returns a dead or degraded worker to BUSY (serving) duty
+// after revival. It is a no-op for healthy workers.
+func (c *Coordinator) WorkerRecovered(worker int, now time.Duration) []Action {
+	if c.states[worker] != Dead && c.states[worker] != Degraded {
+		return nil
+	}
+	c.states[worker] = Busy
+	return nil
 }
 
 // migrateLeader hands the session to another training worker or closes it.
@@ -221,9 +297,14 @@ func (c *Coordinator) RolloutComplete(now time.Duration) []Action {
 	return []Action{c.emit(Action{Kind: PreemptTraining, Workers: training, Leader: -1, At: now})}
 }
 
-// Reset returns all workers to BUSY for the next RL step's rollout.
+// Reset returns all workers to BUSY for the next RL step's rollout. Dead
+// and degraded workers are left as-is: a step barrier does not revive a
+// failed shard.
 func (c *Coordinator) Reset() {
 	for w := range c.states {
+		if c.states[w] == Dead || c.states[w] == Degraded {
+			continue
+		}
 		c.states[w] = Busy
 	}
 	c.leader = -1

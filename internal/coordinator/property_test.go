@@ -2,6 +2,7 @@ package coordinator
 
 import (
 	"math/rand"
+	"sync"
 	"testing"
 	"time"
 )
@@ -9,8 +10,8 @@ import (
 // TestCoordinatorInvariants drives the state machine with random event
 // sequences and checks structural invariants after every event:
 //   - a leader exists if and only if at least one worker is TRAINING
-//   - the leader itself is TRAINING
-//   - worker states are always one of the three defined values
+//   - the leader itself is TRAINING (so never DEAD or DEGRADED)
+//   - worker states are always one of the five defined values
 //   - RolloutComplete always clears all TRAINING workers
 func TestCoordinatorInvariants(t *testing.T) {
 	rng := rand.New(rand.NewSource(99))
@@ -24,7 +25,7 @@ func TestCoordinatorInvariants(t *testing.T) {
 		for ev := 0; ev < 60; ev++ {
 			w := rng.Intn(workers)
 			now := time.Duration(ev)
-			switch rng.Intn(4) {
+			switch rng.Intn(7) {
 			case 0:
 				c.WorkerIdle(w, now)
 			case 1:
@@ -33,6 +34,12 @@ func TestCoordinatorInvariants(t *testing.T) {
 				c.RolloutComplete(now)
 			case 3:
 				c.Reset()
+			case 4:
+				c.WorkerDead(w, now)
+			case 5:
+				c.WorkerDegraded(w, now)
+			case 6:
+				c.WorkerRecovered(w, now)
 			}
 			checkInvariants(t, c, trial, ev)
 		}
@@ -53,8 +60,13 @@ func checkInvariants(t *testing.T, c *Coordinator, trial, ev int) {
 		t.Fatalf("trial %d ev %d: leader %d in state %v", trial, ev, leader, c.State(leader))
 	}
 	for w, s := range c.States() {
-		if s != Busy && s != Idle && s != Training {
+		switch s {
+		case Busy, Idle, Training, Degraded, Dead:
+		default:
 			t.Fatalf("trial %d ev %d: worker %d invalid state %d", trial, ev, w, int(s))
+		}
+		if (s == Dead || s == Degraded) && w == leader {
+			t.Fatalf("trial %d ev %d: leader %d is %v", trial, ev, w, s)
 		}
 	}
 }
@@ -103,5 +115,131 @@ func TestCoordinatorActionsConsistent(t *testing.T) {
 	}
 	if len(actions) == 0 {
 		t.Fatal("no actions emitted over 300 events")
+	}
+}
+
+// TestFaultTransitions pins the health-state edges: a dead worker ignores
+// load-driven promotions, a training leader's death migrates the session,
+// and recovery is the only path back to duty.
+func TestFaultTransitions(t *testing.T) {
+	c, err := New(Config{Workers: 4, IdleThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start a session led by worker 0 with workers 0 and 1.
+	c.WorkerIdle(0, 0)
+	c.WorkerIdle(1, 1)
+	if c.Leader() != 0 || c.State(0) != Training || c.State(1) != Training {
+		t.Fatalf("session setup wrong: leader=%d states=%v", c.Leader(), c.States())
+	}
+	// Killing the leader preempts it and migrates leadership to worker 1.
+	acts := c.WorkerDead(0, 2)
+	if len(acts) != 1 || acts[0].Kind != PreemptTraining {
+		t.Fatalf("leader death actions = %v", acts)
+	}
+	if c.State(0) != Dead || c.Leader() != 1 || c.State(1) != Training {
+		t.Fatalf("after leader death: leader=%d states=%v", c.Leader(), c.States())
+	}
+	// Load pressure cannot resurrect a dead worker.
+	if acts := c.WorkerBusy(0, 3); acts != nil {
+		t.Fatalf("WorkerBusy on dead worker emitted %v", acts)
+	}
+	if c.State(0) != Dead {
+		t.Fatalf("dead worker promoted to %v by WorkerBusy", c.State(0))
+	}
+	if c.WorkerIdle(0, 4); c.State(0) != Dead {
+		t.Fatalf("dead worker moved to %v by WorkerIdle", c.State(0))
+	}
+	// A step barrier does not revive it either.
+	c.Reset()
+	if c.State(0) != Dead {
+		t.Fatalf("Reset revived dead worker to %v", c.State(0))
+	}
+	// Degrading a busy worker quarantines it; death outranks degradation.
+	c.WorkerDegraded(2, 5)
+	if c.State(2) != Degraded {
+		t.Fatalf("worker 2 state %v, want DEGRADED", c.State(2))
+	}
+	c.WorkerDead(2, 6)
+	if c.State(2) != Dead {
+		t.Fatalf("worker 2 state %v, want DEAD", c.State(2))
+	}
+	if c.WorkerDegraded(2, 7); c.State(2) != Dead {
+		t.Fatalf("degradation demoted a dead worker to %v", c.State(2))
+	}
+	// Recovery returns both to serving duty.
+	c.WorkerRecovered(0, 8)
+	c.WorkerRecovered(2, 9)
+	if c.State(0) != Busy || c.State(2) != Busy {
+		t.Fatalf("recovery failed: states=%v", c.States())
+	}
+	// Recovering a healthy worker is a no-op.
+	if acts := c.WorkerRecovered(3, 10); acts != nil || c.State(3) != Busy {
+		t.Fatalf("recovering healthy worker: acts=%v state=%v", acts, c.State(3))
+	}
+}
+
+// TestBusConcurrentEvents hammers the Bus with concurrent mixed messages
+// (including the fault kinds) from several goroutines and checks the
+// snapshot stays structurally valid throughout and after close. Run under
+// -race this also proves the loop's locking discipline.
+func TestBusConcurrentEvents(t *testing.T) {
+	const workers = 6
+	b, err := NewBus(Config{Workers: workers, IdleThreshold: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	kinds := []MsgKind{MsgIdle, MsgBusy, MsgRolloutComplete, MsgDead, MsgDegraded, MsgRecovered}
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(1000 + g)))
+			for i := 0; i < 200; i++ {
+				b.Send(Msg{
+					Kind:   kinds[rng.Intn(len(kinds))],
+					Worker: rng.Intn(workers),
+					At:     time.Duration(i),
+				})
+			}
+		}(g)
+	}
+	// Concurrent snapshot reader: every observed state must be valid.
+	stop := make(chan struct{})
+	var reader sync.WaitGroup
+	reader.Add(1)
+	go func() {
+		defer reader.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for w, s := range b.Snapshot() {
+				switch s {
+				case Busy, Idle, Training, Degraded, Dead:
+				default:
+					t.Errorf("worker %d invalid state %d", w, int(s))
+					return
+				}
+			}
+		}
+	}()
+	wg.Wait()
+	// Drain: give the loop a moment to consume the buffered messages.
+	for i := 0; i < 100 && len(b.in) > 0; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	close(stop)
+	reader.Wait()
+	b.Close()
+	// Post-close sends must not panic or block.
+	b.Send(Msg{Kind: MsgDead, Worker: 0})
+	// Final state machine must still satisfy the invariants.
+	c := b.Coordinator()
+	if leader := c.Leader(); leader >= 0 && c.State(leader) != Training {
+		t.Fatalf("leader %d in state %v after close", leader, c.State(leader))
 	}
 }

@@ -1,0 +1,360 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	"fastrl/internal/cluster"
+	"fastrl/internal/gpu"
+	"fastrl/internal/metrics"
+	"fastrl/internal/rollout"
+	"fastrl/internal/serving"
+	"fastrl/internal/specdec"
+	"fastrl/internal/vclock"
+	"fastrl/internal/workload"
+)
+
+func init() {
+	register("chaos",
+		"Chaos fault injection: crash/hang shard failures under a bursty trace, with vs. without determinism-checked failover",
+		runChaos)
+}
+
+// chaosArm is one failover setting's replay outcome.
+type chaosArm struct {
+	name  string
+	stats cluster.Stats
+	// Client-observed outcomes: every arrival lands in exactly one bucket.
+	served, failed, shed int
+	// checksum folds every delivered token into one value — the
+	// cross-run determinism probe (same seeds ⇒ same checksum).
+	checksum int64
+	// faultTTFTs are TTFT samples from requests submitted during windows
+	// containing a fault — the failure-window tail.
+	faultTTFTs []float64
+	err        error
+}
+
+func (a *chaosArm) availability(total int) float64 {
+	if total == 0 {
+		return 0
+	}
+	return float64(a.served) / float64(total)
+}
+
+// runChaos replays one bursty arrival trace through a sharded cluster
+// twice — with failover enabled and disabled — under the same seeded
+// fault plan (one crash, one hang, each revived MTTR later). Faults land
+// mid-window against inflight traffic; the hang is detected and escalated
+// by the health monitor, not the driver. The figure is the availability
+// and failure-window tail contrast between the two arms, plus the
+// exactly-once check (duplicate deliveries must be 0). Under fixed seeds
+// the kill set, availability, and delivered-token checksum are fully
+// deterministic (TestChaosExperimentAcceptance pins this); wall-clock
+// latency tails are the one non-deterministic column.
+func runChaos(opts Options) (*Result, error) {
+	seed := seedOr(opts, 29)
+	b := newBench(gpu.Qwen7B, seed, opts.Quick)
+
+	shards, replicas := 3, 1
+	window := 250 * time.Millisecond
+	windows := 10
+	rate := 32.0
+	maxNew := 32
+	if opts.Quick {
+		windows = 6
+		rate = 24
+	}
+	duration := time.Duration(windows) * window
+	arrivals := workload.GenerateArrivals(workload.ArrivalConfig{
+		Duration:   duration,
+		RatePerSec: rate,
+		Tasks:      len(b.gen.Pool()),
+		Lengths:    workload.DefaultLengthSampler(maxNew),
+		Seed:       seed ^ 0xc4a5,
+		// Steady load with a 2.5x burst through the middle — the faults land
+		// at the burst's edges.
+		Shape: func(frac float64) float64 {
+			if frac >= 1.0/3 && frac < 2.0/3 {
+				return 2.5
+			}
+			return 1
+		},
+	})
+	plan := cluster.GenerateFaultPlan(cluster.FaultPlanConfig{
+		Seed:     seed ^ 0xfa17,
+		Shards:   shards,
+		Duration: duration,
+		Faults:   2,
+		Kinds:    []cluster.FaultKind{cluster.FaultCrash, cluster.FaultHang},
+	})
+
+	arms := make([]chaosArm, 2)
+	forEach(2, func(i int) {
+		arms[i] = runChaosArm(b, i == 0, arrivals, plan, chaosArmConfig{
+			shards: shards, replicas: replicas, window: window,
+			windows: windows, maxNew: maxNew,
+		})
+	})
+
+	res := &Result{}
+	tbl := &metrics.Table{Header: []string{
+		"failover", "served", "failed", "shed", "avail%", "failovers", "dup", "fault ttft p99.9 ms", "ttft p99.9 ms", "p99.9 ms",
+	}}
+	for i := range arms {
+		arm := &arms[i]
+		if arm.err != nil {
+			return nil, arm.err
+		}
+		st := arm.stats
+		avail := arm.availability(len(arrivals))
+		faultTail := metrics.Percentile(arm.faultTTFTs, 99.9)
+		tbl.AddRow(arm.name,
+			fmt.Sprintf("%d", arm.served),
+			fmt.Sprintf("%d", arm.failed),
+			fmt.Sprintf("%d", arm.shed),
+			metrics.F(100*avail, 2),
+			fmt.Sprintf("%d", st.Failovers),
+			fmt.Sprintf("%d", st.DuplicateDeliveries),
+			metrics.F(1000*faultTail, 2),
+			metrics.F(float64(st.TTFTP999)/float64(time.Millisecond), 2),
+			metrics.F(float64(st.P999)/float64(time.Millisecond), 2),
+		)
+		res.Metric(arm.name+"/availability", avail)
+		res.Metric(arm.name+"/served", float64(arm.served))
+		res.Metric(arm.name+"/failed", float64(arm.failed))
+		res.Metric(arm.name+"/shed", float64(arm.shed))
+		res.Metric(arm.name+"/failovers", float64(st.Failovers))
+		res.Metric(arm.name+"/dup_deliveries", float64(st.DuplicateDeliveries))
+		res.Metric(arm.name+"/token_checksum", float64(arm.checksum))
+		res.Metric(arm.name+"/fault_ttft_p999_ms", 1000*faultTail)
+		res.Metric(arm.name+"/ttft_p999_ms", float64(st.TTFTP999)/float64(time.Millisecond))
+		res.Metric(arm.name+"/p999_ms", float64(st.P999)/float64(time.Millisecond))
+	}
+	// Recovery time from the plan's fault→revive pairing (virtual time —
+	// deterministic by construction).
+	var recovery time.Duration
+	var faults int
+	pending := map[int]time.Duration{}
+	for _, ev := range plan.Events {
+		if ev.Kind == cluster.FaultRevive {
+			if at, ok := pending[ev.Shard]; ok {
+				recovery += ev.At - at
+				faults++
+				delete(pending, ev.Shard)
+			}
+		} else {
+			pending[ev.Shard] = ev.At
+		}
+	}
+	if faults > 0 {
+		res.Metric("recovery_ms", float64(recovery/time.Duration(faults))/float64(time.Millisecond))
+	}
+	res.Tables = append(res.Tables, tbl)
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("trace: %d arrivals over %v (2.5x mid-burst), %d shards x %d replica(s); fault plan: %v",
+			len(arrivals), duration, shards, replicas, describeFaults(plan)),
+		"faults land mid-window against inflight traffic; the hang carries no error signal — the health monitor detects the stalled step counter and escalates it to a crash",
+		"with failover, every request stranded on a dead shard replays on a survivor from its private RNG and prompt, bit-identical and deduplicated (dup must be 0); without, those requests fail",
+		"availability, failovers, and the delivered-token checksum are seed-deterministic (the CI acceptance test replays the experiment and compares them exactly); latency tails carry wall time and are not",
+		"fault ttft p99.9 samples only requests submitted during fault windows; cluster ttft/latency p99.9 merge per-shard reservoirs weighted by observed mass",
+	)
+	return res, nil
+}
+
+func describeFaults(plan cluster.FaultPlan) string {
+	s := ""
+	for i, ev := range plan.Events {
+		if i > 0 {
+			s += ", "
+		}
+		s += fmt.Sprintf("%v@%v(shard %d)", ev.Kind, ev.At.Round(time.Millisecond), ev.Shard)
+	}
+	return s
+}
+
+type chaosArmConfig struct {
+	shards, replicas int
+	window           time.Duration
+	windows, maxNew  int
+}
+
+// runChaosArm replays the trace and fault plan through a fresh cluster.
+// Submission is window-structured: each window's arrivals are submitted,
+// the window's faults are applied against them mid-flight, and the window
+// drains under health-monitor polling before the next begins. Revives
+// apply at window boundaries. Prefix-affinity routing makes the kill set
+// (which requests sit on the faulted shard) independent of goroutine
+// scheduling — the backbone of the arm's determinism.
+func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan cluster.FaultPlan, cfg chaosArmConfig) chaosArm {
+	arm := chaosArm{name: "without"}
+	if failover {
+		arm.name = "with"
+	}
+	drafter := b.eagle.Clone()
+	ecfg := rollout.DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+	ecfg.SDThreshold = 0
+	// One pinned SD strategy: a request's token stream depends only on its
+	// private seed, which is what makes a failover replay bit-identical.
+	ecfg.Strategies = []specdec.Params{{DraftDepth: 6, TopK: 6, TokensToVerify: 24}}
+	ecfg.MAB.Thresholds = []int{1}
+	cl, err := cluster.New(cluster.Config{
+		Shards: cfg.shards,
+		Shard: serving.Config{
+			Engine: ecfg, Replicas: cfg.replicas, QueueDepth: 512,
+			AnswerID: b.tk.Answer(), EosID: b.tk.Eos(),
+		},
+		Policy: cluster.NewPrefixAffinity(4),
+		// Headroom for the burst plus failover resubmissions: chaos measures
+		// fault loss, not admission loss.
+		Admission: cluster.AdmissionConfig{MaxPending: 512},
+		Failover:  cluster.FailoverConfig{Enabled: failover},
+	}, b.target, drafter)
+	if err != nil {
+		arm.err = err
+		return arm
+	}
+	defer cl.Stop()
+	mon := cl.NewMonitor(cluster.MonitorConfig{HangPolls: 10})
+	clock := &vclock.Clock{}
+
+	var faults, revives []cluster.FaultEvent
+	for _, ev := range plan.Events {
+		if ev.Kind == cluster.FaultRevive {
+			revives = append(revives, ev)
+		} else {
+			faults = append(faults, ev)
+		}
+	}
+	var mu sync.Mutex
+	record := func(r cluster.Response, err error, faultWindow bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		var shedErr *cluster.ErrShedded
+		switch {
+		case err == nil:
+			arm.served++
+			// Per-request hash folded order-sensitively, then summed across
+			// requests commutatively: the checksum pins every delivered token
+			// stream exactly while staying independent of completion order.
+			var h int64 = 1
+			for _, tok := range r.Tokens {
+				h = h*31 + int64(tok)
+			}
+			arm.checksum += h
+			if faultWindow && r.TTFT > 0 {
+				arm.faultTTFTs = append(arm.faultTTFTs, r.TTFT.Seconds())
+			}
+		case errors.As(err, &shedErr):
+			arm.shed++
+		default:
+			arm.failed++
+		}
+	}
+
+	next, fi, ri := 0, 0, 0
+	for w := 0; w < cfg.windows; w++ {
+		wStart := time.Duration(w) * cfg.window
+		wEnd := wStart + cfg.window
+		clock.AdvanceTo(wStart)
+		for ri < len(revives) && revives[ri].At <= wStart {
+			if err := cl.ReviveShard(revives[ri].Shard, wStart); err != nil {
+				arm.err = err
+				return arm
+			}
+			ri++
+		}
+		var due []cluster.FaultEvent
+		for fi < len(faults) && faults[fi].At < wEnd {
+			due = append(due, faults[fi])
+			fi++
+		}
+		for _, f := range due {
+			// Pre-stall the doomed shard so none of this window's requests
+			// can complete a step before the fault lands: the kill set is
+			// then exactly "everything routed to the shard", not a race.
+			cl.SlowShard(f.Shard, 5*time.Millisecond)
+		}
+
+		batch := arrivals[next:]
+		for i, a := range batch {
+			if a.At >= wEnd {
+				batch = batch[:i]
+				break
+			}
+		}
+		next += len(batch)
+		streams := make([]*cluster.Stream, 0, len(batch))
+		for _, a := range batch {
+			st, err := cl.Stream(context.Background(), cluster.Request{
+				Prompt: b.gen.Pool()[a.Task].Prompt,
+				MaxNew: cfg.maxNew,
+				Prior:  workload.LengthPrior{TargetLen: a.TargetLen, Sharpness: 25},
+				Seed:   a.Seed,
+			})
+			if err != nil {
+				record(cluster.Response{}, err, len(due) > 0)
+				continue
+			}
+			streams = append(streams, st)
+		}
+		for _, f := range due {
+			switch f.Kind {
+			case cluster.FaultCrash:
+				cl.CrashShard(f.Shard, clock.Now())
+			case cluster.FaultHang:
+				cl.HangShard(f.Shard)
+			case cluster.FaultSlow:
+				cl.SlowShard(f.Shard, f.Stall)
+			}
+		}
+
+		// Drain the window under monitor polling — hang escalation happens
+		// here, from the stalled step counter, exactly as it would in
+		// production.
+		stopPoll := make(chan struct{})
+		var pollWG sync.WaitGroup
+		pollWG.Add(1)
+		go func() {
+			defer pollWG.Done()
+			for {
+				select {
+				case <-stopPoll:
+					return
+				default:
+				}
+				mon.Poll(clock.Now())
+				time.Sleep(time.Millisecond)
+			}
+		}()
+		var wg sync.WaitGroup
+		for _, st := range streams {
+			wg.Add(1)
+			go func(st *cluster.Stream) {
+				defer wg.Done()
+				r, err := st.Wait()
+				record(r, err, len(due) > 0)
+			}(st)
+		}
+		wg.Wait()
+		close(stopPoll)
+		pollWG.Wait()
+		clock.AdvanceTo(wEnd)
+	}
+	for ri < len(revives) {
+		if err := cl.ReviveShard(revives[ri].Shard, clock.Now()); err != nil {
+			arm.err = err
+			return arm
+		}
+		ri++
+	}
+	arm.stats = cl.Stats()
+	if got := arm.served + arm.failed + arm.shed; got != len(arrivals) {
+		arm.err = fmt.Errorf("chaos arm %s: %d served + %d failed + %d shed != %d arrivals",
+			arm.name, arm.served, arm.failed, arm.shed, len(arrivals))
+	}
+	return arm
+}

@@ -1,0 +1,67 @@
+package experiments
+
+import (
+	"testing"
+)
+
+// chaosDeterministic is the subset of chaos metrics that must be exactly
+// reproducible under a fixed seed: client-visible outcomes and delivery
+// accounting. Latency tails carry wall time and are deliberately absent.
+var chaosDeterministic = []string{
+	"with/availability", "with/served", "with/failed", "with/shed",
+	"with/failovers", "with/dup_deliveries", "with/token_checksum",
+	"without/availability", "without/served", "without/failed", "without/shed",
+	"without/dup_deliveries", "without/token_checksum",
+	"recovery_ms",
+}
+
+// TestChaosExperimentAcceptance pins the chaos experiment's CI contract:
+// the deterministic metric subset is bit-identical across two full runs
+// under the same seed, failover keeps availability at or above 99% and
+// strictly above the no-failover arm, and no request is ever delivered
+// twice.
+func TestChaosExperimentAcceptance(t *testing.T) {
+	run := func() map[string]float64 {
+		res, err := runChaos(Options{Quick: true, Seed: 7})
+		if err != nil {
+			t.Fatalf("runChaos: %v", err)
+		}
+		return res.Metrics
+	}
+	first := run()
+	second := run()
+	for _, key := range chaosDeterministic {
+		a, ok := first[key]
+		if !ok {
+			t.Fatalf("metric %q missing from first run", key)
+		}
+		b, ok := second[key]
+		if !ok {
+			t.Fatalf("metric %q missing from second run", key)
+		}
+		if a != b {
+			t.Errorf("metric %q not deterministic: %v vs %v", key, a, b)
+		}
+	}
+
+	withAvail := first["with/availability"]
+	withoutAvail := first["without/availability"]
+	if withAvail < 0.99 {
+		t.Errorf("failover availability = %.4f, want >= 0.99", withAvail)
+	}
+	if withAvail <= withoutAvail {
+		t.Errorf("failover availability %.4f not above no-failover %.4f",
+			withAvail, withoutAvail)
+	}
+	if dup := first["with/dup_deliveries"]; dup != 0 {
+		t.Errorf("duplicate deliveries = %v, want 0", dup)
+	}
+	if fo := first["with/failovers"]; fo <= 0 {
+		t.Errorf("failovers = %v, want > 0 (fault plan must actually strand requests)", fo)
+	}
+	// The no-failover arm must actually lose the stranded requests —
+	// otherwise the contrast above is vacuous.
+	if failed := first["without/failed"]; failed <= 0 {
+		t.Errorf("no-failover failed = %v, want > 0", failed)
+	}
+}

@@ -473,6 +473,45 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
+// HotPrefixes returns up to k full token prefixes in most-recently-used
+// order — the re-warm set a revived shard replays through Insert to come
+// back hot instead of cold. Each returned slice is freshly allocated; the
+// caller owns it.
+func (c *Cache) HotPrefixes(k int) [][]int {
+	if k <= 0 {
+		return nil
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([][]int, 0, k)
+	for n := c.lru.next; n != &c.lru && len(out) < k; n = n.next {
+		out = append(out, n.AppendTokens(nil))
+	}
+	return out
+}
+
+// Clear drops every unpinned node (retained paths survive, like eviction),
+// resetting the cache for a cold restart. Byte and node accounting stay
+// consistent; hit/insert counters are not reset.
+func (c *Cache) Clear() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for {
+		freed := 0
+		for n := c.lru.prev; n != &c.lru; {
+			prev := n.prev
+			if len(n.children) == 0 && n.refs.Load() == 0 {
+				c.remove(n)
+				freed++
+			}
+			n = prev
+		}
+		if freed == 0 {
+			return
+		}
+	}
+}
+
 // HitRate returns the Lookup hit rate (0 before the first lookup).
 func (c *Cache) HitRate() float64 { return c.lookups.Rate() }
 

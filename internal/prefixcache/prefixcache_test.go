@@ -253,3 +253,55 @@ func TestStatsAccounting(t *testing.T) {
 		t.Fatal("probe accessors disagree with Stats")
 	}
 }
+
+func TestHotPrefixesAndClear(t *testing.T) {
+	c := New(Config{})
+	a := []int{1, 2, 3, 4}
+	b := []int{1, 2, 9, 9}
+	c.Insert(a, 2, nil)
+	c.Insert(b, 2, nil)
+	// Touch a's path so it is most recently used.
+	n, matched := c.Lookup(a)
+	if n == nil || matched != len(a) {
+		t.Fatalf("lookup a: matched %d", matched)
+	}
+	hot := c.HotPrefixes(2)
+	if len(hot) != 2 {
+		t.Fatalf("HotPrefixes returned %d prefixes", len(hot))
+	}
+	// The hottest prefix must be a path of a (a itself or a shared prefix).
+	first := hot[0]
+	for i, tok := range first {
+		if i >= len(a) || tok != a[i] {
+			t.Fatalf("hottest prefix %v is not a prefix of %v", first, a)
+		}
+	}
+	if got := c.HotPrefixes(0); got != nil {
+		t.Fatalf("HotPrefixes(0) = %v", got)
+	}
+	// Replaying hot prefixes into a fresh cache re-warms it.
+	warm := New(Config{})
+	for _, p := range c.HotPrefixes(64) {
+		warm.Insert(p, len(p), nil)
+	}
+	if warm.MatchLen(a) != len(a) || warm.MatchLen(b) != len(b) {
+		t.Fatalf("re-warmed cache misses: a=%d b=%d", warm.MatchLen(a), warm.MatchLen(b))
+	}
+	// Clear drops everything except the pinned path: b's tail goes, but
+	// the [1 2] prefix it shares with the retained path survives.
+	c.Clear()
+	if c.MatchLen(b) != 2 {
+		t.Fatalf("Clear: match(b) = %d, want 2 (shared pinned prefix only)", c.MatchLen(b))
+	}
+	if c.MatchLen(a) != len(a) {
+		t.Fatalf("Clear evicted a retained path (match %d)", c.MatchLen(a))
+	}
+	n.Release()
+	c.Clear()
+	if c.Len() != 0 || c.MatchLen(a) != 0 {
+		t.Fatalf("Clear after release left %d nodes", c.Len())
+	}
+	if got := c.ResidentBytes(); got != 0 {
+		t.Fatalf("Clear left %d resident bytes", got)
+	}
+}

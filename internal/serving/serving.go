@@ -24,6 +24,7 @@ package serving
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"math/rand"
 	"sync"
@@ -119,6 +120,15 @@ type Response struct {
 // estimates tight (p95 standard error well under 1%) at a fixed ~32KB.
 const MaxLatencySamples = 4096
 
+// ErrStopped is returned by Stream/Submit/Serve after a graceful Stop.
+var ErrStopped = errors.New("serving: server stopped")
+
+// ErrCrashed marks requests stranded by an injected (or detected) shard
+// crash: the terminal Usage carries the partial tokens streamed before
+// death with this error, and new submissions fail fast with it. The
+// cluster failover layer keys resubmission off this sentinel.
+var ErrCrashed = errors.New("serving: server crashed")
+
 // Server is a concurrent SD inference service over a frozen target.
 type Server struct {
 	cfg     Config
@@ -141,7 +151,18 @@ type Server struct {
 	// on a closed channel.
 	stopMu  sync.RWMutex
 	stopped bool
-	mu      sync.Mutex
+	// Fault-injection surface (chaos testing and failover drills). crashed
+	// flips once, at most; hung gates the replica step loops in a poll that
+	// only crash releases; stall adds a wall-clock delay (ns) per step to
+	// model a slow shard; steps counts completed scheduler steps across
+	// replicas — the liveness signal hang detection watches; dupSuppressed
+	// counts terminal events swallowed by the per-job delivery dedup.
+	crashed       atomic.Bool
+	hung          atomic.Bool
+	stall         atomic.Int64
+	steps         atomic.Int64
+	dupSuppressed atomic.Int64
+	mu            sync.Mutex
 	// lats is a bounded uniform sample over all served latencies; ttfts
 	// and itls sample time-to-first-token per request and inter-token
 	// latency per streamed chunk, fed by the replicas' event publishing.
@@ -281,7 +302,27 @@ func (s *Server) replica(id int) {
 				break drain
 			}
 		}
+		// Fault checkpoints, evaluated at step boundaries only — a crash or
+		// hang never lands mid-step, so the scheduler's state stays exactly
+		// what the last completed step published (the failover layer's
+		// "precise state" guarantee). They sit after admission and before
+		// the step, with the stall first, so work admitted while a fault was
+		// landing never decodes under it: the stall delays every step
+		// (including a request's first), and a hang or crash arriving during
+		// the stall is observed before the step runs — a hang freezes the
+		// loop until Unhang or the health monitor escalates it to a crash.
+		if d := s.stall.Load(); d > 0 {
+			time.Sleep(time.Duration(d))
+		}
+		for s.hung.Load() && !s.crashed.Load() {
+			time.Sleep(200 * time.Microsecond)
+		}
+		if s.crashed.Load() {
+			s.crashReplica(batch, rng, running)
+			return
+		}
 		batch.Step(rng)
+		s.steps.Add(1)
 		now := batch.Clock.Now()
 		retired := batch.Retire()
 		// Publish the step's progress — retiring requests first, so their
@@ -333,6 +374,102 @@ func (s *Server) replica(id int) {
 	}
 }
 
+// crashReplica is a replica's death throes: every running request is
+// cancelled and swept out of the batch at one final step boundary —
+// releasing KV charges, batch slots, and prefix-cache pins exactly like a
+// client cancellation — and its terminal event delivers the partial tokens
+// with ErrCrashed. Jobs still in the (closed) admission queue are claimed
+// and failed the same way. Terminal delivery goes through finishJob's
+// dedup CAS, so a request the failover layer already failed (or that
+// completed during the crash) never emits twice.
+func (s *Server) crashReplica(batch *sched.Batch, rng *rand.Rand, running []*job) {
+	for _, j := range running {
+		if r := j.sr.Load(); r != nil {
+			r.Cancel()
+		}
+	}
+	// One sweep step retires every cancelled request without decoding.
+	batch.Step(rng)
+	retired := batch.Retire()
+	for _, r := range retired {
+		j := r.Tag.(*job)
+		s.finishJob(j, Response{Tokens: r.Response(), Err: ErrCrashed}, true)
+	}
+	// Crash implies shutdown closed the queue; strand whatever is left.
+	for j := range s.queue {
+		if j.claimed.CompareAndSwap(false, true) {
+			s.finishJob(j, Response{Err: ErrCrashed}, false)
+		}
+	}
+}
+
+// Crash kills the server abruptly at the replicas' next step boundaries:
+// inflight requests terminate with their partial tokens and ErrCrashed,
+// queued requests fail with ErrCrashed, and new submissions fail fast.
+// Idempotent, and safe concurrently with Stop (the first caller picks the
+// mode; both block until the replicas exit). A hung server can be crashed —
+// that is how the health monitor reclaims its goroutines.
+func (s *Server) Crash() { s.shutdown(true) }
+
+// Stop drains the queue and shuts the replicas down gracefully: admitted
+// work completes and queued work is served before the replicas exit.
+// Idempotent and safe to call concurrently with Crash or another Stop.
+func (s *Server) Stop() { s.shutdown(false) }
+
+func (s *Server) shutdown(crash bool) {
+	s.stopMu.Lock()
+	if s.stopped {
+		s.stopMu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.stopped = true
+	if crash {
+		s.crashed.Store(true)
+	}
+	s.stopMu.Unlock()
+	close(s.queue)
+	s.wg.Wait()
+}
+
+// Hang freezes every replica's step loop at its next step boundary: the
+// server keeps its inflight requests but makes no progress and emits no
+// events — the failure mode a liveness monitor has to detect by watching
+// StepCount. Only Unhang or Crash releases a hung server.
+func (s *Server) Hang() { s.hung.Store(true) }
+
+// Unhang releases a Hang; the replicas resume stepping where they froze.
+func (s *Server) Unhang() { s.hung.Store(false) }
+
+// SetStall adds a per-step wall-clock delay to every replica, modelling a
+// degraded (slow) shard; 0 restores full speed.
+func (s *Server) SetStall(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.stall.Store(int64(d))
+}
+
+// StepCount returns the total scheduler steps completed across replicas —
+// a monotone liveness probe (a hung server's count stops advancing while
+// Inflight stays non-zero).
+func (s *Server) StepCount() int64 { return s.steps.Load() }
+
+// Crashed reports whether the server died by Crash.
+func (s *Server) Crashed() bool { return s.crashed.Load() }
+
+// DupSuppressed returns how many terminal events the per-request delivery
+// dedup swallowed (each one a would-have-been duplicate delivery).
+func (s *Server) DupSuppressed() int64 { return s.dupSuppressed.Load() }
+
+// TailReservoirs returns snapshots of the latency and TTFT sample
+// reservoirs, for weighted merging into cluster-level tail percentiles.
+func (s *Server) TailReservoirs() (lats, ttfts *metrics.Reservoir) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.lats.Clone(), s.ttfts.Clone()
+}
+
 // QueueLen returns the number of admitted jobs not yet picked up by a
 // replica.
 func (s *Server) QueueLen() int { return len(s.queue) }
@@ -380,7 +517,10 @@ func (s *Server) Stream(ctx context.Context, req Request) (*Stream, error) {
 	s.stopMu.RLock()
 	defer s.stopMu.RUnlock()
 	if s.stopped {
-		return nil, fmt.Errorf("serving: server stopped")
+		if s.crashed.Load() {
+			return nil, ErrCrashed
+		}
+		return nil, ErrStopped
 	}
 	// A dead caller must not consume a queue slot: without this check the
 	// select below chooses arbitrarily between a ready queue and a
@@ -438,19 +578,6 @@ func (s *Server) Serve(ctx context.Context, req Request) (Response, error) {
 		return Response{}, err
 	}
 	return st.Wait()
-}
-
-// Stop drains the queue and shuts the replicas down.
-func (s *Server) Stop() {
-	s.stopMu.Lock()
-	if s.stopped {
-		s.stopMu.Unlock()
-		return
-	}
-	s.stopped = true
-	s.stopMu.Unlock()
-	close(s.queue)
-	s.wg.Wait()
 }
 
 // Stats summarises served traffic.

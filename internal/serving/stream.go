@@ -19,6 +19,7 @@ import (
 	"context"
 	"errors"
 	"io"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -97,6 +98,11 @@ type job struct {
 	// cancelled behind a saturated batch must not wait for a slot it no
 	// longer wants.
 	claimed atomic.Bool
+	// finished is the delivery dedup CAS: the first terminal publisher
+	// (replica retirement, queued-cancel, or a failover-driven Fail) wins;
+	// every later attempt is swallowed and counted. This is what guarantees
+	// a request completing concurrently with failover never emits twice.
+	finished atomic.Bool
 	// onFinish hooks (guarded by mu) run exactly once each, in
 	// registration order, with the final response before any waiter
 	// observes the terminal event — the cluster's accounting hook and
@@ -230,6 +236,75 @@ func (st *Stream) Wait() (Response, error) {
 	return resp, resp.Err
 }
 
+// Fail force-finishes the stream with err: the terminal Usage carries the
+// tokens published so far as the partial response. Unlike Cancel it does
+// not wait for the replica's next step boundary — a stream stranded on a
+// hung shard terminates immediately — though the scheduler request is
+// still marked for retirement so a live (or later revived) replica frees
+// its resources at its next step. If the request completes (or crashes)
+// first, that terminal wins and Fail is a no-op: exactly one terminal
+// event is ever delivered.
+func (st *Stream) Fail(err error) { st.srv.failJob(st.j, err) }
+
+// failJob implements Stream.Fail. It must not touch the scheduler
+// request's token storage — a live replica may be appending to it
+// concurrently — so the partial response is the stream's own published
+// prefix.
+func (s *Server) failJob(j *job, err error) {
+	j.cancelReq.Store(true)
+	if r := j.sr.Load(); r != nil {
+		r.Cancel()
+		s.forceFinish(j, err, true)
+		return
+	}
+	if j.claimed.CompareAndSwap(false, true) {
+		s.forceFinish(j, err, false)
+		return
+	}
+	// Admission won the claim race. Wait for it to either publish the
+	// scheduler request or finish the job through the cancellation path
+	// (it re-checks cancelReq on both sides of the store).
+	for j.sr.Load() == nil && !j.finished.Load() {
+		runtime.Gosched()
+	}
+	if r := j.sr.Load(); r != nil {
+		r.Cancel()
+		s.forceFinish(j, err, true)
+	}
+}
+
+// forceFinish delivers an externally-driven terminal event, bypassing the
+// replica. The dedup CAS makes it a no-op if any terminal already landed;
+// when it wins while the job is admitted, it releases the replica's
+// inflight charge (the losing replica retirement will skip its own
+// release).
+func (s *Server) forceFinish(j *job, err error, admitted bool) {
+	if !j.finished.CompareAndSwap(false, true) {
+		return
+	}
+	s.mu.Lock()
+	if errors.Is(err, context.Canceled) {
+		s.cancelled++
+	} else {
+		s.errored++
+	}
+	s.mu.Unlock()
+	if admitted {
+		s.inflight.Add(-1)
+	}
+	j.mu.Lock()
+	resp := Response{Tokens: j.tokens, Err: err}
+	j.final = resp
+	for _, fn := range j.onFinish {
+		fn(resp)
+	}
+	j.onFinish = nil
+	j.done = true
+	j.mu.Unlock()
+	close(j.term)
+	close(j.notify)
+}
+
 // Cancel marks the request for retirement — equivalent to cancelling the
 // stream's context. An admitted request is evicted at the replica's next
 // step boundary, releasing its KV charge, prefix-cache pins, and batch
@@ -320,20 +395,34 @@ func (s *Server) publishProgress(j *job, r *sched.Request, now time.Duration, sa
 	j.pubTok = len(gen)
 
 	j.mu.Lock()
-	j.tokens = gen
-	j.accepts = r.AcceptLens
-	j.mu.Unlock()
-	select {
-	case j.notify <- struct{}{}:
-	default:
+	if !j.done {
+		// Publish and notify inside the critical section: a Fail-driven
+		// terminal sets done under mu before closing notify, so seeing
+		// done == false here guarantees the channel is still open. After a
+		// forced terminal the stream's content is frozen; late replica
+		// progress is dropped.
+		j.tokens = gen
+		j.accepts = r.AcceptLens
+		select {
+		case j.notify <- struct{}{}:
+		default:
+		}
 	}
+	j.mu.Unlock()
 }
 
 // finishJob publishes a job's terminal state, wakes every waiter, and
 // folds the outcome into the server's accounting. admitted reports
 // whether the job ever entered a batch (and thus holds an inflight
-// charge). Called exactly once per job.
+// charge). The dedup CAS lets it be called from racing paths (replica
+// retirement vs. failover Fail); exactly one call delivers the terminal
+// event, the rest are swallowed and counted. The winner owns the inflight
+// release, so a losing replica must not release again.
 func (s *Server) finishJob(j *job, resp Response, admitted bool) {
+	if !j.finished.CompareAndSwap(false, true) {
+		s.dupSuppressed.Add(1)
+		return
+	}
 	// Settle the server-level accounting before any waiter can observe
 	// the terminal event: a client returning from Wait (or pulling the
 	// Usage event) must find its request already reflected in Stats and
