@@ -10,11 +10,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"runtime"
 	"time"
 
 	"fastrl/internal/experiments"
+	"fastrl/internal/trace"
 )
 
 // expPerf records one experiment's cost in the -json snapshot: wall time
@@ -47,14 +49,51 @@ type benchSnapshot struct {
 	HotPath     []experiments.PerfEntry `json:"hot_path"`
 }
 
+// writeAndValidateTrace persists an experiment's Chrome trace export and
+// then proves the artefact is usable: the written bytes must parse back,
+// the reconstructed spans must validate (submit-first, retire-last,
+// non-negative and non-overlapping busy intervals), and the request count
+// must reconcile with the experiment's own traced_requests metric — a
+// trace file that silently dropped requests fails the run.
+func writeAndValidateTrace(path string, r *experiments.Result) error {
+	if err := os.WriteFile(path, r.TraceChrome, 0o644); err != nil {
+		return fmt.Errorf("write trace: %w", err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("read trace back: %w", err)
+	}
+	exp, err := trace.ParseChrome(data)
+	if err != nil {
+		return fmt.Errorf("trace file does not parse: %w", err)
+	}
+	sum, err := exp.Validate()
+	if err != nil {
+		return fmt.Errorf("trace file failed validation: %w", err)
+	}
+	want, ok := r.Metrics["traced_requests"]
+	if !ok {
+		return fmt.Errorf("experiment exported a trace but no traced_requests metric")
+	}
+	if float64(sum.Requests) != math.Round(want) {
+		return fmt.Errorf("trace holds %d requests, experiment traced %.0f", sum.Requests, want)
+	}
+	if sum.Retired != sum.Requests {
+		return fmt.Errorf("trace holds %d requests but only %d retire spans", sum.Requests, sum.Retired)
+	}
+	fmt.Printf("wrote %s (%d requests, %d spans; validated)\n", path, sum.Requests, sum.Spans)
+	return nil
+}
+
 func main() {
 	var (
-		exp     = flag.String("exp", "", "experiment id (see -list), or 'all'")
-		quick   = flag.Bool("quick", false, "reduced workload sizes")
-		seed    = flag.Int64("seed", 0, "override experiment seed (0 = default)")
-		list    = flag.Bool("list", false, "list available experiments")
-		verbose = flag.Bool("v", false, "verbose progress")
-		jsonOut = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot (ns/op and allocs/op per figure/table plus hot-path micro-benchmarks)")
+		exp       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		quick     = flag.Bool("quick", false, "reduced workload sizes")
+		seed      = flag.Int64("seed", 0, "override experiment seed (0 = default)")
+		list      = flag.Bool("list", false, "list available experiments")
+		verbose   = flag.Bool("v", false, "verbose progress")
+		jsonOut   = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot (ns/op and allocs/op per figure/table plus hot-path micro-benchmarks)")
+		traceFile = flag.String("trace", "", "enable request-lifecycle tracing and write the Chrome trace_event export to this file (load in chrome://tracing or Perfetto); the export is parsed back and validated before exit")
 	)
 	flag.Parse()
 
@@ -69,7 +108,7 @@ func main() {
 		return
 	}
 
-	opts := experiments.Options{Quick: *quick, Seed: *seed, Verbose: *verbose}
+	opts := experiments.Options{Quick: *quick, Seed: *seed, Verbose: *verbose, Trace: *traceFile != ""}
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experiments.IDs()
@@ -102,6 +141,12 @@ func main() {
 			}
 		}
 		fmt.Println(r)
+		if *traceFile != "" && r.TraceChrome != nil {
+			if err := writeAndValidateTrace(*traceFile, r); err != nil {
+				fmt.Fprintf(os.Stderr, "tltbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
 		if *verbose {
 			fmt.Printf("(%s completed in %v)\n\n", id, elapsed.Round(time.Millisecond))
 		}

@@ -17,6 +17,7 @@ import (
 	"io"
 	"log"
 	"os"
+	"strings"
 	"sync/atomic"
 	"time"
 
@@ -28,6 +29,7 @@ import (
 	"fastrl/internal/rollout"
 	"fastrl/internal/serving"
 	"fastrl/internal/spot"
+	"fastrl/internal/trace"
 	"fastrl/internal/workload"
 )
 
@@ -85,7 +87,13 @@ func main() {
 	caches := cluster.NewShardCaches(shards, prefixcache.Config{})
 	ecfg := rollout.DefaultConfig(gpu.NewDevice(gpu.H100, 2))
 	ecfg.SDThreshold = 0 // SD always on: the deployed drafter earns its keep
+	// Request-lifecycle tracing for the whole deployment: every request's
+	// queue/prefill/SD-round spans land in per-request arenas (zero
+	// steady-state allocations), stamped with the serving shard, and the
+	// demo exports the lot as a Chrome trace at the end.
+	tracer := trace.New(trace.Config{SpanSlots: 512, MaxRequests: 1 << 12})
 	cl, err := cluster.New(cluster.Config{
+		Tracer: tracer,
 		Shards: shards,
 		Shard: serving.Config{
 			Engine: ecfg, Replicas: 1,
@@ -168,9 +176,12 @@ func main() {
 			pass, st.Served, chunks, accept/float64(max(n, 1)), st.P50.Round(time.Microsecond),
 			st.TTFTP50.Round(time.Microsecond), st.ITLP50.Round(time.Microsecond), st.CacheSavedPositions)
 	}
-	for _, ss := range cl.Stats().Shards {
-		fmt.Printf("  shard %d: served %d, cache hit rate %.0f%%, resident %d KB\n",
-			ss.ID, ss.Served, 100*ss.CacheHitRate, ss.CacheBytes/1024)
+	// One consistent registry snapshot replaces per-probe stat prints:
+	// per-shard admission counters, outcome counters, cache gauges, and
+	// the latency reservoirs, all read at a single point.
+	fmt.Println("  unified registry snapshot:")
+	for _, line := range strings.Split(strings.TrimRight(cl.Registry().Snapshot().String(), "\n"), "\n") {
+		fmt.Println("    " + line)
 	}
 	if retries := sheddedRetries.Load(); retries > 0 {
 		fmt.Printf("  admission shed %d submissions; all admitted after retry-after backoff\n", retries)
@@ -204,13 +215,34 @@ func main() {
 		}
 	}
 	st := cl.Stats()
-	fmt.Printf("  all %d streams completed | failovers %d | duplicate deliveries %d\n",
-		len(streams), st.Failovers, st.DuplicateDeliveries)
+	fmt.Printf("  all %d streams completed | failovers %d | duplicate deliveries %d | postmortem captures %d\n",
+		len(streams), st.Failovers, st.DuplicateDeliveries, len(cl.Postmortems()))
 	if err := cl.ReviveShard(0, 0); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("  shard 0 revived warm: serving shards %v, cache resident %d KB\n",
 		cl.Scaler().ServingShards(), caches[0].ResidentBytes()/1024)
+
+	// Export the full demo — both passes, the shard kill, the failover
+	// replays, and the warm revival — as a Chrome trace_event file:
+	// load it in chrome://tracing or Perfetto for a per-shard Gantt
+	// (pid = shard, tid = request), or feed it to
+	// `go run ./examples/trace_analysis -trace <file>` for an ASCII one.
+	export := tracer.Export()
+	chrome, err := export.Chrome()
+	if err != nil {
+		log.Fatal(err)
+	}
+	tracePath := "deploy_drafter_trace.json"
+	if err := os.WriteFile(tracePath, chrome, 0o644); err != nil {
+		log.Fatal(err)
+	}
+	sum, err := export.Validate()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("  wrote %s: %d requests, %d spans across the kill and revival\n",
+		tracePath, sum.Requests, sum.Spans)
 
 	fmt.Println("the drafter cost nothing to train, repeat prompts skip their prefill")
 	fmt.Println("via the shared radix prefix cache, and a shard kill is absorbed by")

@@ -1,0 +1,139 @@
+// ASCII Gantt rendering for exported request-lifecycle traces: feed the
+// Chrome trace_event file written by `tltbench -trace` or the
+// deploy_drafter example back in and get a per-request timeline on the
+// terminal — the poor man's chrome://tracing.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"fastrl/internal/trace"
+)
+
+// ganttWidth is the timeline width in columns.
+const ganttWidth = 96
+
+// ganttMaxRows bounds the rendered request count; longer traces are
+// truncated with a note (the Chrome file still has everything).
+const ganttMaxRows = 48
+
+// spanGlyph maps span kinds to timeline characters. Busy phases fill
+// their interval; instants mark one cell.
+var spanGlyph = map[string]byte{
+	"queue":     '.',
+	"prefill":   '#',
+	"decode":    '=',
+	"sd-round":  '=',
+	"tool-wait": 'o',
+	"submit":    '^',
+	"cancel":    'x',
+	"retire":    '|',
+	"failover":  'F',
+}
+
+// renderTraceGantt loads a Chrome trace_event file and renders one row
+// per request, grouped by shard, over a shared virtual-time axis.
+func renderTraceGantt(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	e, err := trace.ParseChrome(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	sum, err := e.Validate()
+	if err != nil {
+		return fmt.Errorf("%s failed validation: %w", path, err)
+	}
+	if len(e.Requests) == 0 {
+		return fmt.Errorf("%s holds no request traces", path)
+	}
+
+	// Shared axis across every request.
+	t0, t1 := int64(1<<62), int64(0)
+	for _, r := range e.Requests {
+		for _, sp := range r.Spans {
+			if sp.Start < t0 {
+				t0 = sp.Start
+			}
+			if sp.End > t1 {
+				t1 = sp.End
+			}
+		}
+	}
+	span := t1 - t0
+	if span <= 0 {
+		span = 1
+	}
+	col := func(ns int64) int {
+		c := int((ns - t0) * ganttWidth / span)
+		if c >= ganttWidth {
+			c = ganttWidth - 1
+		}
+		return c
+	}
+
+	reqs := append([]trace.ExportRequest(nil), e.Requests...)
+	sort.SliceStable(reqs, func(i, j int) bool {
+		if reqs[i].Shard != reqs[j].Shard {
+			return reqs[i].Shard < reqs[j].Shard
+		}
+		return firstStart(reqs[i]) < firstStart(reqs[j])
+	})
+
+	fmt.Fprintf(w, "trace %s: %d requests, %d spans, busy %v\n", path, sum.Requests, sum.Spans, sum.Busy)
+	fmt.Fprintf(w, "axis: %v → %v (%v total); . queue  # prefill  = decode  o tool-wait  x cancel  | retire  F failover\n\n",
+		time.Duration(t0), time.Duration(t1), time.Duration(span))
+	shard := int32(-1)
+	rows := 0
+	for _, r := range reqs {
+		if rows >= ganttMaxRows {
+			fmt.Fprintf(w, "... %d more requests (truncated; open the file in chrome://tracing for the rest)\n",
+				len(reqs)-rows)
+			break
+		}
+		rows++
+		if r.Shard != shard {
+			shard = r.Shard
+			fmt.Fprintf(w, "-- shard %d --\n", shard)
+		}
+		line := make([]byte, ganttWidth)
+		for i := range line {
+			line[i] = ' '
+		}
+		// Intervals first, instants on top so retire/cancel stay visible.
+		for _, pass := range []bool{false, true} {
+			for _, sp := range r.Spans {
+				g, ok := spanGlyph[sp.Kind]
+				if !ok {
+					continue
+				}
+				instant := sp.End <= sp.Start
+				if instant != pass {
+					continue
+				}
+				if instant {
+					line[col(sp.Start)] = g
+					continue
+				}
+				for c := col(sp.Start); c <= col(sp.End-1); c++ {
+					line[c] = g
+				}
+			}
+		}
+		fmt.Fprintf(w, "req %-5d |%s|\n", r.ReqID, line)
+	}
+	return nil
+}
+
+func firstStart(r trace.ExportRequest) int64 {
+	if len(r.Spans) == 0 {
+		return 0
+	}
+	return r.Spans[0].Start
+}

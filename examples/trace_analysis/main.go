@@ -4,17 +4,34 @@
 // the implied GPU-hours wasted by the tail.
 //
 //	go run ./examples/trace_analysis
+//
+// With -trace it instead renders a request-lifecycle Gantt from a Chrome
+// trace_event file exported by `tltbench -trace` or deploy_drafter:
+//
+//	go run ./examples/trace_analysis -trace deploy_drafter_trace.json
 package main
 
 import (
+	"flag"
 	"fmt"
+	"log"
 	"math/rand"
+	"os"
 
 	"fastrl/internal/metrics"
 	"fastrl/internal/workload"
 )
 
 func main() {
+	traceFile := flag.String("trace", "", "render an ASCII Gantt from an exported Chrome trace_event file instead of the workload analysis")
+	flag.Parse()
+	if *traceFile != "" {
+		if err := renderTraceGantt(*traceFile, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+
 	cfg := workload.DefaultTraceConfig()
 	trace := workload.GenerateTrace(cfg)
 

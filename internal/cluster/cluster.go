@@ -29,6 +29,7 @@ import (
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/serving"
 	"fastrl/internal/spot"
+	"fastrl/internal/trace"
 	"fastrl/internal/workload"
 )
 
@@ -75,6 +76,16 @@ type Config struct {
 	// Failover configures dead-shard failover (see FailoverConfig); the
 	// zero value disables it.
 	Failover FailoverConfig
+	// Tracer, when non-nil, traces every request routed through the
+	// cluster: each shard's serving.Server starts a lifecycle trace at
+	// admission, stamped with the shard ID and mirrored into that shard's
+	// flight-recorder ring.
+	Tracer *trace.Tracer
+	// FlightSlots is the per-shard flight-recorder ring capacity (rounded
+	// up to a power of two). Default 1024. The rings exist regardless of
+	// Tracer — fault-injection events always land in them, so every chaos
+	// fault leaves a postmortem capture even with request tracing off.
+	FlightSlots int
 }
 
 // NewShardCaches builds n independent prefix caches with a shared config,
@@ -106,10 +117,19 @@ type shard struct {
 	// MaxPending cap cannot be over-admitted by a check-then-act race the
 	// way a raw Pending() probe could.
 	outstanding atomic.Int64
-	// admitted/shed/served count this shard's admission outcomes.
-	admitted atomic.Int64
-	shed     atomic.Int64
-	served   atomic.Int64
+	// cAdmitted/cShed/cServed count this shard's admission outcomes in the
+	// cluster registry ("shard<i>/admitted" etc). Admission increments
+	// cAdmitted with a bare atomic Inc before the shard stream opens;
+	// terminal outcomes land inside registry Update groups, so a registry
+	// Snapshot never observes outcomes leading admissions.
+	cAdmitted *metrics.Counter
+	cShed     *metrics.Counter
+	cServed   *metrics.Counter
+	// flight is the shard's bounded flight-recorder ring: recent request
+	// spans (when tracing is on) plus every injected/detected fault event.
+	// Cluster-owned, so it survives crash/revival and the postmortem of a
+	// dying shard includes the spans recorded right up to the kill.
+	flight *trace.FlightRecorder
 	// svcBits holds the EWMA per-request service time in seconds
 	// (math.Float64bits), updated on every completion.
 	svcBits atomic.Uint64
@@ -135,16 +155,31 @@ type Cluster struct {
 	target  *model.LM
 	drafter draft.Drafter
 
-	// failMu guards the failover-session registry and the recorded drafter
-	// checkpoint; dupDeliveries counts terminal events a client actually
+	// reg is the cluster's unified metrics registry: per-shard admission
+	// counters, cluster-wide outcome counters, and the latency reservoirs,
+	// all readable through one consistent Snapshot. Lock order: registry
+	// lock strictly before statsMu (Update groups and the registered
+	// reservoir/gauge providers nest statsMu inside).
+	reg *metrics.Registry
+	// cCancelled/cErrored/cFailovers/cDup are the cluster-wide outcome
+	// counters. dup_deliveries counts terminal events a client actually
 	// received twice for one logical request (must stay 0 — the chaos
 	// experiment asserts it).
-	failMu        sync.Mutex
-	sessions      map[*foSession]int
-	ckpt          *spot.Checkpointer
-	ckptPath      string
-	dupDeliveries atomic.Int64
-	failovers     atomic.Int64
+	cCancelled *metrics.Counter
+	cErrored   *metrics.Counter
+	cFailovers *metrics.Counter
+	cDup       *metrics.Counter
+
+	// failMu guards the failover-session registry and the recorded drafter
+	// checkpoint.
+	failMu   sync.Mutex
+	sessions map[*foSession]int
+	ckpt     *spot.Checkpointer
+	ckptPath string
+
+	// pmMu guards the bounded postmortem log (see capturePostmortem).
+	pmMu        sync.Mutex
+	postmortems []Postmortem
 
 	// routeMu serialises routing decisions so the live/load snapshot
 	// buffers are reused allocation-free across picks.
@@ -163,8 +198,6 @@ type Cluster struct {
 	itls      *metrics.Reservoir
 	acceptSum float64
 	acceptN   int
-	cancelled int
-	errored   int
 
 	stopped atomic.Bool
 }
@@ -191,6 +224,9 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 	if cfg.Caches != nil && len(cfg.Caches) != cfg.Shards {
 		return nil, fmt.Errorf("cluster: %d caches for %d shards", len(cfg.Caches), cfg.Shards)
 	}
+	if cfg.FlightSlots <= 0 {
+		cfg.FlightSlots = 1024
+	}
 	c := &Cluster{
 		cfg:      cfg,
 		target:   target,
@@ -198,25 +234,48 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 		sessions: make(map[*foSession]int),
 		liveBuf:  make([]int, 0, cfg.Shards),
 		loadBuf:  make([]int, 0, cfg.Shards),
+		reg:      metrics.NewRegistry(),
 		lats:     metrics.NewReservoir(serving.MaxLatencySamples, 0xc1),
 		ttfts:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc2),
 		itls:     metrics.NewReservoir(serving.MaxLatencySamples, 0xc3),
 	}
+	c.cCancelled = c.reg.Counter("cancelled")
+	c.cErrored = c.reg.Counter("errored")
+	c.cFailovers = c.reg.Counter("failovers")
+	c.cDup = c.reg.Counter("dup_deliveries")
+	for _, r := range []struct {
+		name string
+		res  *metrics.Reservoir
+	}{{"latency", c.lats}, {"ttft", c.ttfts}, {"itl", c.itls}} {
+		res := r.res
+		c.reg.ReservoirFunc(r.name, func() *metrics.Reservoir {
+			c.statsMu.Lock()
+			defer c.statsMu.Unlock()
+			return res.Clone()
+		})
+	}
+	c.reg.Gauge("accept_len_mean", func() float64 {
+		c.statsMu.Lock()
+		defer c.statsMu.Unlock()
+		if c.acceptN == 0 {
+			return 0
+		}
+		return c.acceptSum / float64(c.acceptN)
+	})
 	for i := 0; i < cfg.Shards; i++ {
-		shardCfg := cfg.Shard
-		if cfg.Caches != nil {
-			shardCfg.Cache = cfg.Caches[i]
-		}
-		srv, err := serving.New(shardCfg, target, drafter)
-		if err != nil {
-			for _, sh := range c.shards {
-				sh.server().Stop()
-			}
-			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
-		}
-		sh := &shard{id: i}
+		sh := &shard{id: i, flight: trace.NewFlightRecorder(cfg.FlightSlots)}
 		if cfg.Caches != nil {
 			sh.cache = cfg.Caches[i]
+		}
+		sh.cAdmitted = c.reg.Counter(fmt.Sprintf("shard%d/admitted", i))
+		sh.cShed = c.reg.Counter(fmt.Sprintf("shard%d/shed", i))
+		sh.cServed = c.reg.Counter(fmt.Sprintf("shard%d/served", i))
+		srv, err := serving.New(c.shardServingConfig(sh), target, drafter)
+		if err != nil {
+			for _, prev := range c.shards {
+				prev.server().Stop()
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
 		}
 		sh.srv.Store(srv)
 		sh.state.Store(int32(coordinator.Busy))
@@ -231,11 +290,35 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 	return c, nil
 }
 
+// shardServingConfig derives the serving.Config a shard's server (fresh or
+// revived) is built from: the shared shard template plus the shard's own
+// cache, flight recorder, tracer, and identity. Revival reuses the same
+// ring, so a postmortem taken after a later fault still reaches back
+// across the shard's previous incarnation.
+func (c *Cluster) shardServingConfig(sh *shard) serving.Config {
+	shardCfg := c.cfg.Shard
+	if sh.cache != nil {
+		shardCfg.Cache = sh.cache
+	}
+	shardCfg.Tracer = c.cfg.Tracer
+	shardCfg.Flight = sh.flight
+	shardCfg.ShardID = sh.id
+	return shardCfg
+}
+
 // Scaler exposes the elastic scaler.
 func (c *Cluster) Scaler() *Scaler { return c.scaler }
 
 // Shards returns the shard count.
 func (c *Cluster) Shards() int { return len(c.shards) }
+
+// Registry exposes the cluster's unified metrics registry. Snapshot it for
+// a consistent cluster-wide view; Stats is a typed wrapper over the same
+// snapshot.
+func (c *Cluster) Registry() *metrics.Registry { return c.reg }
+
+// FlightRecorder returns shard id's flight-recorder ring.
+func (c *Cluster) FlightRecorder(id int) *trace.FlightRecorder { return c.shards[id].flight }
 
 // PickShard runs the router for a prompt and returns the chosen shard ID
 // without submitting anything. It is the steady-state hot path pinned at
@@ -335,7 +418,7 @@ func (c *Cluster) submitAttempt(ctx context.Context, req Request) (*serving.Stre
 	n := int(sh.outstanding.Add(1))
 	if err := sh.admit(n, req.Deadline, c.cfg.Admission); err != nil {
 		sh.outstanding.Add(-1)
-		sh.shed.Add(1)
+		sh.cShed.Inc()
 		return nil, nil, err
 	}
 	inner, err := sh.server().Stream(ctx, serving.Request{
@@ -349,7 +432,10 @@ func (c *Cluster) submitAttempt(ctx context.Context, req Request) (*serving.Stre
 		sh.outstanding.Add(-1)
 		return nil, nil, err
 	}
-	sh.admitted.Add(1)
+	// Bare atomic Inc, deliberately outside any Update group: it precedes
+	// the request's terminal Update group in real time, so every registry
+	// Snapshot sees admitted ≥ served+cancelled+errored.
+	sh.cAdmitted.Inc()
 	return inner, sh, nil
 }
 
@@ -438,19 +524,19 @@ func (c *Cluster) settleAttempt(sh *shard) {
 // accounting, attributed to the shard that delivered it.
 func (c *Cluster) recordOutcome(sh *shard, r serving.Response) {
 	if r.Err != nil {
-		c.statsMu.Lock()
-		if errors.Is(r.Err, context.Canceled) {
-			c.cancelled++
-		} else {
-			// Hard failures stay countable: every admitted request lands
-			// in exactly one of Served/Cancelled/Errored (sheds never
-			// reach complete), preserving the no-silent-drop property.
-			c.errored++
-		}
-		c.statsMu.Unlock()
+		// Hard failures stay countable: every admitted request lands in
+		// exactly one of Served/Cancelled/Errored (sheds never reach
+		// complete), preserving the no-silent-drop property. The Update
+		// group makes the outcome land atomically w.r.t. Snapshot.
+		c.reg.Update(func() {
+			if errors.Is(r.Err, context.Canceled) {
+				c.cCancelled.Inc()
+			} else {
+				c.cErrored.Inc()
+			}
+		})
 		return
 	}
-	sh.served.Add(1)
 	alpha := c.cfg.Admission.SvcAlpha
 	for {
 		old := sh.svcBits.Load()
@@ -464,19 +550,25 @@ func (c *Cluster) recordOutcome(sh *shard, r serving.Response) {
 			break
 		}
 	}
-	c.statsMu.Lock()
-	c.lats.Add(r.Latency.Seconds())
-	if r.TTFT > 0 {
-		c.ttfts.Add(r.TTFT.Seconds())
-	}
-	if r.ITL > 0 {
-		c.itls.Add(r.ITL.Seconds())
-	}
-	if r.AcceptLen > 0 {
-		c.acceptSum += r.AcceptLen
-		c.acceptN++
-	}
-	c.statsMu.Unlock()
+	// Counter and latency samples settle in one Update group (statsMu
+	// nests inside the registry lock, matching the registered reservoir
+	// providers), so a concurrent Snapshot never tears the outcome.
+	c.reg.Update(func() {
+		sh.cServed.Inc()
+		c.statsMu.Lock()
+		c.lats.Add(r.Latency.Seconds())
+		if r.TTFT > 0 {
+			c.ttfts.Add(r.TTFT.Seconds())
+		}
+		if r.ITL > 0 {
+			c.itls.Add(r.ITL.Seconds())
+		}
+		if r.AcceptLen > 0 {
+			c.acceptSum += r.AcceptLen
+			c.acceptN++
+		}
+		c.statsMu.Unlock()
+	})
 }
 
 // Stop shuts every shard down, draining in-flight work. It is idempotent
@@ -510,10 +602,15 @@ type ShardStats struct {
 	CacheBytes   int64
 }
 
-// Stats is a cluster-wide snapshot.
+// Stats is a cluster-wide snapshot. All counters derive from one registry
+// Snapshot, so in any Stats value Served + Cancelled + Errored ≤ Admitted,
+// with equality once the cluster is quiescent.
 type Stats struct {
-	Served int
-	Shed   int
+	// Admitted counts requests that passed admission control and opened a
+	// shard stream (failover resubmissions count once per attempt).
+	Admitted int
+	Served   int
+	Shed     int
 	// Cancelled counts requests that were admitted but retired through
 	// mid-flight cancellation; Errored counts admitted requests that
 	// terminated with a hard failure. Both are excluded from the latency
@@ -560,24 +657,27 @@ type Stats struct {
 	Preemptions      int
 }
 
-// Stats summarises the cluster's served traffic and shard states.
+// Stats summarises the cluster's served traffic and shard states. Every
+// counter and percentile is read from one registry Snapshot, so the view
+// is consistent: no torn Update groups, outcomes never lead admissions.
 func (c *Cluster) Stats() Stats {
 	var st Stats
-	var admitted int64
+	snap := c.reg.Snapshot()
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
 	util := c.scaler.utilisations()
 	for _, sh := range c.shards {
 		ss := ShardStats{
 			ID:           sh.id,
 			State:        coordinator.State(sh.state.Load()),
-			Admitted:     int(sh.admitted.Load()),
-			Served:       int(sh.served.Load()),
-			Shed:         int(sh.shed.Load()),
+			Admitted:     int(snap.Counter(fmt.Sprintf("shard%d/admitted", sh.id))),
+			Served:       int(snap.Counter(fmt.Sprintf("shard%d/served", sh.id))),
+			Shed:         int(snap.Counter(fmt.Sprintf("shard%d/shed", sh.id))),
 			Pending:      sh.server().Pending(),
 			Utilisation:  util[sh.id],
 			CacheHitRate: sh.server().CacheHitRate(),
 			CacheBytes:   sh.server().CacheResidentBytes(),
 		}
-		admitted += int64(ss.Admitted)
+		st.Admitted += ss.Admitted
 		st.Served += ss.Served
 		st.Shed += ss.Shed
 		st.MeanUtilisation += ss.Utilisation
@@ -587,22 +687,18 @@ func (c *Cluster) Stats() Stats {
 		st.Shards = append(st.Shards, ss)
 	}
 	st.MeanUtilisation /= float64(len(c.shards))
-	if total := admitted + int64(st.Shed); total > 0 {
+	if total := st.Admitted + st.Shed; total > 0 {
 		st.ShedRate = float64(st.Shed) / float64(total)
 	}
-	c.statsMu.Lock()
-	st.P50 = time.Duration(c.lats.Percentile(50) * float64(time.Second))
-	st.P95 = time.Duration(c.lats.Percentile(95) * float64(time.Second))
-	st.TTFTP50 = time.Duration(c.ttfts.Percentile(50) * float64(time.Second))
-	st.TTFTP95 = time.Duration(c.ttfts.Percentile(95) * float64(time.Second))
-	st.ITLP50 = time.Duration(c.itls.Percentile(50) * float64(time.Second))
-	st.ITLP95 = time.Duration(c.itls.Percentile(95) * float64(time.Second))
-	st.Cancelled = c.cancelled
-	st.Errored = c.errored
-	if c.acceptN > 0 {
-		st.MeanAcceptLen = c.acceptSum / float64(c.acceptN)
-	}
-	c.statsMu.Unlock()
+	st.P50 = sec(snap.Reservoirs["latency"].P50)
+	st.P95 = sec(snap.Reservoirs["latency"].P95)
+	st.TTFTP50 = sec(snap.Reservoirs["ttft"].P50)
+	st.TTFTP95 = sec(snap.Reservoirs["ttft"].P95)
+	st.ITLP50 = sec(snap.Reservoirs["itl"].P50)
+	st.ITLP95 = sec(snap.Reservoirs["itl"].P95)
+	st.Cancelled = int(snap.Counter("cancelled"))
+	st.Errored = int(snap.Counter("errored"))
+	st.MeanAcceptLen = snap.Gauge("accept_len_mean")
 	// Cluster p99.9 merges the per-shard reservoirs weighted by observed
 	// mass: the cluster-level reservoir holds one sample per request, too
 	// coarse for a 99.9th tail on its own.
@@ -621,8 +717,8 @@ func (c *Cluster) Stats() Stats {
 	mergedTTFT := metrics.MergeReservoirs(serving.MaxLatencySamples, 0xca, ttftSrcs...)
 	st.P999 = time.Duration(mergedLat.Percentile(99.9) * float64(time.Second))
 	st.TTFTP999 = time.Duration(mergedTTFT.Percentile(99.9) * float64(time.Second))
-	st.DuplicateDeliveries = int(c.dupDeliveries.Load())
-	st.Failovers = int(c.failovers.Load())
+	st.DuplicateDeliveries = int(snap.Counter("dup_deliveries"))
+	st.Failovers = int(snap.Counter("failovers"))
 	st.TrainingSessions, st.Preemptions = c.scaler.sessionCounts()
 	return st
 }

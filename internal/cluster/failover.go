@@ -21,6 +21,7 @@ import (
 	"sync/atomic"
 
 	"fastrl/internal/serving"
+	"fastrl/internal/trace"
 )
 
 // FailoverConfig parameterises dead-shard failover.
@@ -204,7 +205,10 @@ func (fo *foSession) rebind() bool {
 		fo.suppress = fo.delivered
 		fo.accSuppress = fo.accDelivered
 		fo.c.registerSession(fo, sh.id)
-		fo.c.failovers.Add(1)
+		fo.c.cFailovers.Inc()
+		// Leave a failover marker in the adopting shard's ring: a later
+		// postmortem shows the replayed request arriving.
+		sh.flight.Record(trace.Record{Shard: int32(sh.id), Kind: trace.KindFailover, Arg: int64(fo.attempts)})
 		return true
 	}
 }
@@ -217,7 +221,7 @@ func (fo *foSession) finish(ev serving.Event) serving.Event {
 	if fo.done {
 		// A second terminal reaching the client would be a double delivery;
 		// count it (the chaos experiment asserts this stays 0).
-		fo.c.dupDeliveries.Add(1)
+		fo.c.cDup.Inc()
 		fo.mu.Unlock()
 		return ev
 	}

@@ -86,7 +86,7 @@ func runFailoverScenario(t *testing.T, reqs []Request, fault func(cl *Cluster)) 
 		// Stall shard 0 so its requests are still decoding when the fault
 		// lands: first-chunk delivery then becomes a guarantee of a
 		// mid-flight fault, not a race against completion.
-		cl.SlowShard(0, 20*time.Millisecond)
+		cl.SlowShard(0, 20*time.Millisecond, 0)
 	}
 
 	results := make([]streamedResult, len(reqs))
@@ -159,7 +159,7 @@ func TestFailoverStreamEquivalence(t *testing.T) {
 		"hang": func(cl *Cluster) {
 			// A hang terminates nothing by itself; the health monitor must
 			// notice the stalled step counter and escalate to a crash.
-			cl.HangShard(0)
+			cl.HangShard(0, time.Second)
 			mon := cl.NewMonitor(MonitorConfig{HangPolls: 2})
 			deadline := time.Now().Add(10 * time.Second)
 			for escalated := false; !escalated; {

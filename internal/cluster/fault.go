@@ -17,6 +17,7 @@ import (
 	"fastrl/internal/draft"
 	"fastrl/internal/serving"
 	"fastrl/internal/spot"
+	"fastrl/internal/trace"
 	"fastrl/internal/vclock"
 )
 
@@ -175,12 +176,35 @@ func (c *Cluster) applyFault(ev FaultEvent, now time.Duration) {
 	case FaultCrash:
 		c.CrashShard(ev.Shard, now)
 	case FaultHang:
-		c.HangShard(ev.Shard)
+		c.HangShard(ev.Shard, now)
 	case FaultSlow:
-		c.SlowShard(ev.Shard, ev.Stall)
+		c.SlowShard(ev.Shard, ev.Stall, now)
 	case FaultRevive:
 		c.ReviveShard(ev.Shard, now)
 	}
+}
+
+// faultKindSpan maps a fault kind to its trace span kind.
+func faultKindSpan(k FaultKind) trace.Kind {
+	switch k {
+	case FaultCrash:
+		return trace.KindFaultCrash
+	case FaultHang:
+		return trace.KindFaultHang
+	case FaultSlow:
+		return trace.KindFaultSlow
+	default:
+		return trace.KindFaultRevive
+	}
+}
+
+// recordFault stamps a fault event into the target shard's flight ring at
+// its virtual application time, so postmortems carry the fault itself
+// alongside the request spans it interrupted.
+func (c *Cluster) recordFault(id int, k FaultKind, now time.Duration, arg int64) {
+	c.shards[id].flight.Record(trace.Record{
+		Shard: int32(id), Kind: faultKindSpan(k), Start: now, End: now, Arg: arg,
+	})
 }
 
 // CrashShard kills a shard at its replicas' next step boundary. Order
@@ -189,20 +213,29 @@ func (c *Cluster) applyFault(ev FaultEvent, now time.Duration) {
 // dying shard; the session sweep then unsticks anything the server-side
 // job failure missed.
 func (c *Cluster) CrashShard(id int, now time.Duration) {
+	c.recordFault(id, FaultCrash, now, 0)
 	c.scaler.markDead(id, now)
+	// Crash blocks until the shard's replicas exit, so by the time the
+	// postmortem snapshots the ring every in-flight request's final spans
+	// have landed.
 	c.shards[id].server().Crash()
+	c.capturePostmortem(id, now, FaultCrash)
 	c.failoverShard(id, serving.ErrCrashed)
 }
 
 // HangShard freezes a shard's replicas mid-decode without terminating
 // anything — the silent fault. Detection and escalation are the health
-// monitor's job (see Monitor.Poll).
-func (c *Cluster) HangShard(id int) {
+// monitor's job (see Monitor.Poll). now is the virtual injection time,
+// recorded in the shard's flight ring.
+func (c *Cluster) HangShard(id int, now time.Duration) {
+	c.recordFault(id, FaultHang, now, 0)
 	c.shards[id].server().Hang()
 }
 
-// SlowShard injects a per-step stall into a shard's replicas.
-func (c *Cluster) SlowShard(id int, stall time.Duration) {
+// SlowShard injects a per-step stall into a shard's replicas, recording
+// the injection in the shard's flight ring (Arg = stall in nanoseconds).
+func (c *Cluster) SlowShard(id int, stall time.Duration, now time.Duration) {
+	c.recordFault(id, FaultSlow, now, int64(stall))
 	c.shards[id].server().SetStall(stall)
 }
 
@@ -233,6 +266,7 @@ func (c *Cluster) CheckpointDrafter(ck *spot.Checkpointer, trainableBytes, froze
 // prefixes across the surviving shards.
 func (c *Cluster) ReviveShard(id int, now time.Duration) error {
 	sh := c.shards[id]
+	c.recordFault(id, FaultRevive, now, 0)
 	if !sh.server().Crashed() {
 		// Degraded, not dead: clear the injected faults and rejoin.
 		sh.server().SetStall(0)
@@ -244,20 +278,18 @@ func (c *Cluster) ReviveShard(id int, now time.Duration) error {
 	// already initiated shutdown).
 	sh.server().Crash()
 
-	shardCfg := c.cfg.Shard
 	if sh.cache != nil {
 		// Wipe state from before the crash, then re-warm from the hottest
 		// prefixes the survivors retained — the revived shard starts with a
 		// working set instead of a cold cache.
 		sh.cache.Clear()
 		c.rewarmCache(sh)
-		shardCfg.Cache = sh.cache
 	}
 	drafter, err := c.recoveredDrafter()
 	if err != nil {
 		return err
 	}
-	srv, err := serving.New(shardCfg, c.target, drafter)
+	srv, err := serving.New(c.shardServingConfig(sh), c.target, drafter)
 	if err != nil {
 		return fmt.Errorf("cluster: reviving shard %d: %w", id, err)
 	}
@@ -326,18 +358,14 @@ func (c *Cluster) RollingRestart(now time.Duration) error {
 			time.Sleep(100 * time.Microsecond)
 		}
 		sh.server().Stop()
-		shardCfg := c.cfg.Shard
-		if sh.cache != nil {
-			// A graceful restart keeps the cache contents; only release is
-			// needed on real hardware. Here the cache object is shared with
-			// the replaced server, so nothing to do.
-			shardCfg.Cache = sh.cache
-		}
+		// A graceful restart keeps the cache contents (shardServingConfig
+		// rebinds the shared cache object); only release is needed on real
+		// hardware.
 		drafter, err := c.recoveredDrafter()
 		if err != nil {
 			return err
 		}
-		srv, err := serving.New(shardCfg, c.target, drafter)
+		srv, err := serving.New(c.shardServingConfig(sh), c.target, drafter)
 		if err != nil {
 			return fmt.Errorf("cluster: rolling restart of shard %d: %w", sh.id, err)
 		}

@@ -122,6 +122,9 @@ func (m *Monitor) Poll(now time.Duration) []HealthEvent {
 			med := m.liveMedian(deltas)
 			if med > 0 && deltas[i] < m.cfg.SlowFactor*med {
 				m.c.scaler.markDegraded(i, now)
+				// Degradation gets a capture too: the ring shows what the
+				// shard was (not) doing when it fell behind.
+				m.c.capturePostmortem(i, now, FaultSlow)
 				evs = append(evs, HealthEvent{Shard: i, Kind: FaultSlow})
 			}
 		}

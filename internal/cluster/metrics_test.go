@@ -1,0 +1,160 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+
+	"fastrl/internal/trace"
+)
+
+// TestClusterStatsReconcileUnderLoad drives concurrent serves, cancels,
+// and shed-inducing pressure through a small cluster while a snapshotter
+// reads Stats continuously. Every observed snapshot must be internally
+// consistent (outcomes never lead admissions — the torn-stats bug this
+// registry snapshot fixes), and at quiescence the ledger balances:
+//
+//	Admitted == Served + Cancelled + Errored
+//	submissions == Admitted + Shed + direct submit errors
+func TestClusterStatsReconcileUnderLoad(t *testing.T) {
+	target, e, tk, gen := clusterSetup(t)
+	cfg := clusterConfig(tk, 2, 1)
+	cfg.Admission = AdmissionConfig{MaxPending: 6} // tight: force sheds
+	cl, err := New(cfg, target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := cl.Stats()
+			if done := st.Served + st.Cancelled + st.Errored; done > st.Admitted {
+				panic("torn cluster snapshot: outcomes lead admissions")
+			}
+		}
+	}()
+
+	const n = 60
+	var mu sync.Mutex
+	admitted, shed := 0, 0
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task := gen.Pool()[i%len(gen.Pool())]
+			st, err := cl.Stream(context.Background(), Request{
+				Prompt: task.Prompt, MaxNew: 32, Seed: int64(i),
+			})
+			if err != nil {
+				mu.Lock()
+				if _, ok := err.(*ErrShedded); ok {
+					shed++
+				}
+				mu.Unlock()
+				return
+			}
+			mu.Lock()
+			admitted++
+			mu.Unlock()
+			if i%4 == 3 {
+				if i%8 == 3 {
+					time.Sleep(time.Duration(i) * 50 * time.Microsecond)
+				}
+				st.Cancel()
+			}
+			st.Wait()
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	st := cl.Stats()
+	if st.Admitted != admitted {
+		t.Fatalf("Admitted = %d, clients admitted %d", st.Admitted, admitted)
+	}
+	if st.Shed != shed {
+		t.Fatalf("Shed = %d, clients saw %d sheds", st.Shed, shed)
+	}
+	if done := st.Served + st.Cancelled + st.Errored; done != st.Admitted {
+		t.Fatalf("ledger out of balance at quiescence: served=%d cancelled=%d errored=%d admitted=%d\n",
+			st.Served, st.Cancelled, st.Errored, st.Admitted)
+	}
+	if st.Errored != 0 {
+		t.Fatalf("unexpected hard failures: %d", st.Errored)
+	}
+	// Per-shard counters sum to the cluster totals (same snapshot).
+	sumAdm, sumServed, sumShed := 0, 0, 0
+	for _, ss := range st.Shards {
+		sumAdm += ss.Admitted
+		sumServed += ss.Served
+		sumShed += ss.Shed
+	}
+	if sumAdm != st.Admitted || sumServed != st.Served || sumShed != st.Shed {
+		t.Fatalf("per-shard sums disagree with cluster totals")
+	}
+}
+
+// TestCrashLeavesPostmortem pins the flight-recorder capture path outside
+// the chaos experiment: killing a shard snapshots its ring (which holds
+// the injected fault marker), and a warm revival appends to the same ring
+// rather than losing it.
+func TestCrashLeavesPostmortem(t *testing.T) {
+	target, e, tk, _ := clusterSetup(t)
+	cl, err := New(clusterConfig(tk, 2, 1), target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	const at = 3 * time.Second
+	cl.CrashShard(1, at)
+	pms := cl.Postmortems()
+	if len(pms) != 1 {
+		t.Fatalf("postmortems = %d, want 1", len(pms))
+	}
+	pm := pms[0]
+	if pm.Shard != 1 || pm.At != at || pm.Reason != FaultCrash {
+		t.Fatalf("postmortem mismatch: %+v", pm)
+	}
+	found := false
+	for _, r := range pm.Records {
+		if r.Kind == trace.KindFaultCrash && r.Start == at {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("postmortem ring lacks the crash marker:\n%s", pm)
+	}
+	if err := cl.ReviveShard(1, at+time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The revival reuses the ring: crash marker and revive marker coexist.
+	var kinds []trace.Kind
+	for _, r := range cl.FlightRecorder(1).Snapshot() {
+		kinds = append(kinds, r.Kind)
+	}
+	wantSeq := map[trace.Kind]bool{trace.KindFaultCrash: false, trace.KindFaultRevive: false}
+	for _, k := range kinds {
+		if _, ok := wantSeq[k]; ok {
+			wantSeq[k] = true
+		}
+	}
+	for k, seen := range wantSeq {
+		if !seen {
+			t.Fatalf("ring after revival missing %v (got %v)", k, kinds)
+		}
+	}
+}

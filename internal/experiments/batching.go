@@ -9,6 +9,7 @@ import (
 	"fastrl/internal/metrics"
 	"fastrl/internal/sched"
 	"fastrl/internal/specdec"
+	"fastrl/internal/trace"
 	"fastrl/internal/workload"
 )
 
@@ -77,9 +78,21 @@ func runBatching(opts Options) (*Result, error) {
 		{name: "continuous-4", maxBatch: 4},
 		{name: "continuous-16", maxBatch: 16},
 	}
+	// With tracing requested, the continuous-16 arm records every request's
+	// lifecycle. The arm is a single driver goroutine in virtual time, so
+	// the exported trace is seed-deterministic (byte-identical across
+	// same-seed runs).
+	var tr *trace.Tracer
+	if opts.Trace {
+		tr = trace.New(trace.Config{SpanSlots: 4 * maxNew, MaxRequests: len(arrivals) + 1})
+	}
 	errs := make([]error, len(arms))
 	forEach(len(arms), func(i int) {
-		errs[i] = replayBatchingArm(b, arrivals, maxNew, &arms[i])
+		var armTr *trace.Tracer
+		if arms[i].name == "continuous-16" {
+			armTr = tr
+		}
+		errs[i] = replayBatchingArm(b, arrivals, maxNew, &arms[i], armTr)
 	})
 
 	res := &Result{}
@@ -115,6 +128,23 @@ func runBatching(opts Options) (*Result, error) {
 		res.Metric(a.name+"/busy_frac", a.busyFrac)
 		res.Metric(a.name+"/tokens_per_sec", a.throughput)
 	}
+	if tr != nil {
+		e := tr.Export()
+		sum, err := e.Validate()
+		if err != nil {
+			return nil, fmt.Errorf("batching: continuous-16 trace failed validation: %w", err)
+		}
+		chrome, err := e.Chrome()
+		if err != nil {
+			return nil, fmt.Errorf("batching: trace export: %w", err)
+		}
+		res.TraceChrome = chrome
+		res.Metric("traced_requests", float64(sum.Requests))
+		res.Metric("traced_spans", float64(sum.Spans))
+		res.Notes = append(res.Notes,
+			fmt.Sprintf("tracing on: continuous-16 recorded %d requests / %d spans (%d retired); export is seed-deterministic",
+				sum.Requests, sum.Spans, sum.Retired))
+	}
 	res.Tables = append(res.Tables, tbl)
 	res.Notes = append(res.Notes,
 		fmt.Sprintf("trace: %d arrivals over %v (3x burst through the middle third), one device per arm",
@@ -131,7 +161,7 @@ func runBatching(opts Options) (*Result, error) {
 // time. The arm owns a fresh scheduler batch; the single fixed strategy
 // keeps token streams identical across arms (strategy choice would
 // otherwise depend on batch size).
-func replayBatchingArm(b *bench, arrivals []workload.Arrival, maxNew int, arm *batchingArm) error {
+func replayBatchingArm(b *bench, arrivals []workload.Arrival, maxNew int, arm *batchingArm, tr *trace.Tracer) error {
 	ecfg := sched.DefaultConfig(gpu.NewDevice(gpu.H100, 1))
 	ecfg.SDThreshold = 0
 	ecfg.Strategies = []specdec.Params{{DraftDepth: 6, TopK: 6, TokensToVerify: 24}}
@@ -157,6 +187,9 @@ func replayBatchingArm(b *bench, arrivals []workload.Arrival, maxNew int, arm *b
 				b.tk.Answer(), b.tk.Eos())
 			r.RNG = rand.New(rand.NewSource(a.Seed))
 			r.Tag = a.At
+			if tr != nil {
+				r.Trace = tr.Start(int64(next), 0, nil)
+			}
 			batch.Admit(r)
 			next++
 		}
@@ -177,7 +210,7 @@ func replayBatchingArm(b *bench, arrivals []workload.Arrival, maxNew int, arm *b
 				// Same ITL definition as serving.Response.ITL: the span
 				// after the first chunk, per token delivered after it.
 				if gen, fc := r.Generated(), r.FirstChunkTokens(); gen > fc {
-					itls = append(itls, (r.FinishedAt() - ft).Seconds()/float64(gen-fc))
+					itls = append(itls, (r.FinishedAt()-ft).Seconds()/float64(gen-fc))
 				}
 			}
 			arm.tokens += r.Generated()

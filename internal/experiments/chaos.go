@@ -13,6 +13,7 @@ import (
 	"fastrl/internal/rollout"
 	"fastrl/internal/serving"
 	"fastrl/internal/specdec"
+	"fastrl/internal/trace"
 	"fastrl/internal/vclock"
 	"fastrl/internal/workload"
 )
@@ -35,7 +36,9 @@ type chaosArm struct {
 	// faultTTFTs are TTFT samples from requests submitted during windows
 	// containing a fault — the failure-window tail.
 	faultTTFTs []float64
-	err        error
+	// postmortems counts the flight-recorder captures the faults left.
+	postmortems int
+	err         error
 }
 
 func (a *chaosArm) availability(total int) float64 {
@@ -129,6 +132,7 @@ func runChaos(opts Options) (*Result, error) {
 		res.Metric(arm.name+"/shed", float64(arm.shed))
 		res.Metric(arm.name+"/failovers", float64(st.Failovers))
 		res.Metric(arm.name+"/dup_deliveries", float64(st.DuplicateDeliveries))
+		res.Metric(arm.name+"/postmortems", float64(arm.postmortems))
 		res.Metric(arm.name+"/token_checksum", float64(arm.checksum))
 		res.Metric(arm.name+"/fault_ttft_p999_ms", 1000*faultTail)
 		res.Metric(arm.name+"/ttft_p999_ms", float64(st.TTFTP999)/float64(time.Millisecond))
@@ -256,6 +260,7 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 	}
 
 	next, fi, ri := 0, 0, 0
+	var expected []expectedFault
 	for w := 0; w < cfg.windows; w++ {
 		wStart := time.Duration(w) * cfg.window
 		wEnd := wStart + cfg.window
@@ -276,7 +281,7 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 			// Pre-stall the doomed shard so none of this window's requests
 			// can complete a step before the fault lands: the kill set is
 			// then exactly "everything routed to the shard", not a race.
-			cl.SlowShard(f.Shard, 5*time.Millisecond)
+			cl.SlowShard(f.Shard, 5*time.Millisecond, wStart)
 		}
 
 		batch := arrivals[next:]
@@ -302,13 +307,17 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 			streams = append(streams, st)
 		}
 		for _, f := range due {
+			at := clock.Now()
 			switch f.Kind {
 			case cluster.FaultCrash:
-				cl.CrashShard(f.Shard, clock.Now())
+				cl.CrashShard(f.Shard, at)
+				expected = append(expected, expectedFault{shard: f.Shard, kind: trace.KindFaultCrash, at: at})
 			case cluster.FaultHang:
-				cl.HangShard(f.Shard)
+				cl.HangShard(f.Shard, at)
+				expected = append(expected, expectedFault{shard: f.Shard, kind: trace.KindFaultHang, at: at})
 			case cluster.FaultSlow:
-				cl.SlowShard(f.Shard, f.Stall)
+				cl.SlowShard(f.Shard, f.Stall, at)
+				expected = append(expected, expectedFault{shard: f.Shard, kind: trace.KindFaultSlow, at: at})
 			}
 		}
 
@@ -352,9 +361,81 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 		ri++
 	}
 	arm.stats = cl.Stats()
+	arm.postmortems = len(cl.Postmortems())
 	if got := arm.served + arm.failed + arm.shed; got != len(arrivals) {
-		arm.err = fmt.Errorf("chaos arm %s: %d served + %d failed + %d shed != %d arrivals",
-			arm.name, arm.served, arm.failed, arm.shed, len(arrivals))
+		arm.err = fmt.Errorf("chaos arm %s: %d served + %d failed + %d shed != %d arrivals\n%s",
+			arm.name, arm.served, arm.failed, arm.shed, len(arrivals), dumpRecorder(cl))
+	}
+	if arm.err == nil {
+		arm.err = verifyFlightRecords(cl, arm.name, expected)
 	}
 	return arm
+}
+
+// expectedFault is one injected fault the flight recorder must have
+// captured: the kind, the target shard, and the virtual injection time.
+type expectedFault struct {
+	shard int
+	kind  trace.Kind
+	at    time.Duration
+}
+
+// verifyFlightRecords asserts every injected fault left a record in its
+// shard's flight ring at the right virtual time, and that every crash (or
+// hang — escalated to a crash by the monitor) produced a postmortem
+// capture containing that record.
+func verifyFlightRecords(cl *cluster.Cluster, arm string, expected []expectedFault) error {
+	for _, want := range expected {
+		found := false
+		for _, r := range cl.FlightRecorder(want.shard).Snapshot() {
+			if r.Kind == want.kind && r.Start == want.at && int(r.Shard) == want.shard {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("chaos arm %s: shard %d flight ring missing %v@%v\n%s",
+				arm, want.shard, want.kind, want.at, dumpRecorder(cl))
+		}
+		if want.kind != trace.KindFaultCrash && want.kind != trace.KindFaultHang {
+			continue
+		}
+		// Crashes capture a postmortem directly; hangs through the
+		// monitor's escalation. Either way the capture must exist and hold
+		// the injected fault's record.
+		captured := false
+		for _, pm := range cl.Postmortems() {
+			if pm.Shard != want.shard {
+				continue
+			}
+			for _, r := range pm.Records {
+				if r.Kind == want.kind && r.Start == want.at {
+					captured = true
+					break
+				}
+			}
+		}
+		if !captured {
+			return fmt.Errorf("chaos arm %s: no postmortem captured %v@%v on shard %d\n%s",
+				arm, want.kind, want.at, want.shard, dumpRecorder(cl))
+		}
+	}
+	return nil
+}
+
+// dumpRecorder renders every shard's flight ring and the postmortem log —
+// the failure-report payload when a chaos assertion trips.
+func dumpRecorder(cl *cluster.Cluster) string {
+	s := "flight recorder dump:\n"
+	for id := 0; id < cl.Shards(); id++ {
+		recs := cl.FlightRecorder(id).Snapshot()
+		s += fmt.Sprintf("shard %d ring (%d records):\n", id, len(recs))
+		for _, r := range recs {
+			s += fmt.Sprintf("  req=%-6d %-12s [%v → %v] arg=%d\n", r.ReqID, r.Kind, r.Start, r.End, r.Arg)
+		}
+	}
+	for _, pm := range cl.Postmortems() {
+		s += pm.String()
+	}
+	return s
 }

@@ -20,6 +20,11 @@ type Options struct {
 	Seed int64
 	// Verbose enables progress notes.
 	Verbose bool
+	// Trace enables request-lifecycle tracing in experiments that support
+	// it (batching traces its continuous-16 arm); the exported Chrome
+	// trace lands in Result.TraceChrome. Off by default: tracing is never
+	// on in the measured hot path unless explicitly requested.
+	Trace bool
 }
 
 // Result is one regenerated artefact.
@@ -34,6 +39,10 @@ type Result struct {
 	// into BENCH_<date>.json so the trajectory of figure values — not
 	// just their cost — is tracked in-tree.
 	Metrics map[string]float64
+	// TraceChrome is the exported Chrome trace_event JSON when the
+	// experiment ran with Options.Trace (tltbench -trace writes it to
+	// disk and self-validates it against the "traced_requests" metric).
+	TraceChrome []byte
 }
 
 // Metric records one headline number, allocating the map on first use.

@@ -352,39 +352,39 @@ func TestMergeReservoirs(t *testing.T) {
 		wantLen        int
 	}{
 		{
-			name:     "balanced",
-			srcs:     []*Reservoir{mk([]float64{1, 1, 1, 1}, 0), mk([]float64{3, 3, 3, 3}, 0)},
-			cap:      2048,
-			wantLo:   1.9, wantHi: 2.1,
+			name:   "balanced",
+			srcs:   []*Reservoir{mk([]float64{1, 1, 1, 1}, 0), mk([]float64{3, 3, 3, 3}, 0)},
+			cap:    2048,
+			wantLo: 1.9, wantHi: 2.1,
 			wantSeen: 8, wantLen: 2048,
 		},
 		{
-			name:     "weighted-by-seen",
-			srcs:     []*Reservoir{mk([]float64{0, 0, 0, 0}, 96), mk([]float64{10, 10, 10, 10}, 0)},
-			cap:      4096,
+			name: "weighted-by-seen",
+			srcs: []*Reservoir{mk([]float64{0, 0, 0, 0}, 96), mk([]float64{10, 10, 10, 10}, 0)},
+			cap:  4096,
 			// First shard saw 100 values, second 4: ~4% mass at 10.
 			wantLo: 0.1, wantHi: 0.8,
 			wantSeen: 104, wantLen: 4096,
 		},
 		{
-			name:     "nil-and-empty-skipped",
-			srcs:     []*Reservoir{nil, NewReservoir(4, 9), mk([]float64{5, 5}, 0)},
-			cap:      64,
-			wantLo:   5, wantHi: 5,
+			name:   "nil-and-empty-skipped",
+			srcs:   []*Reservoir{nil, NewReservoir(4, 9), mk([]float64{5, 5}, 0)},
+			cap:    64,
+			wantLo: 5, wantHi: 5,
 			wantSeen: 2, wantLen: 64,
 		},
 		{
-			name:     "all-unusable",
-			srcs:     []*Reservoir{nil, NewReservoir(4, 9)},
-			cap:      64,
-			wantLo:   0, wantHi: 0,
+			name:   "all-unusable",
+			srcs:   []*Reservoir{nil, NewReservoir(4, 9)},
+			cap:    64,
+			wantLo: 0, wantHi: 0,
 			wantSeen: 0, wantLen: 0,
 		},
 		{
-			name:     "no-sources",
-			srcs:     nil,
-			cap:      16,
-			wantLo:   0, wantHi: 0,
+			name:   "no-sources",
+			srcs:   nil,
+			cap:    16,
+			wantLo: 0, wantHi: 0,
 			wantSeen: 0, wantLen: 0,
 		},
 	}

@@ -528,3 +528,13 @@ func (c *Cache) Len() int {
 	defer c.mu.Unlock()
 	return c.nodes
 }
+
+// RegisterMetrics registers the cache's point-in-time probes as gauges
+// under the given name prefix (e.g. "cache/"). The probes take only the
+// cache's own lock, so they are safe to sample from inside a registry
+// snapshot.
+func (c *Cache) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Gauge(prefix+"hit_rate", c.HitRate)
+	reg.Gauge(prefix+"resident_bytes", func() float64 { return float64(c.ResidentBytes()) })
+	reg.Gauge(prefix+"nodes", func() float64 { return float64(c.Len()) })
+}

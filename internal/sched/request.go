@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"fastrl/internal/prefixcache"
+	"fastrl/internal/trace"
 	"fastrl/internal/workload"
 )
 
@@ -41,6 +42,14 @@ type Request struct {
 	// Tag is opaque caller bookkeeping carried through the lifecycle (the
 	// serving layer stores its job handle here).
 	Tag any
+
+	// Trace, when non-nil, receives the request's lifecycle spans. The
+	// caller that admits the request starts it (trace.Tracer.Start) —
+	// the scheduler only records into it at each lifecycle anchor and
+	// closes it at retirement. Nil (the default) disables tracing at the
+	// cost of one pointer check per anchor, keeping the decode hot path
+	// bit-identical and allocation-free.
+	Trace *trace.ReqTrace
 
 	// Tool configures multi-turn tool-calling behaviour (paper §7);
 	// zero value disables it.

@@ -29,9 +29,11 @@ import (
 	"fastrl/internal/draft"
 	"fastrl/internal/gpu"
 	"fastrl/internal/mab"
+	"fastrl/internal/metrics"
 	"fastrl/internal/model"
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/specdec"
+	"fastrl/internal/trace"
 	"fastrl/internal/vclock"
 )
 
@@ -98,6 +100,12 @@ type Config struct {
 	// drafters — reuse them. Serving replicas on one shard share a single
 	// cache.
 	Cache *prefixcache.Cache
+	// Metrics, when non-nil, receives the scheduler's cumulative counters
+	// (sched/steps, sched/response_tokens, sched/prefill_saved_tokens,
+	// sched/cancelled). Batches sharing a registry (serving replicas on
+	// one shard) share the counters; increments are atomic and
+	// allocation-free, so the step hot path keeps its 0 allocs/op pin.
+	Metrics *metrics.Registry
 }
 
 // DefaultConfig returns the paper's engine settings for a device.
@@ -238,6 +246,12 @@ type Batch struct {
 	// Prefix-cache insert-back buffers.
 	cacheHid     model.HiddenState
 	cacheScratch *model.Scratch
+
+	// Registry counters (nil without Config.Metrics).
+	mSteps        *metrics.Counter
+	mTokens       *metrics.Counter
+	mPrefillSaved *metrics.Counter
+	mCancelled    *metrics.Counter
 }
 
 // New builds a scheduler batch. drafter may be nil (vanilla decoding
@@ -255,6 +269,12 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Batch, error) {
 		RecordProfile: true,
 	}
 	b.spec = specdec.Engine{Target: target, Temp: cfg.Temp}
+	if cfg.Metrics != nil {
+		b.mSteps = cfg.Metrics.Counter("sched/steps")
+		b.mTokens = cfg.Metrics.Counter("sched/response_tokens")
+		b.mPrefillSaved = cfg.Metrics.Counter("sched/prefill_saved_tokens")
+		b.mCancelled = cfg.Metrics.Counter("sched/cancelled")
+	}
 	if drafter != nil && cfg.SDThreshold >= 0 {
 		sel, err := mab.New(cfg.Strategies, cfg.MAB)
 		if err != nil {
@@ -304,6 +324,10 @@ func (b *Batch) SetDrafter(d draft.Drafter) { b.drafter = d }
 // every other admission since the previous step, exactly one batched
 // prompt forward per iteration.
 func (b *Batch) Admit(r *Request) {
+	if r.Trace != nil {
+		now := b.Clock.Now()
+		r.Trace.Record(trace.KindSubmit, now, now, 0)
+	}
 	b.pending = append(b.pending, r)
 }
 
@@ -419,6 +443,13 @@ func (b *Batch) sweepCancelled() {
 			r.hasFinished = true
 			r.releaseRetained()
 			b.stats.CancelledRequests++
+			if b.mCancelled != nil {
+				b.mCancelled.Inc()
+			}
+			if r.Trace != nil {
+				r.Trace.Record(trace.KindCancel, now, now, 0)
+				r.Trace.Close(trace.KindRetire, now, 0)
+			}
 			b.retired = append(b.retired, r)
 			continue
 		}
@@ -437,6 +468,12 @@ func (b *Batch) sweepCancelled() {
 			r.finishedAt = now
 			r.hasFinished = true
 			b.stats.CancelledRequests++
+			if b.mCancelled != nil {
+				b.mCancelled.Inc()
+			}
+			if r.Trace != nil {
+				r.Trace.Record(trace.KindCancel, now, now, 0)
+			}
 			swept = true
 		}
 	}
@@ -478,6 +515,9 @@ func (b *Batch) TruncateRemaining() {
 	// Pending requests never prefilled; retire them too.
 	for _, r := range b.pending {
 		r.releaseRetained()
+		if r.Trace != nil {
+			r.Trace.Close(trace.KindRetire, now, int64(r.Generated()))
+		}
 		b.retired = append(b.retired, r)
 	}
 	b.pending = b.pending[:0]
@@ -564,6 +604,9 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 		if r.maybeStartToolCall(b.Clock.Now()) {
 			b.stats.ToolCalls++
 			b.stats.ToolWaitTime += r.Tool.Latency
+			if r.Trace != nil {
+				r.Trace.Record(trace.KindToolWait, b.Clock.Now(), r.waitingUntil(), 0)
+			}
 		}
 	}
 	for _, r := range active {
@@ -583,6 +626,10 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 	}
 	if b.RecordProfile {
 		b.stats.Profile = append(b.stats.Profile, prof)
+	}
+	if b.mSteps != nil {
+		b.mSteps.Inc()
+		b.mTokens.Add(int64(prof.TokensOut))
 	}
 	b.collectRetired()
 	return prof, true
@@ -616,20 +663,31 @@ func (b *Batch) prefillPending() {
 			b.stats.PrefillCacheHits++
 		}
 	}
+	saved := b.stats.PrefillSavedTokens
 	for _, r := range b.pending {
 		r.admittedAt = b.Clock.Now()
 	}
+	t0 := b.Clock.Now()
 	if promptTokens > 0 {
 		// KVTokens stays at the full prompt length: the cached prefix
 		// contributes resident KV; only its recompute is saved.
 		cost := b.cfg.Device.Forward(b.target.Arch(), gpu.ForwardOpts{
 			Tokens: prefillTokens, KVTokens: promptTokens,
 		}).Total() + b.cfg.HostOverhead
-		t0 := b.Clock.Now()
 		b.Clock.Advance(cost)
 		if b.Timeline != nil {
 			b.Timeline.Record("prefill", t0, b.Clock.Now())
 		}
+	}
+	end := b.Clock.Now()
+	for _, r := range b.pending {
+		if r.Trace != nil {
+			r.Trace.Record(trace.KindQueue, r.Trace.SubmittedAt(), t0, 0)
+			r.Trace.Record(trace.KindPrefill, t0, end, int64(len(r.Prompt)))
+		}
+	}
+	if b.mPrefillSaved != nil {
+		b.mPrefillSaved.Add(int64(b.stats.PrefillSavedTokens - saved))
 	}
 	b.inflight = append(b.inflight, b.pending...)
 	b.pending = b.pending[:0]
@@ -649,6 +707,9 @@ func (b *Batch) collectRetired() {
 			b.cacheInsertBack(r)
 		}
 		r.releaseRetained()
+		if r.Trace != nil {
+			r.Trace.Close(trace.KindRetire, r.finishedAt, int64(r.Generated()))
+		}
 		b.retired = append(b.retired, r)
 	}
 	// Clear the tail so retired requests are not pinned by the backing
@@ -784,7 +845,13 @@ func (b *Batch) vanillaStep(active []*Request, rng *rand.Rand) StepProfile {
 	if b.Timeline != nil {
 		b.Timeline.Record("decode", t0, b.Clock.Now())
 	}
-	return StepProfile{End: b.Clock.Now(), Running: len(active), Mode: ModeVanilla, TokensOut: len(active)}
+	end := b.Clock.Now()
+	for _, r := range active {
+		if r.Trace != nil {
+			r.Trace.Record(trace.KindDecode, t0, end, 1)
+		}
+	}
+	return StepProfile{End: end, Running: len(active), Mode: ModeVanilla, TokensOut: len(active)}
 }
 
 // sdStep performs one speculative round for every active request: every
@@ -823,6 +890,10 @@ func (b *Batch) sdStep(active []*Request, rng *rand.Rand) StepProfile {
 		r.EosSeen = r.EosSeen || res.Eos
 		r.AcceptLens = append(r.AcceptLens, res.AcceptLen)
 		acceptLens = append(acceptLens, res.AcceptLen)
+		// vanTok is unused during SD rounds; stash the per-request token
+		// count so the trace records the round's delivery after the
+		// iteration's cost is known.
+		b.vanTok[i] = len(tokens)
 		tokensOut += len(tokens)
 		for d, w := range res.FrontierPerDepth {
 			if d < len(frontierPerDepth) {
@@ -880,7 +951,13 @@ func (b *Batch) sdStep(active []*Request, rng *rand.Rand) StepProfile {
 	if b.Timeline != nil {
 		b.Timeline.Record("sd", t0, b.Clock.Now())
 	}
+	end := b.Clock.Now()
+	for i, r := range active {
+		if r.Trace != nil {
+			r.Trace.Record(trace.KindSDRound, t0, end, int64(b.vanTok[i]))
+		}
+	}
 	b.selector.Record(strategy, cost, acceptLens, len(active)) // Record only sums; reuse is safe
 	b.acceptLens = acceptLens[:0]
-	return StepProfile{End: b.Clock.Now(), Running: len(active), Mode: ModeSD, Strategy: strategy, TokensOut: tokensOut}
+	return StepProfile{End: end, Running: len(active), Mode: ModeSD, Strategy: strategy, TokensOut: tokensOut}
 }

@@ -1,0 +1,121 @@
+package serving
+
+import (
+	"context"
+	"encoding/json"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestStatsReconcileUnderLoad hammers a server with concurrent submits,
+// streams, and mid-flight cancels while a snapshotter thread reads Stats
+// continuously. Because every terminal outcome lands inside one registry
+// Update group — and submissions are counted before the queue send — no
+// snapshot may ever show more outcomes than submissions (a torn read),
+// and at quiescence the ledger balances exactly:
+//
+//	Served + Cancelled + Errored == Submitted
+func TestStatsReconcileUnderLoad(t *testing.T) {
+	target, e, tk, gen := servingSetup(t)
+	cfg := serverConfig(tk, 4)
+	srv, err := New(cfg, target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Stop()
+
+	// Snapshotter: every observed snapshot must be internally consistent.
+	stop := make(chan struct{})
+	var snapWG sync.WaitGroup
+	snapWG.Add(1)
+	go func() {
+		defer snapWG.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			st := srv.Stats()
+			if done := st.Served + st.Cancelled + st.Errored; done > st.Submitted {
+				panic("torn stats snapshot: outcomes lead submissions")
+			}
+		}
+	}()
+
+	const n = 48
+	var wg sync.WaitGroup
+	submitted := make([]bool, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			task := gen.Pool()[i%len(gen.Pool())]
+			req := Request{Prompt: task.Prompt, MaxNew: 48, Seed: int64(i)}
+			switch i % 3 {
+			case 0: // plain request/response
+				if _, err := srv.Serve(context.Background(), req); err == nil {
+					submitted[i] = true
+				}
+			case 1: // streaming, drained to completion
+				st, err := srv.Stream(context.Background(), req)
+				if err != nil {
+					return
+				}
+				submitted[i] = true
+				st.Wait()
+			default: // streaming, cancelled mid-flight
+				st, err := srv.Stream(context.Background(), req)
+				if err != nil {
+					return
+				}
+				submitted[i] = true
+				if i%6 == 2 {
+					time.Sleep(time.Duration(i) * 100 * time.Microsecond)
+				}
+				st.Cancel()
+				st.Wait()
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stop)
+	snapWG.Wait()
+
+	want := 0
+	for _, ok := range submitted {
+		if ok {
+			want++
+		}
+	}
+	st := srv.Stats()
+	if st.Submitted != want {
+		t.Fatalf("Submitted = %d, want %d", st.Submitted, want)
+	}
+	if done := st.Served + st.Cancelled + st.Errored; done != st.Submitted {
+		t.Fatalf("ledger out of balance at quiescence: served=%d cancelled=%d errored=%d submitted=%d",
+			st.Served, st.Cancelled, st.Errored, st.Submitted)
+	}
+	if st.Errored != 0 {
+		t.Fatalf("unexpected hard failures: %d", st.Errored)
+	}
+	if st.Cancelled == 0 {
+		t.Fatalf("cancel arm never landed a cancellation")
+	}
+
+	// The registry snapshot itself must export as valid JSON with the
+	// same counters Stats derived from it.
+	snap := srv.Registry().Snapshot()
+	raw, err := snap.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(raw, &decoded); err != nil {
+		t.Fatalf("registry JSON does not parse: %v", err)
+	}
+	if got := snap.Counter("served"); int(got) != st.Served {
+		t.Fatalf("registry served=%d, Stats served=%d", got, st.Served)
+	}
+}

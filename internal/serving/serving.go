@@ -37,6 +37,7 @@ import (
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/rollout"
 	"fastrl/internal/sched"
+	"fastrl/internal/trace"
 	"fastrl/internal/workload"
 )
 
@@ -69,6 +70,18 @@ type Config struct {
 	// once, so the shard starts with a hot drafter instead of relearning
 	// its own traffic. Setting Engine.Cache directly is equivalent.
 	Cache *prefixcache.Cache
+	// Tracer, when non-nil, starts a lifecycle trace for every admitted
+	// request (internal/trace); replicas record spans into it at step
+	// boundaries. Nil (the default) keeps the hot paths untraced and
+	// allocation-free.
+	Tracer *trace.Tracer
+	// Flight, when non-nil, mirrors every recorded span into this shard's
+	// flight recorder — the postmortem ring the cluster health monitor
+	// snapshots on faults.
+	Flight *trace.FlightRecorder
+	// ShardID labels this server's traces and flight records (the Chrome
+	// export's process ID); the cluster sets it per shard.
+	ShardID int
 }
 
 // Request is one serving job.
@@ -143,7 +156,7 @@ type Server struct {
 	// ID-keyed batch operations (sched.Batch.Cancel) address exactly one
 	// request.
 	reqSeq atomic.Int64
-	wg       sync.WaitGroup
+	wg     sync.WaitGroup
 	// stopMu serialises queue sends against Stop closing the queue: Submit
 	// holds the read side across its send (replicas drain the queue without
 	// taking the lock, so a blocked send always completes), Stop takes the
@@ -166,12 +179,19 @@ type Server struct {
 	// lats is a bounded uniform sample over all served latencies; ttfts
 	// and itls sample time-to-first-token per request and inter-token
 	// latency per streamed chunk, fed by the replicas' event publishing.
-	lats      *metrics.Reservoir
-	ttfts     *metrics.Reservoir
-	itls      *metrics.Reservoir
-	served    int
-	cancelled int
-	errored   int
+	lats  *metrics.Reservoir
+	ttfts *metrics.Reservoir
+	itls  *metrics.Reservoir
+	// reg is the server's unified metrics registry. Outcome counters are
+	// written in registry Update groups, so one Snapshot reads mutually
+	// consistent counts — served + cancelled + errored never exceeds
+	// submitted in any snapshot, not just at quiescence (the torn-stats
+	// fix). Lock order: registry before s.mu, never the reverse.
+	reg        *metrics.Registry
+	cSubmitted *metrics.Counter
+	cServed    *metrics.Counter
+	cCancelled *metrics.Counter
+	cErrored   *metrics.Counter
 }
 
 // New builds a server. drafter may be nil (vanilla decoding).
@@ -206,13 +226,40 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 		lats:    metrics.NewReservoir(MaxLatencySamples, 0x1a7),
 		ttfts:   metrics.NewReservoir(MaxLatencySamples, 0x1a8),
 		itls:    metrics.NewReservoir(MaxLatencySamples, 0x1a9),
+		reg:     metrics.NewRegistry(),
 	}
+	s.cSubmitted = s.reg.Counter("submitted")
+	s.cServed = s.reg.Counter("served")
+	s.cCancelled = s.reg.Counter("cancelled")
+	s.cErrored = s.reg.Counter("errored")
+	// Point-in-time probes: atomic loads and leaf locks only, as the
+	// registry's snapshot contract requires.
+	s.reg.Gauge("queue_len", func() float64 { return float64(s.QueueLen()) })
+	s.reg.Gauge("inflight", func() float64 { return float64(s.Inflight()) })
+	s.reg.Gauge("steps", func() float64 { return float64(s.StepCount()) })
+	s.reg.Gauge("dup_suppressed", func() float64 { return float64(s.DupSuppressed()) })
+	s.reg.ReservoirFunc("latency", func() *metrics.Reservoir { s.mu.Lock(); defer s.mu.Unlock(); return s.lats.Clone() })
+	s.reg.ReservoirFunc("ttft", func() *metrics.Reservoir { s.mu.Lock(); defer s.mu.Unlock(); return s.ttfts.Clone() })
+	s.reg.ReservoirFunc("itl", func() *metrics.Reservoir { s.mu.Lock(); defer s.mu.Unlock(); return s.itls.Clone() })
+	if s.cfg.Cache != nil {
+		s.cfg.Cache.RegisterMetrics(s.reg, "cache/")
+	}
+	// Replica schedulers feed the sched/* counters of the same registry.
+	s.cfg.Engine.Metrics = s.reg
 	for r := 0; r < cfg.Replicas; r++ {
 		s.wg.Add(1)
 		go s.replica(r)
 	}
 	return s, nil
 }
+
+// Registry exposes the server's unified metrics registry. Snapshot it
+// for a consistent cross-counter view; Stats is a typed convenience over
+// the same snapshot.
+func (s *Server) Registry() *metrics.Registry { return s.reg }
+
+// Flight returns the shard's flight recorder (nil unless configured).
+func (s *Server) Flight() *trace.FlightRecorder { return s.cfg.Flight }
 
 // replica is one continuous-batching serving worker: it owns a scheduler
 // batch and step-loops over it, draining the shared admission queue into
@@ -261,6 +308,9 @@ func (s *Server) replica(id int) {
 		}
 		s.inflight.Add(1)
 		r := sched.NewRequest(int(s.reqSeq.Add(1)), j.req.Prompt, j.req.MaxNew, j.req.Prior, s.cfg.AnswerID, s.cfg.EosID)
+		if s.cfg.Tracer != nil {
+			r.Trace = s.cfg.Tracer.Start(int64(r.ID), int32(s.cfg.ShardID), s.cfg.Flight)
+		}
 		// A private sampling stream per request: its tokens do not depend
 		// on what it is batched with or when it joined the batch.
 		r.RNG = rand.New(rand.NewSource(j.req.Seed))
@@ -530,9 +580,15 @@ func (s *Server) Stream(ctx context.Context, req Request) (*Stream, error) {
 		return nil, err
 	}
 	j := newJob(req)
+	// Count the submission before the queue send: a replica may dequeue
+	// and finish the job the instant it lands, and the terminal counters
+	// must never lead the submission counter in a snapshot. The rare
+	// failed send below retracts the count in an Update group.
+	s.cSubmitted.Inc()
 	select {
 	case s.queue <- j:
 	case <-ctx.Done():
+		s.reg.Update(func() { s.cSubmitted.Add(-1) })
 		return nil, ctx.Err()
 	}
 	st := &Stream{srv: s, j: j, ctx: ctx}
@@ -582,7 +638,12 @@ func (s *Server) Serve(ctx context.Context, req Request) (Response, error) {
 
 // Stats summarises served traffic.
 type Stats struct {
-	Served int
+	// Submitted counts requests accepted into the admission queue. In any
+	// Stats value Served + Cancelled + Errored ≤ Submitted, with equality
+	// at quiescence — the counters come from one registry snapshot, so
+	// they can never tear against each other.
+	Submitted int
+	Served    int
 	// Errored counts requests that terminated with a hard failure
 	// (replica configuration errors) — excluded from the percentiles
 	// like cancellations, but never silently dropped from the counters.
@@ -608,19 +669,23 @@ type Stats struct {
 }
 
 // Stats returns latency percentiles over everything served so far (a
-// bounded uniform reservoir once traffic exceeds MaxLatencySamples).
+// bounded uniform reservoir once traffic exceeds MaxLatencySamples). All
+// counters come from one registry snapshot, so they are mutually
+// consistent even while replicas are retiring requests concurrently.
 func (s *Server) Stats() Stats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	snap := s.reg.Snapshot()
+	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
+	lat, ttft, itl := snap.Reservoirs["latency"], snap.Reservoirs["ttft"], snap.Reservoirs["itl"]
 	return Stats{
-		Served:    s.served,
-		Errored:   s.errored,
-		Cancelled: s.cancelled,
-		P50:       time.Duration(s.lats.Percentile(50) * float64(time.Second)),
-		P95:       time.Duration(s.lats.Percentile(95) * float64(time.Second)),
-		TTFTP50:   time.Duration(s.ttfts.Percentile(50) * float64(time.Second)),
-		TTFTP95:   time.Duration(s.ttfts.Percentile(95) * float64(time.Second)),
-		ITLP50:    time.Duration(s.itls.Percentile(50) * float64(time.Second)),
-		ITLP95:    time.Duration(s.itls.Percentile(95) * float64(time.Second)),
+		Submitted: int(snap.Counter("submitted")),
+		Served:    int(snap.Counter("served")),
+		Errored:   int(snap.Counter("errored")),
+		Cancelled: int(snap.Counter("cancelled")),
+		P50:       sec(lat.P50),
+		P95:       sec(lat.P95),
+		TTFTP50:   sec(ttft.P50),
+		TTFTP95:   sec(ttft.P95),
+		ITLP50:    sec(itl.P50),
+		ITLP95:    sec(itl.P95),
 	}
 }

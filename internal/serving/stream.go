@@ -282,13 +282,15 @@ func (s *Server) forceFinish(j *job, err error, admitted bool) {
 	if !j.finished.CompareAndSwap(false, true) {
 		return
 	}
-	s.mu.Lock()
-	if errors.Is(err, context.Canceled) {
-		s.cancelled++
-	} else {
-		s.errored++
-	}
-	s.mu.Unlock()
+	// Terminal counters move inside one registry Update group so a
+	// concurrent Snapshot sees the outcome land atomically.
+	s.reg.Update(func() {
+		if errors.Is(err, context.Canceled) {
+			s.cCancelled.Inc()
+		} else {
+			s.cErrored.Inc()
+		}
+	})
 	if admitted {
 		s.inflight.Add(-1)
 	}
@@ -427,21 +429,26 @@ func (s *Server) finishJob(j *job, resp Response, admitted bool) {
 	// the terminal event: a client returning from Wait (or pulling the
 	// Usage event) must find its request already reflected in Stats and
 	// the Pending/Inflight probes — the ordering the pre-streaming
-	// response path guaranteed.
-	s.mu.Lock()
-	switch {
-	case resp.Err == nil:
-		s.lats.Add(resp.Latency.Seconds())
-		s.served++
-	case errors.Is(resp.Err, context.Canceled):
-		s.cancelled++
-	default:
-		// Hard failures (replica configuration errors) stay visible in
-		// the stats even though their zero-valued timings are excluded
-		// from the reservoirs — every job lands in exactly one counter.
-		s.errored++
-	}
-	s.mu.Unlock()
+	// response path guaranteed. The whole outcome (counter + latency
+	// sample) lands in one registry Update group, so a concurrent
+	// Snapshot never tears it: every job is in exactly one outcome
+	// counter, and the outcome counters never lead the submission count.
+	s.reg.Update(func() {
+		switch {
+		case resp.Err == nil:
+			s.mu.Lock()
+			s.lats.Add(resp.Latency.Seconds())
+			s.mu.Unlock()
+			s.cServed.Inc()
+		case errors.Is(resp.Err, context.Canceled):
+			s.cCancelled.Inc()
+		default:
+			// Hard failures (replica configuration errors) stay visible in
+			// the stats even though their zero-valued timings are excluded
+			// from the reservoirs — every job lands in exactly one counter.
+			s.cErrored.Inc()
+		}
+	})
 	if admitted {
 		s.inflight.Add(-1)
 	}

@@ -1,0 +1,253 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+)
+
+// ExportSpan is one span in the native JSON export, times in virtual
+// nanoseconds.
+type ExportSpan struct {
+	Kind  string `json:"kind"`
+	Start int64  `json:"start_ns"`
+	End   int64  `json:"end_ns"`
+	Arg   int64  `json:"arg,omitempty"`
+}
+
+// ExportRequest is one request's exported lifecycle.
+type ExportRequest struct {
+	ReqID   int64        `json:"req"`
+	Shard   int32        `json:"shard"`
+	Dropped int          `json:"dropped_spans,omitempty"`
+	Spans   []ExportSpan `json:"spans"`
+}
+
+// Export is a tracer's full capture: every finished request's spans,
+// sorted by (shard, request) so fixed-seed runs export byte-identically
+// regardless of goroutine interleaving in the retention order.
+type Export struct {
+	Requests      []ExportRequest `json:"requests"`
+	DroppedTraces int64           `json:"dropped_traces,omitempty"`
+}
+
+// Export snapshots every finished trace. The snapshot copies span data,
+// so it stays valid while the tracer keeps running.
+func (t *Tracer) Export() *Export {
+	e := &Export{}
+	if t == nil {
+		return e
+	}
+	t.mu.Lock()
+	e.DroppedTraces = t.dropped
+	e.Requests = make([]ExportRequest, 0, len(t.done))
+	for _, rt := range t.done {
+		er := ExportRequest{
+			ReqID:   rt.reqID,
+			Shard:   rt.shard,
+			Dropped: rt.drops,
+			Spans:   make([]ExportSpan, len(rt.spans)),
+		}
+		for i, sp := range rt.spans {
+			er.Spans[i] = ExportSpan{
+				Kind:  sp.Kind.String(),
+				Start: int64(sp.Start),
+				End:   int64(sp.End),
+				Arg:   sp.Arg,
+			}
+		}
+		e.Requests = append(e.Requests, er)
+	}
+	t.mu.Unlock()
+	sort.SliceStable(e.Requests, func(i, j int) bool {
+		a, b := e.Requests[i], e.Requests[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.ReqID < b.ReqID
+	})
+	return e
+}
+
+// JSON renders the native export format.
+func (e *Export) JSON() ([]byte, error) {
+	return json.MarshalIndent(e, "", " ")
+}
+
+// chromeEvent is one Chrome trace_event. Durations are microseconds
+// (the format's unit); kind and arg ride in Args so ParseChrome can
+// reconstruct the export losslessly.
+type chromeEvent struct {
+	Name  string  `json:"name"`
+	Phase string  `json:"ph"`
+	TS    float64 `json:"ts"`
+	Dur   float64 `json:"dur,omitempty"`
+	PID   int64   `json:"pid"`
+	TID   int64   `json:"tid"`
+	Scope string  `json:"s,omitempty"`
+	Args  struct {
+		Arg int64 `json:"arg"`
+	} `json:"args"`
+}
+
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// DisplayTimeUnit hints viewers; virtual time is dense, so ms.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// Chrome renders the export as Chrome trace_event JSON (load via
+// chrome://tracing or Perfetto): one process per shard, one thread per
+// request, complete events for intervals and instant events for
+// zero-duration markers.
+func (e *Export) Chrome() ([]byte, error) {
+	ct := chromeTrace{DisplayTimeUnit: "ms", TraceEvents: []chromeEvent{}}
+	for _, req := range e.Requests {
+		for _, sp := range req.Spans {
+			ev := chromeEvent{
+				Name: sp.Kind,
+				TS:   float64(sp.Start) / 1e3,
+				PID:  int64(req.Shard),
+				TID:  req.ReqID,
+			}
+			ev.Args.Arg = sp.Arg
+			if sp.End > sp.Start {
+				ev.Phase = "X"
+				ev.Dur = float64(sp.End-sp.Start) / 1e3
+			} else {
+				ev.Phase = "i"
+				ev.Scope = "t"
+			}
+			ct.TraceEvents = append(ct.TraceEvents, ev)
+		}
+	}
+	return json.MarshalIndent(ct, "", " ")
+}
+
+// ParseChrome reconstructs an Export from Chrome trace_event JSON
+// produced by Chrome (the inverse up to float microsecond rounding,
+// exact for virtual-time magnitudes).
+func ParseChrome(data []byte) (*Export, error) {
+	var ct chromeTrace
+	if err := json.Unmarshal(data, &ct); err != nil {
+		return nil, fmt.Errorf("trace: parse chrome trace: %w", err)
+	}
+	type key struct {
+		shard int64
+		req   int64
+	}
+	byReq := map[key]*ExportRequest{}
+	var order []key
+	for _, ev := range ct.TraceEvents {
+		if ev.Phase != "X" && ev.Phase != "i" {
+			continue
+		}
+		if kindForName(ev.Name) == 0 {
+			return nil, fmt.Errorf("trace: unknown span kind %q", ev.Name)
+		}
+		k := key{shard: ev.PID, req: ev.TID}
+		req := byReq[k]
+		if req == nil {
+			req = &ExportRequest{ReqID: ev.TID, Shard: int32(ev.PID)}
+			byReq[k] = req
+			order = append(order, k)
+		}
+		start := int64(math.Round(ev.TS * 1e3))
+		end := start
+		if ev.Phase == "X" {
+			end = start + int64(math.Round(ev.Dur*1e3))
+		}
+		req.Spans = append(req.Spans, ExportSpan{
+			Kind: ev.Name, Start: start, End: end, Arg: ev.Args.Arg,
+		})
+	}
+	e := &Export{Requests: make([]ExportRequest, 0, len(order))}
+	for _, k := range order {
+		e.Requests = append(e.Requests, *byReq[k])
+	}
+	sort.SliceStable(e.Requests, func(i, j int) bool {
+		a, b := e.Requests[i], e.Requests[j]
+		if a.Shard != b.Shard {
+			return a.Shard < b.Shard
+		}
+		return a.ReqID < b.ReqID
+	})
+	return e, nil
+}
+
+// Summary aggregates a validated export.
+type Summary struct {
+	Requests  int
+	Spans     int
+	Retired   int
+	Cancelled int
+	// Busy is total virtual time inside Prefill/Decode/SDRound spans.
+	Busy time.Duration
+}
+
+// busyKind reports whether spans of this kind occupy the request
+// exclusively (and therefore must not overlap each other).
+func busyKind(k Kind) bool {
+	switch k {
+	case KindQueue, KindPrefill, KindDecode, KindSDRound, KindToolWait:
+		return true
+	}
+	return false
+}
+
+// Validate checks every request's spans nest correctly — non-negative
+// durations, submit first, monotone non-overlapping busy intervals,
+// terminal retire last when present — and returns aggregate counts.
+func (e *Export) Validate() (Summary, error) {
+	var sum Summary
+	sum.Requests = len(e.Requests)
+	for _, req := range e.Requests {
+		if len(req.Spans) == 0 {
+			return sum, fmt.Errorf("trace: req %d shard %d: no spans", req.ReqID, req.Shard)
+		}
+		if req.Spans[0].Kind != KindSubmit.String() {
+			return sum, fmt.Errorf("trace: req %d shard %d: first span %q, want submit",
+				req.ReqID, req.Shard, req.Spans[0].Kind)
+		}
+		submit := req.Spans[0].Start
+		busyEnd := int64(math.MinInt64)
+		for i, sp := range req.Spans {
+			k := kindForName(sp.Kind)
+			if k == 0 {
+				return sum, fmt.Errorf("trace: req %d: unknown kind %q", req.ReqID, sp.Kind)
+			}
+			if sp.End < sp.Start {
+				return sum, fmt.Errorf("trace: req %d span %d (%s): negative duration %d..%d",
+					req.ReqID, i, sp.Kind, sp.Start, sp.End)
+			}
+			if sp.Start < submit {
+				return sum, fmt.Errorf("trace: req %d span %d (%s): starts %dns before submit",
+					req.ReqID, i, sp.Kind, submit-sp.Start)
+			}
+			if busyKind(k) {
+				if sp.Start < busyEnd {
+					return sum, fmt.Errorf("trace: req %d span %d (%s): overlaps previous busy span (start %d < prev end %d)",
+						req.ReqID, i, sp.Kind, sp.Start, busyEnd)
+				}
+				busyEnd = sp.End
+				switch k {
+				case KindPrefill, KindDecode, KindSDRound:
+					sum.Busy += time.Duration(sp.End - sp.Start)
+				}
+			}
+			switch k {
+			case KindRetire:
+				if i != len(req.Spans)-1 {
+					return sum, fmt.Errorf("trace: req %d: retire at span %d is not last", req.ReqID, i)
+				}
+				sum.Retired++
+			case KindCancel:
+				sum.Cancelled++
+			}
+			sum.Spans++
+		}
+	}
+	return sum, nil
+}

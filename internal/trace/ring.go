@@ -1,0 +1,129 @@
+package trace
+
+import (
+	"math/bits"
+	"sync/atomic"
+	"time"
+)
+
+// Record is one flight-recorder entry: a span copy plus its request and
+// shard identity.
+type Record struct {
+	ReqID int64
+	Shard int32
+	Kind  Kind
+	Start time.Duration
+	End   time.Duration
+	Arg   int64
+}
+
+// ringSlot holds one record as independently-atomic words guarded by a
+// sequence word. A writer invalidates the slot (seq=0), stores the
+// fields, then publishes the slot's global sequence number; a reader
+// accepts a slot only when the sequence reads the expected value both
+// before and after copying the fields. Every access is atomic, so the
+// protocol is race-detector-clean without locks, and a slot caught
+// mid-overwrite is simply skipped.
+type ringSlot struct {
+	seq   atomic.Uint64
+	reqID atomic.Int64
+	// meta packs Kind (low 8 bits) and Shard (next 32).
+	meta  atomic.Uint64
+	start atomic.Int64
+	end   atomic.Int64
+	arg   atomic.Int64
+}
+
+// FlightRecorder is a bounded lock-free ring of recent Records. Record
+// is wait-free and allocation-free; Snapshot returns the newest records
+// oldest-first. With a single writer the newest capacity records are
+// returned losslessly no matter how many times the ring has wrapped;
+// concurrent writers may additionally cost a reader the few slots caught
+// mid-write. All methods are nil-receiver-safe.
+type FlightRecorder struct {
+	mask   uint64
+	slots  []ringSlot
+	cursor atomic.Uint64 // total records ever written; slot n-1 & mask
+}
+
+// NewFlightRecorder builds a ring holding the most recent capacity
+// records (rounded up to a power of two; default 1024).
+func NewFlightRecorder(capacity int) *FlightRecorder {
+	if capacity <= 0 {
+		capacity = 1024
+	}
+	n := 1 << bits.Len(uint(capacity-1))
+	return &FlightRecorder{mask: uint64(n - 1), slots: make([]ringSlot, n)}
+}
+
+// Capacity returns the ring size.
+func (fr *FlightRecorder) Capacity() int {
+	if fr == nil {
+		return 0
+	}
+	return len(fr.slots)
+}
+
+// Record appends one record, overwriting the oldest when full.
+func (fr *FlightRecorder) Record(rec Record) {
+	if fr == nil {
+		return
+	}
+	n := fr.cursor.Add(1)
+	s := &fr.slots[(n-1)&fr.mask]
+	s.seq.Store(0) // invalidate while the fields are torn
+	s.reqID.Store(rec.ReqID)
+	s.meta.Store(uint64(rec.Kind) | uint64(uint32(rec.Shard))<<8)
+	s.start.Store(int64(rec.Start))
+	s.end.Store(int64(rec.End))
+	s.arg.Store(int64(rec.Arg))
+	s.seq.Store(n) // publish
+}
+
+// Total returns how many records were ever written.
+func (fr *FlightRecorder) Total() int64 {
+	if fr == nil {
+		return 0
+	}
+	return int64(fr.cursor.Load())
+}
+
+// Snapshot returns the newest records, oldest-first.
+func (fr *FlightRecorder) Snapshot() []Record {
+	return fr.SnapshotInto(nil)
+}
+
+// SnapshotInto appends the newest records to dst, oldest-first.
+func (fr *FlightRecorder) SnapshotInto(dst []Record) []Record {
+	if fr == nil {
+		return dst
+	}
+	hi := fr.cursor.Load()
+	if hi == 0 {
+		return dst
+	}
+	lo := uint64(1)
+	if n := uint64(len(fr.slots)); hi > n {
+		lo = hi - n + 1
+	}
+	for seq := lo; seq <= hi; seq++ {
+		s := &fr.slots[(seq-1)&fr.mask]
+		if s.seq.Load() != seq {
+			continue // not yet published, or already overwritten
+		}
+		rec := Record{
+			ReqID: s.reqID.Load(),
+			Start: time.Duration(s.start.Load()),
+			End:   time.Duration(s.end.Load()),
+			Arg:   s.arg.Load(),
+		}
+		meta := s.meta.Load()
+		rec.Kind = Kind(meta & 0xff)
+		rec.Shard = int32(uint32(meta >> 8))
+		if s.seq.Load() != seq {
+			continue // overwritten underneath the copy
+		}
+		dst = append(dst, rec)
+	}
+	return dst
+}

@@ -1,0 +1,393 @@
+package trace
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := KindSubmit; k < kindMax; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+		if got := kindForName(k.String()); got != k {
+			t.Fatalf("kindForName(%q) = %v, want %v", k.String(), got, k)
+		}
+	}
+	if Kind(0).String() != "unknown" || Kind(200).String() != "unknown" {
+		t.Fatalf("out-of-range kinds must stringify as unknown")
+	}
+}
+
+// Recording into a started trace (arena + flight-recorder mirror) must
+// not allocate: this is the tracing-enabled hot-path pin the acceptance
+// criteria name.
+func TestRecordZeroAllocs(t *testing.T) {
+	fr := NewFlightRecorder(256)
+	tr := New(Config{SpanSlots: 1 << 16})
+	rt := tr.Start(1, 0, fr)
+	var i int64
+	allocs := testing.AllocsPerRun(10000, func() {
+		rt.Record(KindDecode, time.Duration(i), time.Duration(i+10), 1)
+		i += 10
+	})
+	if allocs != 0 {
+		t.Fatalf("Record allocates %v allocs/op, want 0", allocs)
+	}
+	// The overflow (drop) path must be allocation-free too.
+	small := tr.Start(2, 0, fr)
+	for j := 0; j < tr.cfg.SpanSlots; j++ {
+		small.Record(KindDecode, 0, 1, 1)
+	}
+	allocs = testing.AllocsPerRun(1000, func() {
+		small.Record(KindDecode, 0, 1, 1)
+	})
+	if allocs != 0 {
+		t.Fatalf("overflow Record allocates %v allocs/op, want 0", allocs)
+	}
+	if small.DroppedSpans() == 0 {
+		t.Fatalf("overflow not counted")
+	}
+}
+
+func TestFlightRecorderWrapKeepsNewest(t *testing.T) {
+	fr := NewFlightRecorder(64)
+	if fr.Capacity() != 64 {
+		t.Fatalf("capacity = %d, want 64", fr.Capacity())
+	}
+	const total = 64*3 + 17
+	for i := 0; i < total; i++ {
+		fr.Record(Record{ReqID: int64(i), Kind: KindDecode, Start: time.Duration(i), End: time.Duration(i + 1)})
+	}
+	got := fr.Snapshot()
+	if len(got) != 64 {
+		t.Fatalf("snapshot holds %d records, want 64", len(got))
+	}
+	// A single-writer ring must hold exactly the newest 64, oldest-first.
+	for i, rec := range got {
+		want := int64(total - 64 + i)
+		if rec.ReqID != want {
+			t.Fatalf("snapshot[%d].ReqID = %d, want %d", i, rec.ReqID, want)
+		}
+	}
+	if fr.Total() != total {
+		t.Fatalf("Total = %d, want %d", fr.Total(), total)
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	fr := NewFlightRecorder(8)
+	fr.Record(Record{ReqID: 7, Kind: KindFaultCrash, Shard: 3, Start: 5, End: 5, Arg: 9})
+	got := fr.Snapshot()
+	if len(got) != 1 {
+		t.Fatalf("snapshot holds %d records, want 1", len(got))
+	}
+	want := Record{ReqID: 7, Kind: KindFaultCrash, Shard: 3, Start: 5, End: 5, Arg: 9}
+	if got[0] != want {
+		t.Fatalf("snapshot[0] = %+v, want %+v", got[0], want)
+	}
+}
+
+// Concurrent writers and snapshotters must be race-clean (the CI race
+// job covers this package) and every surfaced record must be coherent —
+// the seq-validated copy protocol never yields a half-written record.
+func TestFlightRecorderConcurrent(t *testing.T) {
+	fr := NewFlightRecorder(128)
+	const writers = 4
+	var wwg, swg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < writers; w++ {
+		wwg.Add(1)
+		go func(w int) {
+			defer wwg.Done()
+			for i := 0; i < 5000; i++ {
+				v := int64(w)*1_000_000 + int64(i)
+				fr.Record(Record{ReqID: v, Shard: int32(w), Kind: KindDecode, Start: time.Duration(v), End: time.Duration(v), Arg: v})
+			}
+		}(w)
+	}
+	swg.Add(1)
+	go func() {
+		defer swg.Done()
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			for _, rec := range fr.Snapshot() {
+				if rec.Kind != KindDecode {
+					t.Errorf("torn record: kind %v", rec.Kind)
+					return
+				}
+				if int64(rec.Start) != rec.ReqID || rec.Arg != rec.ReqID {
+					t.Errorf("torn record: req %d start %d arg %d", rec.ReqID, rec.Start, rec.Arg)
+					return
+				}
+				if int64(rec.Shard) != rec.ReqID/1_000_000 {
+					t.Errorf("torn record: req %d shard %d", rec.ReqID, rec.Shard)
+					return
+				}
+			}
+		}
+	}()
+	wwg.Wait()
+	close(stop)
+	swg.Wait()
+	if fr.Total() != writers*5000 {
+		t.Fatalf("Total = %d, want %d", fr.Total(), writers*5000)
+	}
+}
+
+func TestTracerRetentionBound(t *testing.T) {
+	tr := New(Config{SpanSlots: 4, MaxRequests: 8})
+	for i := 0; i < 20; i++ {
+		rt := tr.Start(int64(i), 0, nil)
+		rt.Record(KindSubmit, 0, 0, 0)
+		rt.Close(KindRetire, 1, 0)
+	}
+	e := tr.Export()
+	if len(e.Requests) != 8 {
+		t.Fatalf("retained %d traces, want 8", len(e.Requests))
+	}
+	if tr.DroppedTraces() != 12 {
+		t.Fatalf("DroppedTraces = %d, want 12", tr.DroppedTraces())
+	}
+	if e.DroppedTraces != 12 {
+		t.Fatalf("export DroppedTraces = %d, want 12", e.DroppedTraces)
+	}
+	if tr.Started() != 20 {
+		t.Fatalf("Started = %d, want 20", tr.Started())
+	}
+}
+
+func TestCloseIdempotentAndNilSafety(t *testing.T) {
+	// Nil tracer, trace, and recorder must all be inert.
+	var nilTr *Tracer
+	if rt := nilTr.Start(1, 0, nil); rt != nil {
+		t.Fatalf("nil tracer Start returned %v", rt)
+	}
+	var rt *ReqTrace
+	rt.Record(KindDecode, 0, 1, 0)
+	rt.Close(KindRetire, 1, 0)
+	if rt.Spans() != nil || rt.DroppedSpans() != 0 || rt.SubmittedAt() != 0 {
+		t.Fatalf("nil ReqTrace accessors not inert")
+	}
+	var fr *FlightRecorder
+	fr.Record(Record{})
+	if fr.Snapshot() != nil || fr.Total() != 0 || fr.Capacity() != 0 {
+		t.Fatalf("nil FlightRecorder not inert")
+	}
+
+	tr := New(Config{})
+	live := tr.Start(1, 0, nil)
+	live.Record(KindSubmit, 0, 0, 0)
+	live.Close(KindRetire, 5, 3)
+	live.Close(KindRetire, 9, 4) // second close must not double-retain
+	live.Record(KindDecode, 6, 7, 1)
+	e := tr.Export()
+	if len(e.Requests) != 1 || len(e.Requests[0].Spans) != 2 {
+		t.Fatalf("close not idempotent: %+v", e.Requests)
+	}
+}
+
+// buildExportTracer records the same lifecycle data, optionally
+// finishing requests in reversed order, to prove the export is
+// insensitive to retention order.
+func buildExportTracer(reversed bool) *Tracer {
+	tr := New(Config{SpanSlots: 16})
+	traces := make([]*ReqTrace, 5)
+	for i := range traces {
+		rt := tr.Start(int64(i), int32(i%2), nil)
+		base := time.Duration(i) * 100
+		rt.Record(KindSubmit, base, base, 0)
+		rt.Record(KindQueue, base, base+10, 0)
+		rt.Record(KindPrefill, base+10, base+30, 8)
+		rt.Record(KindSDRound, base+30, base+50, 4)
+		rt.Record(KindDecode, base+50, base+60, 1)
+		traces[i] = rt
+	}
+	if reversed {
+		for i := len(traces) - 1; i >= 0; i-- {
+			traces[i].Close(KindRetire, time.Duration(i)*100+60, 5)
+		}
+	} else {
+		for i := range traces {
+			traces[i].Close(KindRetire, time.Duration(i)*100+60, 5)
+		}
+	}
+	return tr
+}
+
+func TestExportDeterministicAcrossRetentionOrder(t *testing.T) {
+	a, b := buildExportTracer(false), buildExportTracer(true)
+	aj, err := a.Export().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bj, err := b.Export().JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(aj, bj) {
+		t.Fatalf("JSON export differs across retention order:\n%s\nvs\n%s", aj, bj)
+	}
+	ac, err := a.Export().Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := b.Export().Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(ac, bc) {
+		t.Fatalf("Chrome export differs across retention order")
+	}
+}
+
+func TestChromeRoundtrip(t *testing.T) {
+	e := buildExportTracer(false).Export()
+	data, err := e.Chrome()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := ParseChrome(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back.Requests) != len(e.Requests) {
+		t.Fatalf("roundtrip requests %d, want %d", len(back.Requests), len(e.Requests))
+	}
+	for i, req := range e.Requests {
+		got := back.Requests[i]
+		if got.ReqID != req.ReqID || got.Shard != req.Shard {
+			t.Fatalf("roundtrip req %d identity mismatch: %+v vs %+v", i, got, req)
+		}
+		if len(got.Spans) != len(req.Spans) {
+			t.Fatalf("roundtrip req %d spans %d, want %d", i, len(got.Spans), len(req.Spans))
+		}
+		for j, sp := range req.Spans {
+			if got.Spans[j] != sp {
+				t.Fatalf("roundtrip req %d span %d: %+v vs %+v", i, j, got.Spans[j], sp)
+			}
+		}
+	}
+	sum, err := back.Validate()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Requests != 5 || sum.Retired != 5 {
+		t.Fatalf("summary %+v, want 5 requests retired", sum)
+	}
+}
+
+func TestValidateCatchesMalformedTraces(t *testing.T) {
+	mk := func(spans ...ExportSpan) *Export {
+		return &Export{Requests: []ExportRequest{{ReqID: 1, Spans: spans}}}
+	}
+	cases := []struct {
+		name string
+		e    *Export
+	}{
+		{"no spans", mk()},
+		{"no submit", mk(ExportSpan{Kind: "decode", Start: 0, End: 1})},
+		{"negative duration", mk(
+			ExportSpan{Kind: "submit"},
+			ExportSpan{Kind: "decode", Start: 10, End: 5},
+		)},
+		{"overlapping busy spans", mk(
+			ExportSpan{Kind: "submit"},
+			ExportSpan{Kind: "decode", Start: 0, End: 10},
+			ExportSpan{Kind: "decode", Start: 5, End: 15},
+		)},
+		{"span before submit", mk(
+			ExportSpan{Kind: "submit", Start: 10, End: 10},
+			ExportSpan{Kind: "decode", Start: 0, End: 20},
+		)},
+		{"retire not last", mk(
+			ExportSpan{Kind: "submit"},
+			ExportSpan{Kind: "retire", Start: 5, End: 5},
+			ExportSpan{Kind: "decode", Start: 5, End: 6},
+		)},
+		{"unknown kind", mk(
+			ExportSpan{Kind: "submit"},
+			ExportSpan{Kind: "frobnicate", Start: 0, End: 1},
+		)},
+	}
+	for _, tc := range cases {
+		if _, err := tc.e.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted a malformed trace", tc.name)
+		}
+	}
+	ok := mk(
+		ExportSpan{Kind: "submit"},
+		ExportSpan{Kind: "queue", Start: 0, End: 4},
+		ExportSpan{Kind: "prefill", Start: 4, End: 8},
+		ExportSpan{Kind: "decode", Start: 8, End: 12, Arg: 1},
+		ExportSpan{Kind: "cancel", Start: 12, End: 12},
+		ExportSpan{Kind: "retire", Start: 12, End: 12},
+	)
+	sum, err := ok.Validate()
+	if err != nil {
+		t.Fatalf("Validate rejected a well-formed trace: %v", err)
+	}
+	if sum.Retired != 1 || sum.Cancelled != 1 || sum.Spans != 6 {
+		t.Fatalf("summary %+v", sum)
+	}
+	if sum.Busy != 8 {
+		t.Fatalf("busy = %v, want 8ns", sum.Busy)
+	}
+}
+
+// Arena recycling: once the retention bound is hit, finished arenas feed
+// later Starts instead of allocating.
+func TestArenaRecycling(t *testing.T) {
+	tr := New(Config{SpanSlots: 8, MaxRequests: 1})
+	first := tr.Start(1, 0, nil)
+	first.Record(KindSubmit, 0, 0, 0)
+	first.Close(KindRetire, 1, 0)
+	second := tr.Start(2, 0, nil)
+	second.Record(KindSubmit, 0, 0, 0)
+	second.Close(KindRetire, 1, 0) // bound full: recycled
+	third := tr.Start(3, 0, nil)
+	if third != second {
+		t.Fatalf("expected the dropped trace's arena to be recycled")
+	}
+	if len(third.Spans()) != 0 || third.DroppedSpans() != 0 {
+		t.Fatalf("recycled arena not reset: %d spans, %d drops", len(third.Spans()), third.DroppedSpans())
+	}
+}
+
+func TestSnapshotInto(t *testing.T) {
+	fr := NewFlightRecorder(4)
+	for i := 0; i < 6; i++ {
+		fr.Record(Record{ReqID: int64(i), Kind: KindDecode})
+	}
+	buf := make([]Record, 0, 8)
+	got := fr.SnapshotInto(buf)
+	if len(got) != 4 || got[0].ReqID != 2 || got[3].ReqID != 5 {
+		t.Fatalf("SnapshotInto = %+v", got)
+	}
+}
+
+func TestRingCapacityRounding(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{{0, 1024}, {1, 1}, {3, 4}, {64, 64}, {65, 128}} {
+		if got := NewFlightRecorder(tc.in).Capacity(); got != tc.want {
+			t.Errorf("NewFlightRecorder(%d).Capacity() = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	fr := NewFlightRecorder(1024)
+	tr := New(Config{SpanSlots: 64})
+	rt := tr.Start(1, 0, fr)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		rt.Record(KindDecode, time.Duration(i), time.Duration(i+1), 1)
+	}
+	_ = fmt.Sprint(rt.DroppedSpans())
+}
