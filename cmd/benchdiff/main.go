@@ -1,0 +1,117 @@
+// Command benchdiff compares the pinned hot-path sections of two
+// BENCH_<date>.json snapshots (written by `tltbench -json` /
+// `-json-out`) and exits non-zero when the newer one regresses:
+//
+//	benchdiff BENCH_2026-08-08.json bench_head.json
+//	benchdiff -tol 0.25 old.json new.json
+//
+// The gate is asymmetric on purpose. allocs/op on the pinned hot paths
+// is deterministic — any increase is a real regression and fails
+// immediately, tolerance-free. ns/op carries machine noise, so it only
+// fails beyond -tol (default 10%). A hot-path entry present in the
+// baseline but missing from the head snapshot also fails: silently
+// dropping a pinned benchmark is how regressions go unmeasured. Entries
+// new in the head are reported and pass — that's how new pins land.
+//
+// Only the hot_path section gates. The experiments section is whole-run
+// wall time (useful trajectory data, far too noisy to gate on) and the
+// figures section is checked by the per-experiment acceptance tests.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"fastrl/internal/experiments"
+)
+
+// snapshot is the subset of the BENCH_<date>.json document benchdiff
+// reads; unknown fields are ignored so old and new snapshot layouts both
+// parse.
+type snapshot struct {
+	Date    string                  `json:"date"`
+	HotPath []experiments.PerfEntry `json:"hot_path"`
+}
+
+func load(path string) (snapshot, error) {
+	var s snapshot
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return s, err
+	}
+	if err := json.Unmarshal(data, &s); err != nil {
+		return s, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(s.HotPath) == 0 {
+		return s, fmt.Errorf("%s: no hot_path section (not a tltbench -json snapshot?)", path)
+	}
+	return s, nil
+}
+
+func main() {
+	tol := flag.Float64("tol", 0.10, "ns/op regression tolerance as a fraction (0.10 = +10%); allocs/op increases always fail")
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-tol 0.10] <baseline.json> <head.json>")
+		os.Exit(2)
+	}
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+	head, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+		os.Exit(2)
+	}
+
+	byName := make(map[string]experiments.PerfEntry, len(head.HotPath))
+	for _, e := range head.HotPath {
+		byName[e.Name] = e
+	}
+
+	fmt.Printf("hot-path diff: %s (%s) -> %s (%s), ns/op tolerance %+.0f%%\n\n",
+		flag.Arg(0), old.Date, flag.Arg(1), head.Date, 100**tol)
+	fmt.Printf("%-32s %14s %14s %8s %10s %10s\n",
+		"name", "ns/op old", "ns/op new", "delta", "allocs old", "allocs new")
+	failures := 0
+	for _, o := range old.HotPath {
+		n, ok := byName[o.Name]
+		if !ok {
+			fmt.Printf("%-32s MISSING from head snapshot — pinned benchmark dropped\n", o.Name)
+			failures++
+			continue
+		}
+		delete(byName, o.Name)
+		delta := 0.0
+		if o.NsPerOp > 0 {
+			delta = (n.NsPerOp - o.NsPerOp) / o.NsPerOp
+		}
+		verdict := ""
+		if n.AllocsPerOp > o.AllocsPerOp {
+			verdict = fmt.Sprintf("  FAIL: allocs/op %d -> %d", o.AllocsPerOp, n.AllocsPerOp)
+			failures++
+		} else if delta > *tol {
+			verdict = fmt.Sprintf("  FAIL: ns/op %+.1f%% beyond %.0f%%", 100*delta, 100**tol)
+			failures++
+		}
+		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %10d %10d%s\n",
+			o.Name, o.NsPerOp, n.NsPerOp, 100*delta, o.AllocsPerOp, n.AllocsPerOp, verdict)
+	}
+	// Entries only in head: new pins, informational.
+	for _, e := range head.HotPath {
+		if _, stillNew := byName[e.Name]; stillNew {
+			fmt.Printf("%-32s %14s %14.0f %8s %10s %10d  (new)\n",
+				e.Name, "-", e.NsPerOp, "-", "-", e.AllocsPerOp)
+		}
+	}
+
+	if failures > 0 {
+		fmt.Printf("\nbenchdiff: %d regression(s)\n", failures)
+		os.Exit(1)
+	}
+	fmt.Println("\nbenchdiff: no regressions")
+}

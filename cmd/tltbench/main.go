@@ -93,9 +93,13 @@ func main() {
 		list      = flag.Bool("list", false, "list available experiments")
 		verbose   = flag.Bool("v", false, "verbose progress")
 		jsonOut   = flag.Bool("json", false, "write a BENCH_<date>.json perf snapshot (ns/op and allocs/op per figure/table plus hot-path micro-benchmarks)")
+		jsonPath  = flag.String("json-out", "", "write the perf snapshot to this path instead of BENCH_<date>.json (implies -json; lets CI diff against a committed baseline from the same date without clobbering it)")
 		traceFile = flag.String("trace", "", "enable request-lifecycle tracing and write the Chrome trace_event export to this file (load in chrome://tracing or Perfetto); the export is parsed back and validated before exit")
 	)
 	flag.Parse()
+	if *jsonPath != "" {
+		*jsonOut = true
+	}
 
 	if *list || *exp == "" {
 		fmt.Println("available experiments:")
@@ -162,7 +166,10 @@ func main() {
 			Figures:     figures,
 			HotPath:     experiments.PerfSnapshot(*quick),
 		}
-		name := fmt.Sprintf("BENCH_%s.json", snap.Date)
+		name := *jsonPath
+		if name == "" {
+			name = fmt.Sprintf("BENCH_%s.json", snap.Date)
+		}
 		data, err := json.MarshalIndent(snap, "", "  ")
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "tltbench: encode snapshot: %v\n", err)

@@ -6,9 +6,11 @@
 //	go run ./examples/trace_analysis
 //
 // With -trace it instead renders a request-lifecycle Gantt from a Chrome
-// trace_event file exported by `tltbench -trace` or deploy_drafter:
+// trace_event file exported by `tltbench -trace` or deploy_drafter, and
+// with -phases a per-kind span-time aggregation of the same file:
 //
 //	go run ./examples/trace_analysis -trace deploy_drafter_trace.json
+//	go run ./examples/trace_analysis -phases batching_trace.json
 package main
 
 import (
@@ -24,9 +26,16 @@ import (
 
 func main() {
 	traceFile := flag.String("trace", "", "render an ASCII Gantt from an exported Chrome trace_event file instead of the workload analysis")
+	phaseFile := flag.String("phases", "", "print a per-kind span-time breakdown of an exported Chrome trace_event file instead of the workload analysis")
 	flag.Parse()
 	if *traceFile != "" {
 		if err := renderTraceGantt(*traceFile, os.Stdout); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
+	if *phaseFile != "" {
+		if err := renderPhaseBreakdown(*phaseFile, os.Stdout); err != nil {
 			log.Fatal(err)
 		}
 		return

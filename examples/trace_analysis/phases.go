@@ -1,0 +1,90 @@
+// Phase-breakdown view for exported request-lifecycle traces: aggregate
+// every span in a Chrome trace_event file by kind and show where the
+// requests' virtual time actually went — the trace-side complement of the
+// scheduler's step-phase profile (`tltbench -exp batching` prints the
+// per-Step decomposition; this renders the same story per request kind
+// from the exported artefact).
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"fastrl/internal/trace"
+)
+
+// phaseAgg accumulates one span kind's totals across the whole trace.
+type phaseAgg struct {
+	kind  string
+	total int64 // summed span ns (0 for instant kinds)
+	count int64
+}
+
+// renderPhaseBreakdown loads a Chrome trace_event file and prints the
+// per-kind span aggregation: total time, share of summed span time, event
+// count, and mean span length. Instant kinds (submit, retire, cancel)
+// carry counts only.
+func renderPhaseBreakdown(path string, w io.Writer) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	e, err := trace.ParseChrome(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	sum, err := e.Validate()
+	if err != nil {
+		return fmt.Errorf("%s failed validation: %w", path, err)
+	}
+	if len(e.Requests) == 0 {
+		return fmt.Errorf("%s holds no request traces", path)
+	}
+
+	aggs := map[string]*phaseAgg{}
+	var grand int64
+	for _, r := range e.Requests {
+		for _, sp := range r.Spans {
+			a := aggs[sp.Kind]
+			if a == nil {
+				a = &phaseAgg{kind: sp.Kind}
+				aggs[sp.Kind] = a
+			}
+			a.count++
+			if d := sp.End - sp.Start; d > 0 {
+				a.total += d
+				grand += d
+			}
+		}
+	}
+	rows := make([]*phaseAgg, 0, len(aggs))
+	for _, a := range aggs {
+		rows = append(rows, a)
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].total != rows[j].total {
+			return rows[i].total > rows[j].total
+		}
+		return rows[i].kind < rows[j].kind
+	})
+
+	fmt.Fprintf(w, "trace %s: %d requests, %d spans, device busy %v\n", path, sum.Requests, sum.Spans, sum.Busy)
+	fmt.Fprintf(w, "phase breakdown (per-request span time summed across the trace):\n\n")
+	fmt.Fprintf(w, "%-12s %14s %7s %8s %14s\n", "phase", "total", "share", "events", "mean")
+	for _, a := range rows {
+		share := "-"
+		mean := "-"
+		if a.total > 0 {
+			share = fmt.Sprintf("%5.1f%%", 100*float64(a.total)/float64(grand))
+			mean = fmt.Sprint(time.Duration(a.total / a.count).Round(time.Microsecond))
+		}
+		fmt.Fprintf(w, "%-12s %14v %7s %8d %14s\n",
+			a.kind, time.Duration(a.total).Round(time.Microsecond), share, a.count, mean)
+	}
+	fmt.Fprintf(w, "%-12s %14v %7s\n", "sum", time.Duration(grand).Round(time.Microsecond), "100.0%")
+	fmt.Fprintln(w, "\n(queue time overlaps other requests' decode; the sum is request-attributed, not wall time)")
+	return nil
+}

@@ -15,6 +15,14 @@ type AdmissionConfig struct {
 	// SvcAlpha is the EWMA coefficient for the shard's per-request service
 	// time estimate (the weight of the newest sample). Default 0.2.
 	SvcAlpha float64
+	// BurnShed, when > 0, makes admission shed earlier while the shard is
+	// burning its SLO error budget fast: while the shard's fast-window
+	// burn rate (slo.Engine.BurnRate) is at or above this threshold, the
+	// effective backlog cap drops to MaxPending/2, so the overloaded shard
+	// drains the queue it already has instead of stacking more latency
+	// behind the problem. 0 (the default) disables burn-aware shedding;
+	// it only takes effect when the cluster has SLO specs configured.
+	BurnShed float64
 }
 
 func (a AdmissionConfig) withDefaults() AdmissionConfig {
@@ -57,10 +65,17 @@ func (sh *shard) admit(n int, deadline time.Duration, cfg AdmissionConfig) error
 	backlog := n - 1 // requests ahead of this one
 	svc := sh.svcEstimate()
 	replicas := sh.server().Replicas()
-	if n > cfg.MaxPending {
+	maxPending := cfg.MaxPending
+	if cfg.BurnShed > 0 && sh.slo.BurnRate() >= cfg.BurnShed {
+		// Burn-aware shedding: the shard's fast window says the error
+		// budget is torching, so stop queueing behind the problem — halve
+		// the backlog cap until the burn cools below the threshold.
+		maxPending = (cfg.MaxPending + 1) / 2
+	}
+	if n > maxPending {
 		// Queue-bound shedding: retry once the backlog beyond the cap has
 		// drained through the shard's replicas.
-		excess := n - cfg.MaxPending
+		excess := n - maxPending
 		return &ErrShedded{
 			Shard:      sh.id,
 			Pending:    backlog,

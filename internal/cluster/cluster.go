@@ -28,6 +28,7 @@ import (
 	"fastrl/internal/model"
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/serving"
+	"fastrl/internal/slo"
 	"fastrl/internal/spot"
 	"fastrl/internal/trace"
 	"fastrl/internal/workload"
@@ -86,6 +87,14 @@ type Config struct {
 	// Tracer — fault-injection events always land in them, so every chaos
 	// fault leaves a postmortem capture even with request tracing off.
 	FlightSlots int
+	// SLO declares the cluster's service-level objectives (internal/slo).
+	// Every shard gets its own burn-rate engine fed by its serving layer
+	// (TTFT and per-chunk ITL at step boundaries, outcomes at terminal
+	// events); breaches emit trace.KindSLOBreach markers into that shard's
+	// flight-recorder ring, and admission can shed earlier while the fast
+	// window burns (AdmissionConfig.BurnShed). Empty (the default)
+	// disables SLO evaluation entirely.
+	SLO []slo.Spec
 }
 
 // NewShardCaches builds n independent prefix caches with a shared config,
@@ -130,6 +139,10 @@ type shard struct {
 	// Cluster-owned, so it survives crash/revival and the postmortem of a
 	// dying shard includes the spans recorded right up to the kill.
 	flight *trace.FlightRecorder
+	// slo is the shard's burn-rate engine (nil without Config.SLO).
+	// Cluster-owned like the flight ring, so a revived shard keeps burning
+	// the same error budget its previous incarnation torched.
+	slo *slo.Engine
 	// svcBits holds the EWMA per-request service time in seconds
 	// (math.Float64bits), updated on every completion.
 	svcBits atomic.Uint64
@@ -156,10 +169,10 @@ type Cluster struct {
 	drafter draft.Drafter
 
 	// reg is the cluster's unified metrics registry: per-shard admission
-	// counters, cluster-wide outcome counters, and the latency reservoirs,
+	// counters, cluster-wide outcome counters, and the latency histograms,
 	// all readable through one consistent Snapshot. Lock order: registry
 	// lock strictly before statsMu (Update groups and the registered
-	// reservoir/gauge providers nest statsMu inside).
+	// histogram/gauge providers nest statsMu inside).
 	reg *metrics.Registry
 	// cCancelled/cErrored/cFailovers/cDup are the cluster-wide outcome
 	// counters. dup_deliveries counts terminal events a client actually
@@ -187,15 +200,16 @@ type Cluster struct {
 	liveBuf []int
 	loadBuf []int
 
-	// statsMu guards the cluster-wide latency/TTFT/ITL reservoirs and the
-	// accept-length accumulator (the same bounded-reservoir discipline as
-	// serving). The TTFT and ITL reservoirs take one sample per completed
-	// request (serving.Response.TTFT / .ITL — the per-request mean ITL),
-	// since per-chunk samples live in the shard they streamed from.
+	// statsMu guards the cluster-wide latency/TTFT/ITL histograms and the
+	// accept-length accumulator. The TTFT and ITL histograms take one
+	// sample per completed request (serving.Response.TTFT / .ITL — the
+	// per-request mean ITL), since per-chunk samples live in the shard
+	// they streamed from; exemplars are serving request IDs (unique within
+	// one shard).
 	statsMu   sync.Mutex
-	lats      *metrics.Reservoir
-	ttfts     *metrics.Reservoir
-	itls      *metrics.Reservoir
+	lats      *metrics.Histogram
+	ttfts     *metrics.Histogram
+	itls      *metrics.Histogram
 	acceptSum float64
 	acceptN   int
 
@@ -235,9 +249,9 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 		liveBuf:  make([]int, 0, cfg.Shards),
 		loadBuf:  make([]int, 0, cfg.Shards),
 		reg:      metrics.NewRegistry(),
-		lats:     metrics.NewReservoir(serving.MaxLatencySamples, 0xc1),
-		ttfts:    metrics.NewReservoir(serving.MaxLatencySamples, 0xc2),
-		itls:     metrics.NewReservoir(serving.MaxLatencySamples, 0xc3),
+		lats:     metrics.NewHistogram(),
+		ttfts:    metrics.NewHistogram(),
+		itls:     metrics.NewHistogram(),
 	}
 	c.cCancelled = c.reg.Counter("cancelled")
 	c.cErrored = c.reg.Counter("errored")
@@ -245,13 +259,13 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 	c.cDup = c.reg.Counter("dup_deliveries")
 	for _, r := range []struct {
 		name string
-		res  *metrics.Reservoir
+		hist *metrics.Histogram
 	}{{"latency", c.lats}, {"ttft", c.ttfts}, {"itl", c.itls}} {
-		res := r.res
-		c.reg.ReservoirFunc(r.name, func() *metrics.Reservoir {
+		hist := r.hist
+		c.reg.HistogramFunc(r.name, func() *metrics.Histogram {
 			c.statsMu.Lock()
 			defer c.statsMu.Unlock()
-			return res.Clone()
+			return hist.Clone()
 		})
 	}
 	c.reg.Gauge("accept_len_mean", func() float64 {
@@ -264,6 +278,14 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Cluster, error) 
 	})
 	for i := 0; i < cfg.Shards; i++ {
 		sh := &shard{id: i, flight: trace.NewFlightRecorder(cfg.FlightSlots)}
+		eng, err := slo.NewEngine(cfg.SLO, i, sh.flight)
+		if err != nil {
+			for _, prev := range c.shards {
+				prev.server().Stop()
+			}
+			return nil, fmt.Errorf("cluster: shard %d: %w", i, err)
+		}
+		sh.slo = eng
 		if cfg.Caches != nil {
 			sh.cache = cfg.Caches[i]
 		}
@@ -303,6 +325,7 @@ func (c *Cluster) shardServingConfig(sh *shard) serving.Config {
 	shardCfg.Tracer = c.cfg.Tracer
 	shardCfg.Flight = sh.flight
 	shardCfg.ShardID = sh.id
+	shardCfg.SLO = sh.slo
 	return shardCfg
 }
 
@@ -551,17 +574,21 @@ func (c *Cluster) recordOutcome(sh *shard, r serving.Response) {
 		}
 	}
 	// Counter and latency samples settle in one Update group (statsMu
-	// nests inside the registry lock, matching the registered reservoir
+	// nests inside the registry lock, matching the registered histogram
 	// providers), so a concurrent Snapshot never tears the outcome.
+	ex := r.ReqID
+	if ex == 0 {
+		ex = -1 // never admitted: no serving request ID to exemplify
+	}
 	c.reg.Update(func() {
 		sh.cServed.Inc()
 		c.statsMu.Lock()
-		c.lats.Add(r.Latency.Seconds())
+		c.lats.RecordDuration(r.Latency, ex)
 		if r.TTFT > 0 {
-			c.ttfts.Add(r.TTFT.Seconds())
+			c.ttfts.RecordDuration(r.TTFT, ex)
 		}
 		if r.ITL > 0 {
-			c.itls.Add(r.ITL.Seconds())
+			c.itls.RecordDuration(r.ITL, ex)
 		}
 		if r.AcceptLen > 0 {
 			c.acceptSum += r.AcceptLen
@@ -600,6 +627,10 @@ type ShardStats struct {
 	// without per-shard caches).
 	CacheHitRate float64
 	CacheBytes   int64
+	// BurnRate is the shard's maximum fast-window SLO burn rate and SLO
+	// its per-spec status (zero/nil without Config.SLO).
+	BurnRate float64
+	SLO      []slo.SpecStatus
 }
 
 // Stats is a cluster-wide snapshot. All counters derive from one registry
@@ -630,12 +661,23 @@ type Stats struct {
 	TTFTP95 time.Duration
 	ITLP50  time.Duration
 	ITLP95  time.Duration
-	// P999/TTFTP999 are extreme-tail percentiles over a seen-weighted merge
-	// of the per-shard reservoirs (see metrics.MergeReservoirs) — the
-	// cluster-level tails the chaos experiment reports across a failure
-	// window.
+	// P999/TTFTP999 are extreme-tail percentiles over an exact bucket-wise
+	// merge of the per-shard latency histograms (metrics.Histogram.Merge) —
+	// the cluster-level tails the chaos experiment reports across a failure
+	// window, deterministic and independent of merge order (unlike the
+	// sampled reservoir merge they replaced).
 	P999     time.Duration
 	TTFTP999 time.Duration
+	// P999Exemplars/TTFTP999Exemplars are the exemplar request IDs retained
+	// by the merged p99.9 buckets — the requests to chase through
+	// flight-recorder rings and trace exports when the tail moves.
+	P999Exemplars     []int64
+	TTFTP999Exemplars []int64
+	// BurnRate is the maximum fast-window SLO burn rate across shards at
+	// snapshot time; SLOBreaches totals breach markers emitted cluster-wide
+	// (both zero without Config.SLO). Per-shard status lives in Shards.
+	BurnRate    float64
+	SLOBreaches int64
 	// DuplicateDeliveries counts terminal events a client observed twice
 	// for one logical request under failover. The failover dedup keeps it
 	// at zero; the chaos experiment asserts that.
@@ -663,7 +705,6 @@ type Stats struct {
 func (c *Cluster) Stats() Stats {
 	var st Stats
 	snap := c.reg.Snapshot()
-	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
 	util := c.scaler.utilisations()
 	for _, sh := range c.shards {
 		ss := ShardStats{
@@ -676,11 +717,17 @@ func (c *Cluster) Stats() Stats {
 			Utilisation:  util[sh.id],
 			CacheHitRate: sh.server().CacheHitRate(),
 			CacheBytes:   sh.server().CacheResidentBytes(),
+			BurnRate:     sh.slo.BurnRate(),
+			SLO:          sh.slo.Status(),
 		}
 		st.Admitted += ss.Admitted
 		st.Served += ss.Served
 		st.Shed += ss.Shed
 		st.MeanUtilisation += ss.Utilisation
+		if ss.BurnRate > st.BurnRate {
+			st.BurnRate = ss.BurnRate
+		}
+		st.SLOBreaches += sh.slo.Breaches()
 		if cache := sh.server().Cache(); cache != nil {
 			st.CacheSavedPositions += cache.Stats().SavedPositions
 		}
@@ -690,35 +737,52 @@ func (c *Cluster) Stats() Stats {
 	if total := st.Admitted + st.Shed; total > 0 {
 		st.ShedRate = float64(st.Shed) / float64(total)
 	}
-	st.P50 = sec(snap.Reservoirs["latency"].P50)
-	st.P95 = sec(snap.Reservoirs["latency"].P95)
-	st.TTFTP50 = sec(snap.Reservoirs["ttft"].P50)
-	st.TTFTP95 = sec(snap.Reservoirs["ttft"].P95)
-	st.ITLP50 = sec(snap.Reservoirs["itl"].P50)
-	st.ITLP95 = sec(snap.Reservoirs["itl"].P95)
+	st.P50 = time.Duration(snap.Histogram("latency").P50)
+	st.P95 = time.Duration(snap.Histogram("latency").P95)
+	st.TTFTP50 = time.Duration(snap.Histogram("ttft").P50)
+	st.TTFTP95 = time.Duration(snap.Histogram("ttft").P95)
+	st.ITLP50 = time.Duration(snap.Histogram("itl").P50)
+	st.ITLP95 = time.Duration(snap.Histogram("itl").P95)
 	st.Cancelled = int(snap.Counter("cancelled"))
 	st.Errored = int(snap.Counter("errored"))
 	st.MeanAcceptLen = snap.Gauge("accept_len_mean")
-	// Cluster p99.9 merges the per-shard reservoirs weighted by observed
-	// mass: the cluster-level reservoir holds one sample per request, too
-	// coarse for a 99.9th tail on its own.
-	latSrcs := make([]*metrics.Reservoir, 0, 2*len(c.shards))
-	ttftSrcs := make([]*metrics.Reservoir, 0, len(c.shards))
+	// Cluster p99.9 merges the per-shard histograms into the cluster-level
+	// per-request histograms bucket-wise: the cluster's own histograms hold
+	// one sample per request, too coarse for a 99.9th tail on their own,
+	// while the shard histograms carry every chunk-level sample. The merge
+	// is exact addition — deterministic for a fixed observation set, and
+	// the merged tail buckets keep their exemplar request IDs.
+	mergedLat, mergedTTFT := metrics.NewHistogram(), metrics.NewHistogram()
 	c.statsMu.Lock()
-	latSrcs = append(latSrcs, c.lats.Clone())
-	ttftSrcs = append(ttftSrcs, c.ttfts.Clone())
+	mergedLat.Merge(c.lats)
+	mergedTTFT.Merge(c.ttfts)
 	c.statsMu.Unlock()
 	for _, sh := range c.shards {
-		lats, ttfts := sh.server().TailReservoirs()
-		latSrcs = append(latSrcs, lats)
-		ttftSrcs = append(ttftSrcs, ttfts)
+		lats, ttfts := sh.server().TailHistograms()
+		mergedLat.Merge(lats)
+		mergedTTFT.Merge(ttfts)
 	}
-	mergedLat := metrics.MergeReservoirs(serving.MaxLatencySamples, 0xc9, latSrcs...)
-	mergedTTFT := metrics.MergeReservoirs(serving.MaxLatencySamples, 0xca, ttftSrcs...)
-	st.P999 = time.Duration(mergedLat.Percentile(99.9) * float64(time.Second))
-	st.TTFTP999 = time.Duration(mergedTTFT.Percentile(99.9) * float64(time.Second))
+	st.P999 = time.Duration(mergedLat.Quantile(99.9))
+	st.TTFTP999 = time.Duration(mergedTTFT.Quantile(99.9))
+	st.P999Exemplars = mergedLat.ExemplarsAt(99.9)
+	st.TTFTP999Exemplars = mergedTTFT.ExemplarsAt(99.9)
 	st.DuplicateDeliveries = int(snap.Counter("dup_deliveries"))
 	st.Failovers = int(snap.Counter("failovers"))
 	st.TrainingSessions, st.Preemptions = c.scaler.sessionCounts()
 	return st
 }
+
+// BurnRate returns the maximum fast-window SLO burn rate across shards —
+// the cluster's load-control signal (0 without Config.SLO).
+func (c *Cluster) BurnRate() float64 {
+	var max float64
+	for _, sh := range c.shards {
+		if b := sh.slo.BurnRate(); b > max {
+			max = b
+		}
+	}
+	return max
+}
+
+// SLOEngine returns shard id's burn-rate engine (nil without Config.SLO).
+func (c *Cluster) SLOEngine(id int) *slo.Engine { return c.shards[id].slo }

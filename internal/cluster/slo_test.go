@@ -1,0 +1,134 @@
+package cluster
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"fastrl/internal/slo"
+	"fastrl/internal/trace"
+)
+
+// TestClusterSLOStats pins the cluster-level SLO surface: shards with an
+// impossible TTFT objective report burn and breaches through Stats, the
+// breach markers land in the shard flight recorders, and the merged-tail
+// percentiles come from exemplar-linked histograms.
+func TestClusterSLOStats(t *testing.T) {
+	target, e, tk, gen := clusterSetup(t)
+	cfg := clusterConfig(tk, 2, 1)
+	// The fast window spans the whole run in virtual time, so the burn
+	// reading at the last observation still covers every TTFT sample.
+	cfg.SLO = []slo.Spec{{
+		Name: "ttft-p95", Kind: slo.TTFT, Threshold: time.Nanosecond,
+		Objective: 0.95, FastWindow: 30 * time.Second,
+	}}
+	cl, err := New(cfg, target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	for i := 0; i < 10; i++ {
+		task := gen.Pool()[i%len(gen.Pool())]
+		if _, err := cl.Serve(context.Background(), Request{
+			Prompt: task.Prompt, MaxNew: 32, Seed: int64(i),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	st := cl.Stats()
+	if st.BurnRate < 4 {
+		t.Fatalf("cluster burn rate = %v, want >= 4 for an all-bad stream", st.BurnRate)
+	}
+	if st.BurnRate != cl.BurnRate() {
+		t.Fatalf("Stats.BurnRate %v != Cluster.BurnRate %v", st.BurnRate, cl.BurnRate())
+	}
+	if st.SLOBreaches == 0 {
+		t.Fatal("impossible objective never breached")
+	}
+	burned := false
+	for _, ss := range st.Shards {
+		if len(ss.SLO) != 1 {
+			t.Fatalf("shard %d SLO status has %d specs, want 1", ss.ID, len(ss.SLO))
+		}
+		if ss.BurnRate > 0 {
+			burned = true
+		}
+	}
+	if !burned {
+		t.Fatal("no shard reports a positive burn rate")
+	}
+	// Breach markers are in at least one shard's flight-recorder ring.
+	found := false
+	for id := 0; id < cl.Shards() && !found; id++ {
+		for _, r := range cl.FlightRecorder(id).Snapshot() {
+			if r.Kind == trace.KindSLOBreach {
+				if r.ReqID != -1 || int(r.Shard) != id {
+					t.Fatalf("marker fields wrong: %+v on shard %d", r, id)
+				}
+				found = true
+				break
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no KindSLOBreach marker in any shard ring")
+	}
+	// Histogram-merged tails: present and exemplar-linked.
+	if st.P999 <= 0 || st.TTFTP999 <= 0 {
+		t.Fatalf("merged tails empty: p999=%v ttft_p999=%v", st.P999, st.TTFTP999)
+	}
+	if len(st.P999Exemplars) == 0 || len(st.TTFTP999Exemplars) == 0 {
+		t.Fatal("merged p99.9 buckets retained no exemplar request IDs")
+	}
+}
+
+// TestBurnShedAdmission pins the SLO engine's first control consumer:
+// with BurnShed set, a shard whose fast window is burning sheds at half
+// the configured backlog cap; the same backlog is admitted while the
+// budget is healthy or the knob is off.
+func TestBurnShedAdmission(t *testing.T) {
+	target, e, tk, _ := clusterSetup(t)
+	cfg := clusterConfig(tk, 1, 1)
+	cfg.SLO = []slo.Spec{{
+		Name: "ttft-p95", Kind: slo.TTFT, Threshold: time.Millisecond, Objective: 0.95,
+	}}
+	cl, err := New(cfg, target, e)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cl.Stop()
+
+	sh := cl.shards[0]
+	acfg := AdmissionConfig{MaxPending: 8, BurnShed: 4}.withDefaults()
+	// Healthy budget: the full cap applies.
+	if err := sh.admit(8, 0, acfg); err != nil {
+		t.Fatalf("healthy shard shed at the configured cap: %v", err)
+	}
+	// Torch the fast window: every observation blows the threshold.
+	eng := cl.SLOEngine(0)
+	for i := 0; i < 50; i++ {
+		eng.ObserveLatency(slo.TTFT, time.Second, time.Duration(i)*10*time.Millisecond)
+	}
+	if b := eng.BurnRate(); b < acfg.BurnShed {
+		t.Fatalf("burn = %v, want >= %v after all-bad stream", b, acfg.BurnShed)
+	}
+	// Burn-aware shedding halves the effective cap: 5 > 8/2 sheds.
+	err = sh.admit(5, 0, acfg)
+	if err == nil {
+		t.Fatal("burning shard admitted above the halved cap")
+	}
+	if _, ok := err.(*ErrShedded); !ok {
+		t.Fatalf("shed error type %T, want *ErrShedded", err)
+	}
+	// At or under the halved cap still admits.
+	if err := sh.admit(4, 0, acfg); err != nil {
+		t.Fatalf("burning shard shed under the halved cap: %v", err)
+	}
+	// Knob off: full cap applies even while burning.
+	acfg.BurnShed = 0
+	if err := sh.admit(8, 0, acfg); err != nil {
+		t.Fatalf("BurnShed=0 changed admission behaviour: %v", err)
+	}
+}

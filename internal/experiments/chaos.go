@@ -12,6 +12,7 @@ import (
 	"fastrl/internal/metrics"
 	"fastrl/internal/rollout"
 	"fastrl/internal/serving"
+	"fastrl/internal/slo"
 	"fastrl/internal/specdec"
 	"fastrl/internal/trace"
 	"fastrl/internal/vclock"
@@ -105,7 +106,7 @@ func runChaos(opts Options) (*Result, error) {
 
 	res := &Result{}
 	tbl := &metrics.Table{Header: []string{
-		"failover", "served", "failed", "shed", "avail%", "failovers", "dup", "fault ttft p99.9 ms", "ttft p99.9 ms", "p99.9 ms",
+		"failover", "served", "failed", "shed", "avail%", "failovers", "dup", "slo breaches", "fault ttft p99.9 ms", "ttft p99.9 ms", "p99.9 ms",
 	}}
 	for i := range arms {
 		arm := &arms[i]
@@ -122,6 +123,7 @@ func runChaos(opts Options) (*Result, error) {
 			metrics.F(100*avail, 2),
 			fmt.Sprintf("%d", st.Failovers),
 			fmt.Sprintf("%d", st.DuplicateDeliveries),
+			fmt.Sprintf("%d", st.SLOBreaches),
 			metrics.F(1000*faultTail, 2),
 			metrics.F(float64(st.TTFTP999)/float64(time.Millisecond), 2),
 			metrics.F(float64(st.P999)/float64(time.Millisecond), 2),
@@ -133,6 +135,7 @@ func runChaos(opts Options) (*Result, error) {
 		res.Metric(arm.name+"/failovers", float64(st.Failovers))
 		res.Metric(arm.name+"/dup_deliveries", float64(st.DuplicateDeliveries))
 		res.Metric(arm.name+"/postmortems", float64(arm.postmortems))
+		res.Metric(arm.name+"/slo_breaches", float64(st.SLOBreaches))
 		res.Metric(arm.name+"/token_checksum", float64(arm.checksum))
 		res.Metric(arm.name+"/fault_ttft_p999_ms", 1000*faultTail)
 		res.Metric(arm.name+"/ttft_p999_ms", float64(st.TTFTP999)/float64(time.Millisecond))
@@ -164,7 +167,8 @@ func runChaos(opts Options) (*Result, error) {
 		"faults land mid-window against inflight traffic; the hang carries no error signal — the health monitor detects the stalled step counter and escalates it to a crash",
 		"with failover, every request stranded on a dead shard replays on a survivor from its private RNG and prompt, bit-identical and deduplicated (dup must be 0); without, those requests fail",
 		"availability, failovers, and the delivered-token checksum are seed-deterministic (the CI acceptance test replays the experiment and compares them exactly); latency tails carry wall time and are not",
-		"fault ttft p99.9 samples only requests submitted during fault windows; cluster ttft/latency p99.9 merge per-shard reservoirs weighted by observed mass",
+		"fault ttft p99.9 samples only requests submitted during fault windows; cluster ttft/latency p99.9 are exact bucket-wise histogram merges across shards",
+		"each shard runs an availability SLO (objective 99%, 500ms fast window): a fault torching the shard's inflight requests burns the budget and drops a KindSLOBreach marker into the same flight ring as the fault record — the replay fails hard if any crash/hang leaves no breach marker behind it",
 	)
 	return res, nil
 }
@@ -216,6 +220,17 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 		// fault loss, not admission loss.
 		Admission: cluster.AdmissionConfig{MaxPending: 512},
 		Failover:  cluster.FailoverConfig{Enabled: failover},
+		// Availability SLO per shard: faults are the only failure source in
+		// this experiment (admission never sheds at this headroom), so every
+		// burn-rate breach marker in a shard's flight ring is attributable
+		// to an injected fault — verifySLOBreaches pins that the marker
+		// lands in ring order after the fault record it stems from. The
+		// tight objective (99%) and short fast window make even a lightly
+		// loaded shard's kill set burn well past the breach threshold.
+		SLO: []slo.Spec{{
+			Name: "availability", Kind: slo.Availability, Objective: 0.99,
+			FastWindow: 500 * time.Millisecond,
+		}},
 	}, b.target, drafter)
 	if err != nil {
 		arm.err = err
@@ -369,6 +384,9 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 	if arm.err == nil {
 		arm.err = verifyFlightRecords(cl, arm.name, expected)
 	}
+	if arm.err == nil {
+		arm.err = verifySLOBreaches(cl, arm.name, expected)
+	}
 	return arm
 }
 
@@ -418,6 +436,44 @@ func verifyFlightRecords(cl *cluster.Cluster, arm string, expected []expectedFau
 		if !captured {
 			return fmt.Errorf("chaos arm %s: no postmortem captured %v@%v on shard %d\n%s",
 				arm, want.kind, want.at, want.shard, dumpRecorder(cl))
+		}
+	}
+	return nil
+}
+
+// verifySLOBreaches asserts the SLO story of every injected crash/hang
+// sits alongside the fault markers: the faulted shard's availability
+// budget torches when its inflight requests die, so its flight ring must
+// hold a KindSLOBreach marker recorded after the fault record. Ring order
+// is record order, which sidesteps comparing the driver's window clock
+// against the shard's step clock.
+func verifySLOBreaches(cl *cluster.Cluster, arm string, expected []expectedFault) error {
+	for _, want := range expected {
+		if want.kind != trace.KindFaultCrash && want.kind != trace.KindFaultHang {
+			continue
+		}
+		recs := cl.FlightRecorder(want.shard).Snapshot()
+		faultAt := -1
+		for i, r := range recs {
+			if r.Kind == want.kind && r.Start == want.at {
+				faultAt = i
+				break
+			}
+		}
+		found := false
+		for _, r := range recs[faultAt+1:] {
+			if r.Kind == trace.KindSLOBreach {
+				if r.ReqID != -1 || int(r.Shard) != want.shard {
+					return fmt.Errorf("chaos arm %s: breach marker fields wrong: %+v on shard %d",
+						arm, r, want.shard)
+				}
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("chaos arm %s: shard %d ring has no SLO breach marker after %v@%v\n%s",
+				arm, want.shard, want.kind, want.at, dumpRecorder(cl))
 		}
 	}
 	return nil

@@ -137,7 +137,7 @@ func runFig1a(opts Options) (*Result, error) {
 	if opts.Quick {
 		steps = 1
 	}
-	hist := metrics.NewHistogram(0, float64(cfg.MaxNew)+1, 16)
+	hist := metrics.NewLinearHistogram(0, float64(cfg.MaxNew)+1, 16)
 	var rollout, other float64
 	var maxLen int
 	for i := 0; i < steps; i++ {

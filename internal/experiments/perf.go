@@ -7,6 +7,7 @@ import (
 	"testing"
 
 	"fastrl/internal/gpu"
+	"fastrl/internal/metrics"
 	"fastrl/internal/model"
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/sched"
@@ -200,6 +201,24 @@ func PerfSnapshot(quick bool) []PerfEntry {
 			for i := 0; i < n; i++ {
 				node, _ := cache.Lookup(prompt)
 				node.Release()
+			}
+		}))
+	}
+	{
+		// Exemplar-linked histogram record: the observability write every
+		// served request (and every streamed chunk) crosses — log-bucket
+		// index plus bounded exemplar-set update, pinned at 0 allocs/op
+		// like the other steady-state entries.
+		h := metrics.NewHistogram()
+		rng := rand.New(rand.NewSource(9))
+		vals := make([]int64, 1024)
+		for i := range vals {
+			vals[i] = 1 + int64(rng.Intn(1<<30))
+		}
+		entries = append(entries, mk("metrics/histogram-record", func(n int) {
+			for i := 0; i < n; i++ {
+				v := vals[i&1023]
+				h.Record(v, v)
 			}
 		}))
 	}

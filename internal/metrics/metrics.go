@@ -270,8 +270,10 @@ func MergeReservoirs(capacity int, seed int64, srcs ...*Reservoir) *Reservoir {
 	return out
 }
 
-// Histogram is a fixed-bin histogram over [min, max).
-type Histogram struct {
+// LinearHistogram is a fixed-bin histogram over [min, max) used for
+// figure-style distributions (accepted-length PDFs). Latency percentiles
+// use the log-bucket Histogram in histogram.go instead.
+type LinearHistogram struct {
 	MinV, MaxV float64
 	Counts     []int
 	N          int
@@ -279,19 +281,19 @@ type Histogram struct {
 	underflow  int
 }
 
-// NewHistogram creates a histogram with nbins bins spanning [min, max).
-func NewHistogram(minV, maxV float64, nbins int) *Histogram {
+// NewLinearHistogram creates a histogram with nbins bins spanning [min, max).
+func NewLinearHistogram(minV, maxV float64, nbins int) *LinearHistogram {
 	if nbins < 1 {
 		nbins = 1
 	}
 	if maxV <= minV {
 		maxV = minV + 1
 	}
-	return &Histogram{MinV: minV, MaxV: maxV, Counts: make([]int, nbins)}
+	return &LinearHistogram{MinV: minV, MaxV: maxV, Counts: make([]int, nbins)}
 }
 
 // Observe adds one sample.
-func (h *Histogram) Observe(x float64) {
+func (h *LinearHistogram) Observe(x float64) {
 	h.N++
 	if x < h.MinV {
 		h.underflow++
@@ -309,7 +311,7 @@ func (h *Histogram) Observe(x float64) {
 }
 
 // PDF returns per-bin probability mass (fractions of all observations).
-func (h *Histogram) PDF() []float64 {
+func (h *LinearHistogram) PDF() []float64 {
 	out := make([]float64, len(h.Counts))
 	if h.N == 0 {
 		return out
@@ -321,7 +323,7 @@ func (h *Histogram) PDF() []float64 {
 }
 
 // BinCenter returns the centre value of bin i.
-func (h *Histogram) BinCenter(i int) float64 {
+func (h *LinearHistogram) BinCenter(i int) float64 {
 	w := (h.MaxV - h.MinV) / float64(len(h.Counts))
 	return h.MinV + (float64(i)+0.5)*w
 }

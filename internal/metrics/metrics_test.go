@@ -212,8 +212,8 @@ func TestReservoir(t *testing.T) {
 	}
 }
 
-func TestHistogram(t *testing.T) {
-	h := NewHistogram(0, 10, 10)
+func TestLinearHistogram(t *testing.T) {
+	h := NewLinearHistogram(0, 10, 10)
 	for i := 0; i < 10; i++ {
 		h.Observe(float64(i) + 0.5)
 	}

@@ -30,6 +30,7 @@ type Registry struct {
 	counters   map[string]*Counter
 	gauges     map[string]func() float64
 	reservoirs map[string]func() *Reservoir
+	histograms map[string]func() *Histogram
 }
 
 // NewRegistry builds an empty registry.
@@ -38,6 +39,7 @@ func NewRegistry() *Registry {
 		counters:   map[string]*Counter{},
 		gauges:     map[string]func() float64{},
 		reservoirs: map[string]func() *Reservoir{},
+		histograms: map[string]func() *Histogram{},
 	}
 }
 
@@ -73,6 +75,16 @@ func (g *Registry) ReservoirFunc(name string, fn func() *Reservoir) {
 	g.mu.Unlock()
 }
 
+// HistogramFunc registers a histogram provider. Like ReservoirFunc, fn
+// must return a snapshot the caller may keep (Clone under the owner's
+// lock) and must not call back into the registry. Returning nil reports
+// an empty histogram.
+func (g *Registry) HistogramFunc(name string, fn func() *Histogram) {
+	g.mu.Lock()
+	g.histograms[name] = fn
+	g.mu.Unlock()
+}
+
 // Update runs fn under the registry's read lock. Counter writes inside
 // fn form an atomic group with respect to Snapshot: a snapshot sees all
 // of them or none. Concurrent Update groups proceed in parallel.
@@ -97,6 +109,7 @@ type Snapshot struct {
 	Counters   map[string]int64          `json:"counters"`
 	Gauges     map[string]float64        `json:"gauges,omitempty"`
 	Reservoirs map[string]ReservoirStats `json:"reservoirs,omitempty"`
+	Histograms map[string]HistogramStats `json:"histograms,omitempty"`
 }
 
 // Snapshot reads every instrument in one pass under the write lock, so
@@ -134,11 +147,21 @@ func (g *Registry) Snapshot() Snapshot {
 			}
 		}
 	}
+	if len(g.histograms) > 0 {
+		s.Histograms = make(map[string]HistogramStats, len(g.histograms))
+		for name, fn := range g.histograms {
+			s.Histograms[name] = fn().Stats()
+		}
+	}
 	return s
 }
 
 // Counter returns a counter value from the snapshot (0 when absent).
 func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Histogram returns a histogram summary from the snapshot (zero when
+// absent).
+func (s Snapshot) Histogram(name string) HistogramStats { return s.Histograms[name] }
 
 // Gauge returns a gauge value from the snapshot (0 when absent).
 func (s Snapshot) Gauge(name string) float64 { return s.Gauges[name] }
@@ -177,6 +200,16 @@ func (s Snapshot) String() string {
 		r := s.Reservoirs[n]
 		fmt.Fprintf(&b, "%-32s p50=%.4g p95=%.4g p99.9=%.4g mean=%.4g n=%d\n",
 			n, r.P50, r.P95, r.P999, r.Mean, r.Seen)
+	}
+	names = names[:0]
+	for n := range s.Histograms {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		h := s.Histograms[n]
+		fmt.Fprintf(&b, "%-32s p50=%d p95=%d p99.9=%d mean=%.4g n=%d\n",
+			n, h.P50, h.P95, h.P999, h.Mean, h.N)
 	}
 	return b.String()
 }

@@ -1,0 +1,151 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/metrics"
+	"fastrl/internal/workload"
+)
+
+// TestPhaseProfileReconciles drives a batch with profiling on through a
+// full lifecycle mix — staggered admissions, SD activation, cancellation,
+// retirement — and pins the tentpole invariant: the per-phase virtual
+// time sums to exactly the clock movement of every Step call.
+func TestPhaseProfileReconciles(t *testing.T) {
+	env := newEnv(t)
+	cfg := DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+	cfg.SDThreshold = 4 // start vanilla, activate SD as the batch drains
+	cfg.Phases = NewPhaseProfile()
+	cfg.Metrics = metrics.NewRegistry()
+	b, err := New(cfg, env.target, env.eagle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(17))
+	pool := env.gen.Pool()
+	for i := 0; i < 8; i++ {
+		r := NewRequest(i, pool[i%len(pool)].Prompt, 24,
+			workload.LengthPrior{TargetLen: 16, Sharpness: 25}, env.tk.Answer(), env.tk.Eos())
+		r.RNG = rand.New(rand.NewSource(int64(100 + i)))
+		b.Admit(r)
+		if i == 5 {
+			r.Cancel() // exercised by the sweep before ever prefilling
+		}
+	}
+	retired := 0
+	for steps := 0; b.ActiveCount() > 0 && steps < 500; steps++ {
+		b.Step(rng)
+		retired += len(b.Retire())
+	}
+	if retired != 8 {
+		t.Fatalf("retired %d of 8 requests", retired)
+	}
+
+	s := cfg.Phases.Snapshot()
+	if !s.Reconciles() {
+		t.Fatalf("phase sum %d ns != step total %d ns\n%+v", s.SumNs(), s.TotalNs, s)
+	}
+	if s.TotalNs == 0 || s.Steps == 0 {
+		t.Fatal("profile recorded no work")
+	}
+	if s.Ns[PhasePrefill] == 0 || s.Ns[PhaseVerify] == 0 {
+		t.Fatalf("prefill/verify phases empty: %+v", s.Ns)
+	}
+	if s.Ns[PhaseDraft] == 0 {
+		t.Fatalf("SD ran (threshold 4, batch drains) but draft phase empty: %+v", s.Ns)
+	}
+	if s.Events[PhaseAdmitDrain] != 7 { // 8 admitted, 1 cancelled before prefill
+		t.Fatalf("admit-drain events = %d, want 7", s.Events[PhaseAdmitDrain])
+	}
+	if s.Events[PhaseCancelSweep] != 1 {
+		t.Fatalf("cancel-sweep events = %d, want 1", s.Events[PhaseCancelSweep])
+	}
+	if s.Events[PhaseRetire] != 8 {
+		t.Fatalf("retire events = %d, want 8", s.Events[PhaseRetire])
+	}
+	// Boundary phases stay free in virtual time — that is what makes the
+	// decomposition exact.
+	for _, p := range []Phase{PhaseAdmitDrain, PhaseCancelSweep, PhaseRetire} {
+		if s.Ns[p] != 0 {
+			t.Fatalf("zero-time phase %v accumulated %d ns", p, s.Ns[p])
+		}
+	}
+
+	// The registry exports per-phase gauges.
+	snap := cfg.Metrics.Snapshot()
+	if got := snap.Gauge("sched/phase/verify_ns"); got != float64(s.Ns[PhaseVerify]) {
+		t.Fatalf("verify gauge = %v, profile = %d", got, s.Ns[PhaseVerify])
+	}
+}
+
+// TestPhaseProfileToolWait pins attribution of the all-waiting clock jump.
+func TestPhaseProfileToolWait(t *testing.T) {
+	env := newEnv(t)
+	cfg := DefaultConfig(gpu.NewDevice(gpu.H100, 1))
+	cfg.SDThreshold = -1
+	cfg.Phases = NewPhaseProfile()
+	b, err := New(cfg, env.target, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	r := NewRequest(0, env.gen.Pool()[0].Prompt, 64,
+		workload.LengthPrior{TargetLen: 48, Sharpness: 25}, env.tk.Answer(), env.tk.Eos())
+	r.RNG = rand.New(rand.NewSource(5))
+	r.Tool = ToolProfile{Every: 4, Latency: 50 * time.Millisecond}
+	b.Admit(r)
+	sawWait := false
+	for steps := 0; b.ActiveCount() > 0 && steps < 2000; steps++ {
+		b.Step(rng)
+		b.Retire()
+	}
+	s := cfg.Phases.Snapshot()
+	sawWait = s.Ns[PhaseToolWait] > 0
+	if !sawWait {
+		t.Fatalf("tool-calling request never hit the all-waiting path: %+v", s)
+	}
+	if !s.Reconciles() {
+		t.Fatalf("phase sum %d != total %d with tool waits", s.SumNs(), s.TotalNs)
+	}
+}
+
+// TestPhaseProfileNilInert pins "free when off": every accessor on a nil
+// profile is a no-op, and a batch without Config.Phases behaves
+// identically to the seed.
+func TestPhaseProfileNilInert(t *testing.T) {
+	var p *PhaseProfile
+	p.add(PhaseVerify, time.Second)
+	p.count(PhaseRetire, 3)
+	p.endStep(0, time.Second)
+	s := p.Snapshot()
+	if s.TotalNs != 0 || s.Steps != 0 || !s.Reconciles() {
+		t.Fatalf("nil profile not inert: %+v", s)
+	}
+	if Phase(99).String() != "unknown" || PhaseDraft.String() != "draft" {
+		t.Fatal("phase names broken")
+	}
+}
+
+// TestBatchStepPhasesZeroAllocs extends the hot-path pin: profiling ON
+// must not cost an allocation either — phase accumulation is pure atomics
+// into a fixed struct.
+func TestBatchStepPhasesZeroAllocs(t *testing.T) {
+	env := newEnv(t)
+	for _, sd := range []bool{true, false} {
+		b, _, rng := steadyBatch(t, env, 8, sd)
+		b.cfg.Phases = NewPhaseProfile()
+		b.Step(rng) // one profiled step before measuring
+		allocs := testing.AllocsPerRun(100, func() {
+			b.Step(rng)
+		})
+		if allocs != 0 {
+			t.Errorf("sd=%v: profiled Step allocates %.1f objects/iter, want 0", sd, allocs)
+		}
+		if !b.cfg.Phases.Snapshot().Reconciles() {
+			t.Errorf("sd=%v: steady-state profile does not reconcile", sd)
+		}
+	}
+}

@@ -106,6 +106,14 @@ type Config struct {
 	// one shard) share the counters; increments are atomic and
 	// allocation-free, so the step hot path keeps its 0 allocs/op pin.
 	Metrics *metrics.Registry
+	// Phases, when non-nil, receives the per-phase step-time decomposition
+	// (admit-drain, prefill, draft, verify, cancel-sweep, retire,
+	// tool-wait) stamped in virtual time. Replica batches sharing a shard
+	// share one profile; accumulation is atomic and allocation-free, and a
+	// nil profile costs Step exactly one pointer check ("free when off").
+	// With Metrics also set, per-phase totals are exported as
+	// sched/phase/<name>_ns gauges.
+	Phases *PhaseProfile
 }
 
 // DefaultConfig returns the paper's engine settings for a device.
@@ -274,6 +282,15 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Batch, error) {
 		b.mTokens = cfg.Metrics.Counter("sched/response_tokens")
 		b.mPrefillSaved = cfg.Metrics.Counter("sched/prefill_saved_tokens")
 		b.mCancelled = cfg.Metrics.Counter("sched/cancelled")
+		if cfg.Phases != nil {
+			ph := cfg.Phases
+			for p := Phase(0); p < NumPhases; p++ {
+				p := p
+				cfg.Metrics.Gauge("sched/phase/"+p.String()+"_ns", func() float64 {
+					return float64(ph.ns[p].Load())
+				})
+			}
+		}
 	}
 	if drafter != nil && cfg.SDThreshold >= 0 {
 		sel, err := mab.New(cfg.Strategies, cfg.MAB)
@@ -443,6 +460,7 @@ func (b *Batch) sweepCancelled() {
 			r.hasFinished = true
 			r.releaseRetained()
 			b.stats.CancelledRequests++
+			b.cfg.Phases.count(PhaseCancelSweep, 1)
 			if b.mCancelled != nil {
 				b.mCancelled.Inc()
 			}
@@ -450,6 +468,7 @@ func (b *Batch) sweepCancelled() {
 				r.Trace.Record(trace.KindCancel, now, now, 0)
 				r.Trace.Close(trace.KindRetire, now, 0)
 			}
+			b.cfg.Phases.count(PhaseRetire, 1)
 			b.retired = append(b.retired, r)
 			continue
 		}
@@ -468,6 +487,7 @@ func (b *Batch) sweepCancelled() {
 			r.finishedAt = now
 			r.hasFinished = true
 			b.stats.CancelledRequests++
+			b.cfg.Phases.count(PhaseCancelSweep, 1)
 			if b.mCancelled != nil {
 				b.mCancelled.Inc()
 			}
@@ -518,6 +538,7 @@ func (b *Batch) TruncateRemaining() {
 		if r.Trace != nil {
 			r.Trace.Close(trace.KindRetire, now, int64(r.Generated()))
 		}
+		b.cfg.Phases.count(PhaseRetire, 1)
 		b.retired = append(b.retired, r)
 	}
 	b.pending = b.pending[:0]
@@ -535,6 +556,11 @@ func (b *Batch) TruncateRemaining() {
 // RNG; requests decode in admission order, so a closed batch with a
 // shared stream reproduces the pre-scheduler rollout engine draw-for-draw.
 func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
+	ph := b.cfg.Phases
+	var stepStart time.Duration
+	if ph != nil {
+		stepStart = b.Clock.Now()
+	}
 	b.sweepCancelled()
 	b.prefillPending()
 
@@ -545,6 +571,7 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 		}
 	}
 	if len(b.active) == 0 {
+		ph.endStep(stepStart, b.Clock.Now())
 		return StepProfile{}, false
 	}
 
@@ -565,7 +592,9 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 		}
 	}
 	if len(b.decoding) == 0 {
+		ph.add(PhaseToolWait, earliest-now)
 		b.Clock.AdvanceTo(earliest)
+		ph.endStep(stepStart, b.Clock.Now())
 		return StepProfile{}, false
 	}
 	active := b.decoding
@@ -586,6 +615,8 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 		b.stats.SwitchCount++
 		t0 := b.Clock.Now()
 		b.Clock.Advance(b.cfg.SwitchCost)
+		// The activation switch is a re-prefill of the running batch.
+		ph.add(PhasePrefill, b.cfg.SwitchCost)
 		if b.Timeline != nil {
 			b.Timeline.Record("sd-switch", t0, b.Clock.Now())
 		}
@@ -632,6 +663,7 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 		b.mTokens.Add(int64(prof.TokensOut))
 	}
 	b.collectRetired()
+	ph.endStep(stepStart, b.Clock.Now())
 	return prof, true
 }
 
@@ -644,6 +676,7 @@ func (b *Batch) prefillPending() {
 	if len(b.pending) == 0 {
 		return
 	}
+	b.cfg.Phases.count(PhaseAdmitDrain, int64(len(b.pending)))
 	var promptTokens int
 	for _, r := range b.pending {
 		promptTokens += len(r.Prompt)
@@ -675,6 +708,7 @@ func (b *Batch) prefillPending() {
 			Tokens: prefillTokens, KVTokens: promptTokens,
 		}).Total() + b.cfg.HostOverhead
 		b.Clock.Advance(cost)
+		b.cfg.Phases.add(PhasePrefill, cost)
 		if b.Timeline != nil {
 			b.Timeline.Record("prefill", t0, b.Clock.Now())
 		}
@@ -697,6 +731,7 @@ func (b *Batch) prefillPending() {
 // admission order) into the retirement buffer, inserting completed
 // sequences into the prefix cache and releasing their retained nodes.
 func (b *Batch) collectRetired() {
+	retiredBefore := len(b.retired)
 	kept := b.inflight[:0]
 	for _, r := range b.inflight {
 		if !r.Done {
@@ -718,6 +753,7 @@ func (b *Batch) collectRetired() {
 		b.inflight[i] = nil
 	}
 	b.inflight = kept
+	b.cfg.Phases.count(PhaseRetire, int64(len(b.retired)-retiredBefore))
 }
 
 // cacheInsertBack writes one completed sequence into the prefix cache
@@ -842,6 +878,8 @@ func (b *Batch) vanillaStep(active []*Request, rng *rand.Rand) StepProfile {
 	}).Total() + b.cfg.HostOverhead
 	t0 := b.Clock.Now()
 	b.Clock.Advance(cost)
+	// Vanilla decode is all commit: no draft pass exists to attribute.
+	b.cfg.Phases.add(PhaseVerify, cost)
 	if b.Timeline != nil {
 		b.Timeline.Record("decode", t0, b.Clock.Now())
 	}
@@ -916,7 +954,7 @@ func (b *Batch) sdStep(active []*Request, rng *rand.Rand) StepProfile {
 	}
 
 	kv := kvTokens(active)
-	var cost time.Duration
+	var draftCost time.Duration
 	sdHost := b.cfg.SDHostOverhead
 
 	// Drafting: one sequential pass per depth over the batch frontier.
@@ -933,21 +971,26 @@ func (b *Batch) sdStep(active []*Request, rng *rand.Rand) StepProfile {
 			if w == 0 {
 				continue
 			}
-			cost += b.cfg.Device.Forward(draftArch, gpu.ForwardOpts{
+			draftCost += b.cfg.Device.Forward(draftArch, gpu.ForwardOpts{
 				Tokens: w, KVTokens: kv, CUDAGraph: graphOK,
 			}).Total()
 		}
 	}
 
-	// Verification: one target pass over all selected tree nodes.
+	// Verification: one target pass over all selected tree nodes. Host
+	// overheads ride with the verify/commit slice of the iteration.
 	_, graphOK := b.pool.Lookup(cudagraph.KindTarget, len(active), strategy.TokensToVerify)
-	cost += b.cfg.Device.Forward(b.target.Arch(), gpu.ForwardOpts{
+	verifyCost := b.cfg.Device.Forward(b.target.Arch(), gpu.ForwardOpts{
 		Tokens: verified, KVTokens: kv, CUDAGraph: graphOK,
-	}).Total()
-	cost += b.cfg.HostOverhead + sdHost
+	}).Total() + b.cfg.HostOverhead + sdHost
+	cost := draftCost + verifyCost
 
 	t0 := b.Clock.Now()
 	b.Clock.Advance(cost)
+	if draftCost > 0 {
+		b.cfg.Phases.add(PhaseDraft, draftCost)
+	}
+	b.cfg.Phases.add(PhaseVerify, verifyCost)
 	if b.Timeline != nil {
 		b.Timeline.Record("sd", t0, b.Clock.Now())
 	}

@@ -37,6 +37,7 @@ import (
 	"fastrl/internal/prefixcache"
 	"fastrl/internal/rollout"
 	"fastrl/internal/sched"
+	"fastrl/internal/slo"
 	"fastrl/internal/trace"
 	"fastrl/internal/workload"
 )
@@ -79,6 +80,12 @@ type Config struct {
 	// flight recorder — the postmortem ring the cluster health monitor
 	// snapshots on faults.
 	Flight *trace.FlightRecorder
+	// SLO, when non-nil, receives this server's observation streams for
+	// burn-rate evaluation (internal/slo): TTFT and per-chunk ITL samples
+	// at step boundaries, request outcomes at terminal events. The cluster
+	// passes each shard its own engine; nil (the default) keeps the hot
+	// paths SLO-free at the cost of one pointer check.
+	SLO *slo.Engine
 	// ShardID labels this server's traces and flight records (the Chrome
 	// export's process ID); the cluster sets it per shard.
 	ShardID int
@@ -104,6 +111,11 @@ type Request struct {
 // Err.
 type Response struct {
 	Tokens []int
+	// ReqID is the scheduler request ID the serving layer assigned (unique
+	// within one server) — the ID that exemplar-linked latency histograms
+	// and flight-recorder records carry, so a tail percentile links back to
+	// this request's spans. Zero when the request never entered a batch.
+	ReqID int64
 	// Latency is the modelled service latency: queueing (wall) plus the
 	// replica's virtual decode time for this request.
 	Latency time.Duration
@@ -126,12 +138,6 @@ type Response struct {
 	// copy of this field.
 	Err error
 }
-
-// MaxLatencySamples bounds the latency-sample reservoir: long-running
-// servers previously appended one float per request forever, an unbounded
-// memory leak under sustained traffic. 4096 samples keep percentile
-// estimates tight (p95 standard error well under 1%) at a fixed ~32KB.
-const MaxLatencySamples = 4096
 
 // ErrStopped is returned by Stream/Submit/Serve after a graceful Stop.
 var ErrStopped = errors.New("serving: server stopped")
@@ -176,12 +182,16 @@ type Server struct {
 	steps         atomic.Int64
 	dupSuppressed atomic.Int64
 	mu            sync.Mutex
-	// lats is a bounded uniform sample over all served latencies; ttfts
-	// and itls sample time-to-first-token per request and inter-token
-	// latency per streamed chunk, fed by the replicas' event publishing.
-	lats  *metrics.Reservoir
-	ttfts *metrics.Reservoir
-	itls  *metrics.Reservoir
+	// lats/ttfts/itls are the server's exemplar-linked latency histograms
+	// (fixed-shape log buckets, see metrics.Histogram): lats records one
+	// end-to-end latency per served request, ttfts one time-to-first-token
+	// per request, itls one sample per streamed chunk, fed by the replicas'
+	// event publishing. Exemplars are scheduler request IDs, so a tail
+	// bucket links straight to this shard's flight-recorder records and
+	// trace spans.
+	lats  *metrics.Histogram
+	ttfts *metrics.Histogram
+	itls  *metrics.Histogram
 	// reg is the server's unified metrics registry. Outcome counters are
 	// written in registry Update groups, so one Snapshot reads mutually
 	// consistent counts — served + cancelled + errored never exceeds
@@ -223,9 +233,9 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 		target:  target,
 		drafter: drafter,
 		queue:   make(chan *job, cfg.QueueDepth),
-		lats:    metrics.NewReservoir(MaxLatencySamples, 0x1a7),
-		ttfts:   metrics.NewReservoir(MaxLatencySamples, 0x1a8),
-		itls:    metrics.NewReservoir(MaxLatencySamples, 0x1a9),
+		lats:    metrics.NewHistogram(),
+		ttfts:   metrics.NewHistogram(),
+		itls:    metrics.NewHistogram(),
 		reg:     metrics.NewRegistry(),
 	}
 	s.cSubmitted = s.reg.Counter("submitted")
@@ -238,9 +248,9 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 	s.reg.Gauge("inflight", func() float64 { return float64(s.Inflight()) })
 	s.reg.Gauge("steps", func() float64 { return float64(s.StepCount()) })
 	s.reg.Gauge("dup_suppressed", func() float64 { return float64(s.DupSuppressed()) })
-	s.reg.ReservoirFunc("latency", func() *metrics.Reservoir { s.mu.Lock(); defer s.mu.Unlock(); return s.lats.Clone() })
-	s.reg.ReservoirFunc("ttft", func() *metrics.Reservoir { s.mu.Lock(); defer s.mu.Unlock(); return s.ttfts.Clone() })
-	s.reg.ReservoirFunc("itl", func() *metrics.Reservoir { s.mu.Lock(); defer s.mu.Unlock(); return s.itls.Clone() })
+	s.reg.HistogramFunc("latency", func() *metrics.Histogram { s.mu.Lock(); defer s.mu.Unlock(); return s.lats.Clone() })
+	s.reg.HistogramFunc("ttft", func() *metrics.Histogram { s.mu.Lock(); defer s.mu.Unlock(); return s.ttfts.Clone() })
+	s.reg.HistogramFunc("itl", func() *metrics.Histogram { s.mu.Lock(); defer s.mu.Unlock(); return s.itls.Clone() })
 	if s.cfg.Cache != nil {
 		s.cfg.Cache.RegisterMetrics(s.reg, "cache/")
 	}
@@ -273,7 +283,7 @@ func (s *Server) replica(id int) {
 		// Configuration errors surface on every job this replica takes.
 		for j := range s.queue {
 			if j.claimed.CompareAndSwap(false, true) {
-				s.finishJob(j, Response{Err: err}, false)
+				s.finishJob(j, Response{Err: err}, false, 0)
 			}
 		}
 		return
@@ -290,8 +300,8 @@ func (s *Server) replica(id int) {
 	// reservoir feeds into one stats-lock acquisition.
 	running := make([]*job, 0, s.cfg.MaxBatch)
 	samples := &stepSamples{
-		ttfts: make([]float64, 0, s.cfg.MaxBatch),
-		itls:  make([]float64, 0, s.cfg.MaxBatch),
+		ttfts: make([]latSample, 0, s.cfg.MaxBatch),
+		itls:  make([]latSample, 0, s.cfg.MaxBatch),
 	}
 
 	admit := func(j *job) {
@@ -303,7 +313,7 @@ func (s *Server) replica(id int) {
 		if j.cancelReq.Load() {
 			// Cancelled while queued: the request retires without ever
 			// entering a batch — no prefill, no KV, no slot.
-			s.finishJob(j, Response{Err: context.Canceled}, false)
+			s.finishJob(j, Response{Err: context.Canceled}, false, 0)
 			return
 		}
 		s.inflight.Add(1)
@@ -400,7 +410,7 @@ func (s *Server) replica(id int) {
 		for _, j := range running {
 			s.publishProgress(j, j.sr.Load(), now, samples)
 		}
-		samples.flush(s)
+		samples.flush(s, now)
 		for _, r := range retired {
 			j := r.Tag.(*job)
 			// Per-request accept length is exact: it is computed from the
@@ -408,6 +418,7 @@ func (s *Server) replica(id int) {
 			// that would smear co-batched requests together.
 			resp := Response{
 				Tokens:     r.Response(),
+				ReqID:      int64(r.ID),
 				DecodeTime: r.DecodeTime(),
 				Latency:    time.Since(j.enqueued) + r.DecodeTime(),
 				TTFT:       j.ttft,
@@ -419,7 +430,7 @@ func (s *Server) replica(id int) {
 			if r.Cancelled() {
 				resp.Err = context.Canceled
 			}
-			s.finishJob(j, resp, true)
+			s.finishJob(j, resp, true, now)
 		}
 	}
 }
@@ -440,15 +451,16 @@ func (s *Server) crashReplica(batch *sched.Batch, rng *rand.Rand, running []*job
 	}
 	// One sweep step retires every cancelled request without decoding.
 	batch.Step(rng)
+	now := batch.Clock.Now()
 	retired := batch.Retire()
 	for _, r := range retired {
 		j := r.Tag.(*job)
-		s.finishJob(j, Response{Tokens: r.Response(), Err: ErrCrashed}, true)
+		s.finishJob(j, Response{Tokens: r.Response(), ReqID: int64(r.ID), Err: ErrCrashed}, true, now)
 	}
 	// Crash implies shutdown closed the queue; strand whatever is left.
 	for j := range s.queue {
 		if j.claimed.CompareAndSwap(false, true) {
-			s.finishJob(j, Response{Err: ErrCrashed}, false)
+			s.finishJob(j, Response{Err: ErrCrashed}, false, now)
 		}
 	}
 }
@@ -512,9 +524,13 @@ func (s *Server) Crashed() bool { return s.crashed.Load() }
 // dedup swallowed (each one a would-have-been duplicate delivery).
 func (s *Server) DupSuppressed() int64 { return s.dupSuppressed.Load() }
 
-// TailReservoirs returns snapshots of the latency and TTFT sample
-// reservoirs, for weighted merging into cluster-level tail percentiles.
-func (s *Server) TailReservoirs() (lats, ttfts *metrics.Reservoir) {
+// TailHistograms returns clones of the latency and TTFT histograms, for
+// exact bucket-wise merging into cluster-level tail percentiles.
+// metrics.Histogram.Merge is deterministic and order-independent, unlike
+// the seen-weighted reservoir sampling it replaced, so merged p99.9s no
+// longer drift run to run — and the merged tail buckets keep their
+// exemplar request IDs.
+func (s *Server) TailHistograms() (lats, ttfts *metrics.Histogram) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.lats.Clone(), s.ttfts.Clone()
@@ -668,24 +684,24 @@ type Stats struct {
 	ITLP95  time.Duration
 }
 
-// Stats returns latency percentiles over everything served so far (a
-// bounded uniform reservoir once traffic exceeds MaxLatencySamples). All
-// counters come from one registry snapshot, so they are mutually
-// consistent even while replicas are retiring requests concurrently.
+// Stats returns latency percentiles over everything served so far, read
+// from the server's log-bucket histograms (quantiles exact to within the
+// 12.5% bucket width, deterministic — no sampling). All counters come
+// from one registry snapshot, so they are mutually consistent even while
+// replicas are retiring requests concurrently.
 func (s *Server) Stats() Stats {
 	snap := s.reg.Snapshot()
-	sec := func(v float64) time.Duration { return time.Duration(v * float64(time.Second)) }
-	lat, ttft, itl := snap.Reservoirs["latency"], snap.Reservoirs["ttft"], snap.Reservoirs["itl"]
+	lat, ttft, itl := snap.Histogram("latency"), snap.Histogram("ttft"), snap.Histogram("itl")
 	return Stats{
 		Submitted: int(snap.Counter("submitted")),
 		Served:    int(snap.Counter("served")),
 		Errored:   int(snap.Counter("errored")),
 		Cancelled: int(snap.Counter("cancelled")),
-		P50:       sec(lat.P50),
-		P95:       sec(lat.P95),
-		TTFTP50:   sec(ttft.P50),
-		TTFTP95:   sec(ttft.P95),
-		ITLP50:    sec(itl.P50),
-		ITLP95:    sec(itl.P95),
+		P50:       time.Duration(lat.P50),
+		P95:       time.Duration(lat.P95),
+		TTFTP50:   time.Duration(ttft.P50),
+		TTFTP95:   time.Duration(ttft.P95),
+		ITLP50:    time.Duration(itl.P50),
+		ITLP95:    time.Duration(itl.P95),
 	}
 }

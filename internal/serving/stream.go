@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"fastrl/internal/sched"
+	"fastrl/internal/slo"
 )
 
 // EventKind discriminates stream events.
@@ -143,7 +144,7 @@ func (s *Server) cancelJob(j *job) {
 		return
 	}
 	if j.claimed.CompareAndSwap(false, true) {
-		s.finishJob(j, Response{Err: context.Canceled}, false)
+		s.finishJob(j, Response{Err: context.Canceled}, false, 0)
 	}
 }
 
@@ -294,8 +295,19 @@ func (s *Server) forceFinish(j *job, err error, admitted bool) {
 	if admitted {
 		s.inflight.Add(-1)
 	}
+	// A forced terminal is an availability event unless it was a client
+	// cancellation. The engine's monotone clamp absorbs the zero virtual
+	// timestamp (failover drives this path off the replica goroutine, so
+	// no fresher reading of the dead shard's clock exists).
+	if s.cfg.SLO != nil && !errors.Is(err, context.Canceled) {
+		s.cfg.SLO.ObserveOutcome(false, 0)
+	}
 	j.mu.Lock()
-	resp := Response{Tokens: j.tokens, Err: err}
+	var reqID int64
+	if r := j.sr.Load(); r != nil {
+		reqID = int64(r.ID)
+	}
+	resp := Response{Tokens: j.tokens, ReqID: reqID, Err: err}
 	j.final = resp
 	for _, fn := range j.onFinish {
 		fn(resp)
@@ -335,30 +347,47 @@ func (st *Stream) OnFinish(fn func(Response)) {
 	j.mu.Unlock()
 }
 
+// latSample is one latency observation staged by a replica during a step:
+// the value in nanoseconds plus the scheduler request ID it exemplifies.
+type latSample struct {
+	ns int64
+	id int64
+}
+
 // stepSamples is a replica-owned scratch batching one step's TTFT/ITL
-// reservoir samples, so the server-global stats mutex is taken once per
+// histogram samples, so the server-global stats mutex is taken once per
 // step rather than once per chunk per request (replicas would otherwise
 // serialize on it every iteration). The slices grow to the replica's
 // batch-size high-water mark and are reused.
 type stepSamples struct {
-	ttfts []float64
-	itls  []float64
+	ttfts []latSample
+	itls  []latSample
 }
 
-// flush folds the batched samples into the server reservoirs under one
-// lock, then resets the scratch. No-ops (lock-free) on an empty step.
-func (ss *stepSamples) flush(s *Server) {
+// flush folds the batched samples into the server histograms under one
+// lock, then feeds the same observations to the SLO engine (if any) at
+// the step's virtual time, then resets the scratch. No-ops (lock-free) on
+// an empty step.
+func (ss *stepSamples) flush(s *Server, now time.Duration) {
 	if len(ss.ttfts) == 0 && len(ss.itls) == 0 {
 		return
 	}
 	s.mu.Lock()
 	for _, v := range ss.ttfts {
-		s.ttfts.Add(v)
+		s.ttfts.Record(v.ns, v.id)
 	}
 	for _, v := range ss.itls {
-		s.itls.Add(v)
+		s.itls.Record(v.ns, v.id)
 	}
 	s.mu.Unlock()
+	if s.cfg.SLO != nil {
+		for _, v := range ss.ttfts {
+			s.cfg.SLO.ObserveLatency(slo.TTFT, time.Duration(v.ns), now)
+		}
+		for _, v := range ss.itls {
+			s.cfg.SLO.ObserveLatency(slo.ITL, time.Duration(v.ns), now)
+		}
+	}
 	ss.ttfts = ss.ttfts[:0]
 	ss.itls = ss.itls[:0]
 }
@@ -382,16 +411,16 @@ func (s *Server) publishProgress(j *job, r *sched.Request, now time.Duration, sa
 		// enqueue (queueing) plus the request's virtual decode time from
 		// admission to the step boundary that emitted the first chunk.
 		j.ttft = time.Since(j.enqueued) + (now - r.AdmittedAt())
-		samples.ttfts = append(samples.ttfts, j.ttft.Seconds())
+		samples.ttfts = append(samples.ttfts, latSample{ns: int64(j.ttft), id: int64(r.ID)})
 	} else {
-		// One reservoir sample per chunk, valued at the chunk's virtual
+		// One histogram sample per chunk, valued at the chunk's virtual
 		// gap divided by the tokens it delivered — a per-token rate, not
 		// per-token weighting (a 5-token chunk still contributes one
 		// sample). Samples are taken as chunks stream, so a request that
 		// is later cancelled still contributed the cadence it really
 		// delivered at.
 		gap := now - j.lastTokV
-		samples.itls = append(samples.itls, gap.Seconds()/float64(newTok))
+		samples.itls = append(samples.itls, latSample{ns: int64(gap) / int64(newTok), id: int64(r.ID)})
 	}
 	j.lastTokV = now
 	j.pubTok = len(gen)
@@ -420,7 +449,7 @@ func (s *Server) publishProgress(j *job, r *sched.Request, now time.Duration, sa
 // retirement vs. failover Fail); exactly one call delivers the terminal
 // event, the rest are swallowed and counted. The winner owns the inflight
 // release, so a losing replica must not release again.
-func (s *Server) finishJob(j *job, resp Response, admitted bool) {
+func (s *Server) finishJob(j *job, resp Response, admitted bool, now time.Duration) {
 	if !j.finished.CompareAndSwap(false, true) {
 		s.dupSuppressed.Add(1)
 		return
@@ -436,8 +465,12 @@ func (s *Server) finishJob(j *job, resp Response, admitted bool) {
 	s.reg.Update(func() {
 		switch {
 		case resp.Err == nil:
+			ex := resp.ReqID
+			if ex == 0 {
+				ex = -1 // never admitted: no scheduler ID to exemplify
+			}
 			s.mu.Lock()
-			s.lats.Add(resp.Latency.Seconds())
+			s.lats.RecordDuration(resp.Latency, ex)
 			s.mu.Unlock()
 			s.cServed.Inc()
 		case errors.Is(resp.Err, context.Canceled):
@@ -445,12 +478,22 @@ func (s *Server) finishJob(j *job, resp Response, admitted bool) {
 		default:
 			// Hard failures (replica configuration errors) stay visible in
 			// the stats even though their zero-valued timings are excluded
-			// from the reservoirs — every job lands in exactly one counter.
+			// from the histograms — every job lands in exactly one counter.
 			s.cErrored.Inc()
 		}
 	})
 	if admitted {
 		s.inflight.Add(-1)
+	}
+	// SLO availability stream: served = good, hard failure = bad. A client
+	// cancellation is not a service failure, so it is not observed at all.
+	if s.cfg.SLO != nil {
+		switch {
+		case resp.Err == nil:
+			s.cfg.SLO.ObserveOutcome(true, now)
+		case !errors.Is(resp.Err, context.Canceled):
+			s.cfg.SLO.ObserveOutcome(false, now)
+		}
 	}
 
 	j.mu.Lock()

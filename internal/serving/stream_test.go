@@ -326,28 +326,28 @@ func TestStreamCancelBeforeAdmission(t *testing.T) {
 
 // TestStreamEmissionZeroAllocs pins the event hot path: publishing one
 // step's progress into a stream (slice-header publication, TTFT/ITL
-// reservoir samples, consumer wake-up) and pulling the resulting events
+// histogram samples, consumer wake-up) and pulling the resulting events
 // performs zero allocations in steady state — the same discipline as
 // sched.Batch.Step.
 func TestStreamEmissionZeroAllocs(t *testing.T) {
 	s := &Server{
-		lats:  metrics.NewReservoir(MaxLatencySamples, 1),
-		ttfts: metrics.NewReservoir(MaxLatencySamples, 2),
-		itls:  metrics.NewReservoir(MaxLatencySamples, 3),
+		lats:  metrics.NewHistogram(),
+		ttfts: metrics.NewHistogram(),
+		itls:  metrics.NewHistogram(),
 	}
 	j := newJob(Request{})
 	st := &Stream{srv: s, j: j, ctx: context.Background()}
 	r := sched.NewRequest(0, []int{1, 2, 3}, 1<<14, workload.LengthPrior{}, -1, -1)
 	j.sr.Store(r)
 
-	samples := &stepSamples{ttfts: make([]float64, 0, 8), itls: make([]float64, 0, 8)}
+	samples := &stepSamples{ttfts: make([]latSample, 0, 8), itls: make([]latSample, 0, 8)}
 	now := time.Millisecond
 	emit := func() {
 		r.Tokens = append(r.Tokens, 7)
 		r.AcceptLens = append(r.AcceptLens, 2)
 		now += time.Millisecond
 		s.publishProgress(j, r, now, samples)
-		samples.flush(s)
+		samples.flush(s, now)
 	}
 	emit() // warm-up: first chunk takes the TTFT branch
 	for {

@@ -1,0 +1,249 @@
+package slo
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"fastrl/internal/trace"
+)
+
+func ttftSpec() Spec {
+	return Spec{
+		Name: "ttft-p95", Kind: TTFT, Threshold: 100 * time.Millisecond,
+		Objective: 0.95, FastWindow: time.Second,
+	}
+}
+
+func mustEngine(t *testing.T, specs []Spec, fr *trace.FlightRecorder) *Engine {
+	t.Helper()
+	e, err := NewEngine(specs, 3, fr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestSpecDefaults pins defaulting and validation.
+func TestSpecDefaults(t *testing.T) {
+	s, err := Spec{Name: "a", Kind: Availability, Objective: 0.99}.withDefaults()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.FastWindow != time.Second || s.SlowWindow != 10*time.Second || s.FastBurn != 4 || s.SlowBurn != 1 {
+		t.Fatalf("defaults: %+v", s)
+	}
+	for _, bad := range []Spec{
+		{Name: "o", Kind: TTFT, Threshold: time.Second, Objective: 0},
+		{Name: "o2", Kind: TTFT, Threshold: time.Second, Objective: 1},
+		{Name: "t", Kind: TTFT, Objective: 0.9},
+		{Name: "w", Kind: Availability, Objective: 0.9, FastWindow: time.Second, SlowWindow: time.Millisecond},
+	} {
+		if _, err := bad.withDefaults(); err == nil {
+			t.Fatalf("spec %+v validated", bad)
+		}
+	}
+	// Empty spec list is a valid nil engine.
+	e, err := NewEngine(nil, 0, nil)
+	if err != nil || e != nil {
+		t.Fatalf("empty specs: %v %v", e, err)
+	}
+}
+
+// TestBurnRateRises pins the core burn computation: a stream breaching
+// the threshold drives fast burn to 1/(1-objective); a healthy stream
+// keeps it at 0.
+func TestBurnRateRises(t *testing.T) {
+	e := mustEngine(t, []Spec{ttftSpec()}, nil)
+	now := 100 * time.Millisecond
+	for i := 0; i < 50; i++ {
+		e.ObserveLatency(TTFT, 10*time.Millisecond, now)
+		now += 10 * time.Millisecond
+	}
+	if b := e.BurnRate(); b != 0 {
+		t.Fatalf("healthy stream burn = %v", b)
+	}
+	for i := 0; i < 150; i++ {
+		e.ObserveLatency(TTFT, 500*time.Millisecond, now)
+		now += 10 * time.Millisecond
+	}
+	// 1.5s of bads have scrolled every good out of the 1s fast window:
+	// burn = 1 / (1-0.95) = 20.
+	if b := e.BurnRate(); b < 19 || b > 20.01 {
+		t.Fatalf("all-bad fast burn = %v, want ~20", b)
+	}
+	st := e.Status()
+	if len(st) != 1 || !st[0].Breached {
+		t.Fatalf("status = %+v, want breached", st)
+	}
+}
+
+// TestBreachNeedsBothWindows pins multi-window semantics: a burst shorter
+// than the slow window's budget does not breach, a sustained burn does.
+func TestBreachNeedsBothWindows(t *testing.T) {
+	spec := ttftSpec()
+	spec.SlowWindow = 10 * time.Second
+	fr := trace.NewFlightRecorder(64)
+	e := mustEngine(t, []Spec{spec}, fr)
+
+	// 9s of healthy traffic at 100/s fills the slow window with goods.
+	now := time.Duration(0)
+	for i := 0; i < 900; i++ {
+		e.ObserveLatency(TTFT, 10*time.Millisecond, now)
+		now += 10 * time.Millisecond
+	}
+	// A 200ms spike of bads: fast burn spikes, slow burn stays under 1
+	// (20 bads / ~1000 obs = 2% bad < 5% budget) — no breach.
+	for i := 0; i < 20; i++ {
+		e.ObserveLatency(TTFT, time.Second, now)
+		now += 10 * time.Millisecond
+	}
+	if got := e.Breaches(); got != 0 {
+		t.Fatalf("transient spike emitted %d breaches", got)
+	}
+	// Sustained badness pushes both windows over.
+	for i := 0; i < 600; i++ {
+		e.ObserveLatency(TTFT, time.Second, now)
+		now += 10 * time.Millisecond
+	}
+	if got := e.Breaches(); got == 0 {
+		t.Fatal("sustained burn never breached")
+	}
+	recs := fr.Snapshot()
+	found := false
+	for _, r := range recs {
+		if r.Kind == trace.KindSLOBreach {
+			if r.ReqID != -1 || r.Shard != 3 || r.Arg != 0 {
+				t.Fatalf("marker fields: %+v", r)
+			}
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("no breach marker in flight recorder")
+	}
+}
+
+// TestBreachMarkersBounded pins marker cadence: a persistent breach emits
+// at most one marker per slot of virtual time, not one per observation.
+func TestBreachMarkersBounded(t *testing.T) {
+	spec := ttftSpec() // slot width = 100ms
+	e := mustEngine(t, []Spec{spec}, nil)
+	now := time.Duration(0)
+	// 1000 bad observations packed into 500ms = 5 slots.
+	for i := 0; i < 1000; i++ {
+		e.ObserveLatency(TTFT, time.Second, now)
+		now += 500 * time.Microsecond
+	}
+	if got := e.Breaches(); got > 6 {
+		t.Fatalf("persistent breach emitted %d markers over 5 slots", got)
+	}
+	if got := e.Breaches(); got == 0 {
+		t.Fatal("no breach at all")
+	}
+}
+
+// TestAvailabilitySpec pins the outcome stream.
+func TestAvailabilitySpec(t *testing.T) {
+	e := mustEngine(t, []Spec{{
+		Name: "avail", Kind: Availability, Objective: 0.9,
+		FastWindow: time.Second, FastBurn: 2, SlowBurn: 1,
+	}}, nil)
+	now := time.Duration(0)
+	for i := 0; i < 100; i++ {
+		e.ObserveOutcome(i%2 == 0, now) // 50% failures, budget 10%
+		now += 20 * time.Millisecond
+	}
+	if b := e.BurnRate(); b < 4.9 || b > 5.1 {
+		t.Fatalf("availability burn = %v, want ~5", b)
+	}
+	// A latency observation must not touch an availability spec (now=0 is
+	// clamped to the engine's monotone time, so the window cannot shift).
+	before := e.BurnRate()
+	e.ObserveLatency(TTFT, time.Hour, 0)
+	if e.BurnRate() != before {
+		t.Fatal("latency observation leaked into availability spec")
+	}
+}
+
+// TestEngineDeterminism pins byte-identical behaviour: the same
+// observation stream yields the same burn series and breach count.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() (series []float64, breaches int64) {
+		e := mustEngine(t, []Spec{ttftSpec()}, nil)
+		now := time.Duration(0)
+		for i := 0; i < 500; i++ {
+			lat := 10 * time.Millisecond
+			if i%7 == 0 || (i > 200 && i < 300) {
+				lat = time.Second
+			}
+			e.ObserveLatency(TTFT, lat, now)
+			now += 7 * time.Millisecond
+			if i%50 == 0 {
+				series = append(series, e.BurnRate())
+			}
+		}
+		return series, e.Breaches()
+	}
+	s1, b1 := run()
+	s2, b2 := run()
+	if b1 != b2 || len(s1) != len(s2) {
+		t.Fatalf("breaches %d vs %d", b1, b2)
+	}
+	for i := range s1 {
+		if s1[i] != s2[i] {
+			t.Fatalf("burn series diverged at %d: %v vs %v", i, s1[i], s2[i])
+		}
+	}
+	if b1 == 0 {
+		t.Fatal("workload never breached — test is vacuous")
+	}
+}
+
+// TestEngineNilInert pins "free when off".
+func TestEngineNilInert(t *testing.T) {
+	var e *Engine
+	e.ObserveLatency(TTFT, time.Second, 0)
+	e.ObserveOutcome(false, 0)
+	if e.BurnRate() != 0 || e.Status() != nil || e.Breaches() != 0 {
+		t.Fatal("nil engine not inert")
+	}
+}
+
+// TestEngineConcurrent exercises the mutex paths under the race detector:
+// replicas observe latencies while a stats reader polls burn rates.
+func TestEngineConcurrent(t *testing.T) {
+	e := mustEngine(t, []Spec{ttftSpec(), {
+		Name: "avail", Kind: Availability, Objective: 0.99, FastWindow: time.Second,
+	}}, trace.NewFlightRecorder(64))
+	var wg sync.WaitGroup
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			now := time.Duration(g) * time.Millisecond
+			for i := 0; i < 2000; i++ {
+				if i%2 == 0 {
+					e.ObserveLatency(TTFT, time.Duration(i%300)*time.Millisecond, now)
+				} else {
+					e.ObserveOutcome(i%13 != 0, now)
+				}
+				now += time.Millisecond
+			}
+		}(g)
+	}
+	stop := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				e.BurnRate()
+				e.Status()
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+}

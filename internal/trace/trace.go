@@ -88,6 +88,12 @@ const (
 	KindFaultSlow
 	// KindFaultRevive marks a shard revival.
 	KindFaultRevive
+	// KindSLOBreach marks an SLO burn-rate breach observed on a shard
+	// (recorded into the shard's flight recorder with ReqID = -1; Arg is
+	// the breaching spec's index). Emitted on the breach's rising edge and
+	// once per burn-window slice while it persists, so postmortem rings
+	// captured during a fault window hold the marker.
+	KindSLOBreach
 
 	kindMax
 )
@@ -106,6 +112,7 @@ var kindNames = [kindMax]string{
 	KindFaultHang:   "fault-hang",
 	KindFaultSlow:   "fault-slow",
 	KindFaultRevive: "fault-revive",
+	KindSLOBreach:   "slo-breach",
 }
 
 func (k Kind) String() string {
