@@ -101,12 +101,23 @@ func main() {
 		fmt.Printf("%-32s %14.0f %14.0f %+7.1f%% %10d %10d%s\n",
 			o.Name, o.NsPerOp, n.NsPerOp, 100*delta, o.AllocsPerOp, n.AllocsPerOp, verdict)
 	}
-	// Entries only in head: new pins, informational.
+	// Entries only in head are new pins. They cannot gate on this run —
+	// there is nothing to compare against — so say that loudly rather
+	// than letting a terse tag read like a passing comparison: a new
+	// entry's numbers are informational until a baseline snapshot
+	// containing it is committed, at which point it gates like any other
+	// pin.
+	newEntries := 0
 	for _, e := range head.HotPath {
 		if _, stillNew := byName[e.Name]; stillNew {
-			fmt.Printf("%-32s %14s %14.0f %8s %10s %10d  (new)\n",
+			newEntries++
+			fmt.Printf("%-32s %14s %14.0f %8s %10s %10d  NEW: no baseline entry — not gated this run\n",
 				e.Name, "-", e.NsPerOp, "-", "-", e.AllocsPerOp)
 		}
+	}
+	if newEntries > 0 {
+		fmt.Printf("\n%d new entr%s without a baseline: numbers above are informational only; regenerate and commit the baseline snapshot to start gating %s\n",
+			newEntries, plural(newEntries, "y", "ies"), plural(newEntries, "it", "them"))
 	}
 
 	if failures > 0 {
@@ -114,4 +125,11 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("\nbenchdiff: no regressions")
+}
+
+func plural(n int, one, many string) string {
+	if n == 1 {
+		return one
+	}
+	return many
 }

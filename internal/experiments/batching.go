@@ -88,6 +88,11 @@ func runBatching(opts Options) (*Result, error) {
 		{name: "run-to-completion", maxBatch: 1},
 		{name: "continuous-4", maxBatch: 4},
 		{name: "continuous-16", maxBatch: 16},
+		// The wide arm rides the bitmap scheduler core: a 64-deep
+		// co-batching window is only worth offering because per-request
+		// step cost stays flat past one occupancy word (sched/batch-step-64
+		// vs batch-step-8 in BENCH).
+		{name: "continuous-64", maxBatch: 64},
 	}
 	// With tracing requested, the continuous-16 arm records every request's
 	// lifecycle. The arm is a single driver goroutine in virtual time, so

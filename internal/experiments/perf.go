@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"math/rand"
 	"testing"
@@ -113,11 +114,14 @@ func PerfSnapshot(quick bool) []PerfEntry {
 			}
 		}))
 	}
-	{
-		// Scheduler iteration: 8 inflight requests advanced one SD round
-		// by the iteration-level scheduler (admission bookkeeping, bias
-		// staging, batched round, cost model) — the serving replica's
-		// steady-state hot path.
+	// Scheduler iteration at three co-batching widths: inflight requests
+	// advanced one SD round by the iteration-level scheduler (admission
+	// bookkeeping, bias staging, batched round, cost model) — the serving
+	// replica's steady-state hot path. The width sweep pins the bitmap
+	// slot table's scaling claim: per-request step cost must stay flat
+	// from batch-step-8 to batch-step-64 (the wide entries exercise
+	// multi-word occupancy bitmaps).
+	for _, nReq := range []int{8, 16, 64} {
 		cfg := sched.DefaultConfig(gpu.NewDevice(gpu.H100, 1))
 		cfg.SDThreshold = 0
 		cfg.Strategies = []specdec.Params{p}
@@ -129,7 +133,7 @@ func PerfSnapshot(quick bool) []PerfEntry {
 		batch.RecordProfile = false
 		batch.Timeline = nil
 		rng := rand.New(rand.NewSource(2))
-		reqs := make([]*sched.Request, 8)
+		reqs := make([]*sched.Request, nReq)
 		for i := range reqs {
 			reqs[i] = sched.NewRequest(i, prompt, 1<<20,
 				workload.LengthPrior{TargetLen: 1 << 20, Sharpness: 25}, -1, -1)
@@ -144,12 +148,22 @@ func PerfSnapshot(quick bool) []PerfEntry {
 		for i, r := range reqs {
 			warmLen[i] = len(r.Tokens)
 		}
-		entries = append(entries, mk("sched/batch-step-8", func(n int) {
+		rewind := func() {
+			for j, r := range reqs {
+				r.Tokens = r.Tokens[:warmLen[j]]
+				r.AcceptLens = r.AcceptLens[:0]
+			}
+		}
+		// Scratch high-water marks ratchet up over the first rounds as
+		// draft-tree shapes vary; warm past the ratchet so allocs/op
+		// records true steady state.
+		for i := 0; i < 50; i++ {
+			rewind()
+			batch.Step(rng)
+		}
+		entries = append(entries, mk(fmt.Sprintf("sched/batch-step-%d", nReq), func(n int) {
 			for i := 0; i < n; i++ {
-				for j, r := range reqs {
-					r.Tokens = r.Tokens[:warmLen[j]]
-					r.AcceptLens = r.AcceptLens[:0]
-				}
+				rewind()
 				batch.Step(rng)
 			}
 		}))

@@ -55,8 +55,16 @@ func steadyBatch(t testing.TB, env *testEnv, n int, sd bool) (*Batch, []*Request
 // zero heap allocations.
 func TestBatchStepZeroSteadyStateAllocs(t *testing.T) {
 	env := newEnv(t)
-	for _, n := range []int{1, 4, 8} {
+	// 16 and 64 exercise the bitmap core past one occupancy word, pinning
+	// that wider co-batching windows stay allocation-free too.
+	for _, n := range []int{1, 4, 8, 16, 64} {
 		b, _, rng := steadyBatch(t, env, n, true)
+		// Scratch high-water marks ratchet up over the first rounds as
+		// draft-tree shapes vary; wide batches take tens of rounds to
+		// converge, so warm past the ratchet before measuring.
+		for i := 0; i < 50; i++ {
+			b.Step(rng)
+		}
 		allocs := testing.AllocsPerRun(100, func() {
 			b.Step(rng)
 		})

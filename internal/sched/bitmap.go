@@ -1,0 +1,49 @@
+package sched
+
+import "math/bits"
+
+// bitset is a little-endian occupancy bitmap over batch slot indices:
+// bit i of word i/64 is slot i. The scheduler keeps one bitset per
+// request state (occupied / tool-wait / finished / cancelled) and drives
+// every per-step partition off word-level operations — find-first-set
+// (bits.TrailingZeros64) over ascending words visits slots in ascending
+// index order, and slot indices are assigned monotonically at admission,
+// so bit order IS admission (age) order. That makes the bitmap walk a
+// drop-in replacement for the old slice scans: selection order, and
+// therefore every delivered token stream, is unchanged.
+type bitset []uint64
+
+func (s bitset) set(i int)      { s[i>>6] |= 1 << uint(i&63) }
+func (s bitset) clear(i int)    { s[i>>6] &^= 1 << uint(i&63) }
+func (s bitset) has(i int) bool { return s[i>>6]&(1<<uint(i&63)) != 0 }
+
+// count returns the number of set bits (population count).
+func (s bitset) count() int {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// zero clears every bit without releasing storage.
+func (s bitset) zero() {
+	for i := range s {
+		s[i] = 0
+	}
+}
+
+// forEach calls fn with every set bit's slot index in ascending order —
+// admission order, by the slot-assignment invariant. The word is
+// snapshotted before iteration, so fn may clear bits of the bitset it
+// iterates without perturbing the walk. Hot paths inline the same
+// two-level loop by hand where they need word-level masking against
+// other bitsets; forEach serves the cold paths and tests.
+func (s bitset) forEach(fn func(i int)) {
+	for w, word := range s {
+		for word != 0 {
+			fn(w<<6 + bits.TrailingZeros64(word))
+			word &= word - 1
+		}
+	}
+}

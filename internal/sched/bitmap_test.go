@@ -1,0 +1,253 @@
+package sched
+
+import (
+	"math/bits"
+	"math/rand"
+	"testing"
+	"time"
+
+	"fastrl/internal/gpu"
+	"fastrl/internal/prefixcache"
+)
+
+func TestBitsetOps(t *testing.T) {
+	s := make(bitset, 3)
+	idxs := []int{0, 1, 63, 64, 100, 127, 128, 191}
+	for _, i := range idxs {
+		s.set(i)
+	}
+	if got := s.count(); got != len(idxs) {
+		t.Fatalf("count = %d, want %d", got, len(idxs))
+	}
+	var walked []int
+	s.forEach(func(i int) { walked = append(walked, i) })
+	for k, i := range idxs {
+		if walked[k] != i {
+			t.Fatalf("forEach order %v, want %v", walked, idxs)
+		}
+	}
+	s.clear(64)
+	if s.has(64) || !s.has(63) || !s.has(100) {
+		t.Fatal("clear(64) disturbed neighbours")
+	}
+	s.zero()
+	if s.count() != 0 {
+		t.Fatal("zero left bits set")
+	}
+}
+
+// checkBitmapInvariants asserts, against the batch's externally observable
+// admission history, every structural invariant of the occupancy-bitmap
+// core. It is called after every mutating operation in the property test,
+// so any sequence of Admit/Step/Cancel/Truncate/Retire/Reset that corrupts
+// the slot table fails at the first bad transition.
+//
+//   - occ's popcount equals the live count and the number of bound slots;
+//     every occupied slot holds a request whose slot field points back at
+//     it, and every free slot below tail is nil.
+//   - wait and done are subsets of occ, and done/cxl are empty between
+//     steps (retirement collection drains them before an op returns).
+//   - no bitmap has a bit at or beyond tail, so find-first-set selection
+//     can never surface a never-assigned slot.
+//   - ascending bit iteration over occ visits requests in admission
+//     order (age-as-slot-index): the bitmap core's replacement for the
+//     admission-ordered slice walk must preserve its order exactly.
+func checkBitmapInvariants(t *testing.T, b *Batch, admitSeq map[*Request]int) {
+	t.Helper()
+	bound := 0
+	for i, r := range b.slots {
+		if r == nil {
+			if b.occ.has(i) {
+				t.Fatalf("slot %d: occ bit set but slot is nil", i)
+			}
+			continue
+		}
+		bound++
+		if !b.occ.has(i) {
+			t.Fatalf("slot %d: request %d bound but occ bit clear", i, r.ID)
+		}
+		if r.slot != i {
+			t.Fatalf("slot %d: request %d back-pointer says %d", i, r.ID, r.slot)
+		}
+		if i >= b.tail {
+			t.Fatalf("slot %d holds request %d at/beyond tail %d", i, r.ID, b.tail)
+		}
+	}
+	if got := b.occ.count(); got != bound || got != b.live {
+		t.Fatalf("popcount(occ)=%d, bound slots=%d, live=%d — must all agree", got, bound, b.live)
+	}
+	if got := b.Inflight(); got != b.live {
+		t.Fatalf("Inflight()=%d but live=%d", got, b.live)
+	}
+	for w := range b.occ {
+		if b.wait[w]&^b.occ[w] != 0 {
+			t.Fatalf("word %d: wait ⊄ occ (wait=%064b occ=%064b)", w, b.wait[w], b.occ[w])
+		}
+		if b.done[w] != 0 {
+			t.Fatalf("word %d: done bitmap not drained between ops: %064b", w, b.done[w])
+		}
+		if b.cxl[w] != 0 {
+			t.Fatalf("word %d: cancellation bitmap leaked outside sweep: %064b", w, b.cxl[w])
+		}
+	}
+	// No bit at or beyond tail in any bitmap.
+	for i := b.tail; i < len(b.slots); i++ {
+		if b.occ.has(i) || b.wait.has(i) {
+			t.Fatalf("bit %d set at/beyond tail %d", i, b.tail)
+		}
+	}
+	// Ascending occ iteration is admission order.
+	prev := -1
+	for w, word := range b.occ {
+		for ; word != 0; word &= word - 1 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			seq, ok := admitSeq[b.slots[i]]
+			if !ok {
+				t.Fatalf("slot %d holds a request the test never admitted", i)
+			}
+			if seq <= prev {
+				t.Fatalf("slot %d: admission seq %d out of order after %d — bitmap iteration broke age order", i, seq, prev)
+			}
+			prev = seq
+		}
+	}
+}
+
+// TestBitmapInvariants drives randomized lifecycles — staggered admission,
+// tool-call waits, cross-goroutine-style cancels, truncation, retirement
+// and resets — and checks every structural bitmap invariant after every
+// operation. Enough requests churn through to force slot-table growth and
+// the order-preserving compaction path (tail ≥ 128 with a sparse live
+// set).
+func TestBitmapInvariants(t *testing.T) {
+	env := newEnv(t)
+	for _, cached := range []bool{false, true} {
+		name := "nocache"
+		if cached {
+			name = "cache"
+		}
+		t.Run(name, func(t *testing.T) {
+			cfg := fixedStrategyConfig(gpu.NewDevice(gpu.H100, 1))
+			if cached {
+				cfg.Cache = prefixcache.New(prefixcache.Config{})
+			}
+			b, err := New(cfg, env.target, env.eagle)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rng := rand.New(rand.NewSource(42))
+			ctl := rand.New(rand.NewSource(4242))
+
+			admitSeq := make(map[*Request]int)
+			nextSeq := 0
+			nextID := 0
+			admit := func() {
+				r := env.poolRequest(nextID, nextID, 4+ctl.Intn(24), int64(3000+nextID))
+				if ctl.Intn(4) == 0 {
+					r.Tool = ToolProfile{Every: 1 + ctl.Intn(4), Latency: time.Duration(1+ctl.Intn(5)) * time.Millisecond, MaxCalls: 1 + ctl.Intn(3)}
+				}
+				nextID++
+				b.Admit(r)
+				admitSeq[r] = nextSeq
+				nextSeq++
+			}
+
+			var inflightIDs []int
+			const totalOps = 1200
+			for op := 0; op < totalOps; op++ {
+				switch roll := ctl.Intn(100); {
+				case roll < 30 && nextID < 400:
+					// Admissions come in bursts so the live set crosses
+					// word boundaries and the tail outruns the live count.
+					for k := ctl.Intn(3) + 1; k > 0; k-- {
+						admit()
+					}
+				case roll < 85:
+					b.Step(rng)
+				case roll < 93 && len(inflightIDs) > 0:
+					b.Cancel(inflightIDs[ctl.Intn(len(inflightIDs))])
+				case roll < 96:
+					b.TruncateRemaining()
+				case roll < 98:
+					b.Retire()
+				default:
+					b.Reset()
+					admitSeq = make(map[*Request]int)
+				}
+				checkBitmapInvariants(t, b, admitSeq)
+
+				inflightIDs = inflightIDs[:0]
+				b.occ.forEach(func(i int) { inflightIDs = append(inflightIDs, b.slots[i].ID) })
+			}
+
+			// Drain: every admitted request must still complete cleanly.
+			for i := 0; b.ActiveCount() > 0; i++ {
+				if i > 100000 {
+					t.Fatal("drain did not converge")
+				}
+				b.Step(rng)
+				checkBitmapInvariants(t, b, admitSeq)
+			}
+			b.Retire()
+			checkBitmapInvariants(t, b, admitSeq)
+			if b.live != 0 {
+				t.Fatalf("drained batch still reports %d live slots", b.live)
+			}
+		})
+	}
+}
+
+// TestBitmapCompactionPreservesStreams churns hundreds of short requests
+// through a small live window so the slot table repeatedly grows and
+// compacts, then checks that compaction never changed any request's
+// tokens relative to a solo run — compaction moves slots but must not
+// reorder selection.
+func TestBitmapCompactionPreservesStreams(t *testing.T) {
+	env := newEnv(t)
+	cfg := fixedStrategyConfig(gpu.NewDevice(gpu.H100, 1))
+	b, err := New(cfg, env.target, env.eagle)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+
+	const nReqs = 300
+	const maxNew = 6
+	cont := make([]*Request, nReqs)
+	for i := range cont {
+		cont[i] = env.poolRequest(i, i, maxNew, int64(9000+i))
+	}
+	next := 0
+	for step := 0; b.ActiveCount() > 0 || next < nReqs; step++ {
+		if step > 200000 {
+			t.Fatal("churn run did not converge")
+		}
+		for k := 0; k < 2 && next < nReqs; k++ {
+			b.Admit(cont[next])
+			next++
+		}
+		b.Step(rng)
+		b.Retire()
+	}
+	if b.tail >= 256 {
+		t.Fatalf("tail=%d after churn of %d short requests — compaction never ran", b.tail, nReqs)
+	}
+
+	for i := 0; i < nReqs; i += 37 {
+		solo := env.poolRequest(i, i, maxNew, int64(9000+i))
+		sb, err := New(fixedStrategyConfig(gpu.NewDevice(gpu.H100, 1)), env.target, env.eagle)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sb.Admit(solo)
+		runToCompletion(t, sb, rand.New(rand.NewSource(7)))
+		if len(solo.Tokens) != len(cont[i].Tokens) {
+			t.Fatalf("request %d: solo %d tokens, churned %d", i, len(solo.Tokens), len(cont[i].Tokens))
+		}
+		for j := range solo.Tokens {
+			if solo.Tokens[j] != cont[i].Tokens[j] {
+				t.Fatalf("request %d diverges at %d under compaction churn", i, j)
+			}
+		}
+	}
+}

@@ -82,6 +82,11 @@ type Request struct {
 	// hidden state, so insert-back can skip recomputing it.
 	retained  *prefixcache.Node
 	hidCached bool
+	// slot is the request's index in its batch's occupancy bitmaps while
+	// inflight (assigned monotonically at prefill, so slot order is
+	// admission order). Owned by the batch goroutine; meaningless while
+	// the request is pending or retired.
+	slot int
 }
 
 // maxPresize bounds the token-capacity reservation of NewRequest: decode

@@ -22,6 +22,7 @@ package sched
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 	"time"
 
@@ -229,18 +230,39 @@ type Batch struct {
 	// no unbounded per-step state.
 	RecordProfile bool
 
-	// inflight are admitted-and-prefilled requests in admission order;
+	// The inflight set lives in a slot table driven by per-state
+	// occupancy bitmaps (the CG-OoO issue-window shape: bitmap state,
+	// find-first-set selection, age-as-slot-index ordering). slots[i]
+	// holds the request bound to slot i; slot indices are assigned
+	// monotonically at prefill, so ascending bit iteration over occ is
+	// admission order — bit-identical selection order to the former
+	// slice scans. occ marks bound slots, wait marks slots parked in a
+	// GPU-free tool call (set when the call starts, cleared when the
+	// clock passes its resume time — the tool state machine is monotone,
+	// so the bit always equals the old per-step predicate), done marks
+	// finished slots awaiting retirement collection, and cxl transiently
+	// marks the slots of one cancellation sweep. tail is the first
+	// never-assigned slot; when retirements leave the live population
+	// far behind tail, the table compacts in admission order (amortised
+	// O(1) per retirement), so per-step work tracks the live batch, not
+	// its history.
+	slots []*Request
+	occ   bitset
+	wait  bitset
+	done  bitset
+	cxl   bitset
+	tail  int
+	live  int
+
 	// pending are admitted requests awaiting their prefill at the next
 	// step boundary; retired are finished requests awaiting Retire.
-	inflight []*Request
-	pending  []*Request
-	retired  []*Request
+	pending []*Request
+	retired []*Request
 
 	stats    Stats
 	sdActive bool
 
 	// Per-step scratch reused across iterations.
-	active      []*Request
 	decoding    []*Request
 	seqs        []specdec.Seq
 	rngs        []*rand.Rand
@@ -352,10 +374,8 @@ func (b *Batch) Admit(r *Request) {
 // finished (pending admissions included).
 func (b *Batch) ActiveCount() int {
 	n := 0
-	for _, r := range b.inflight {
-		if !r.Done {
-			n++
-		}
+	for w, word := range b.occ {
+		n += bits.OnesCount64(word &^ b.done[w])
 	}
 	for _, r := range b.pending {
 		if !r.Done {
@@ -367,7 +387,7 @@ func (b *Batch) ActiveCount() int {
 
 // Inflight returns the number of requests currently inside the batch
 // (prefilled, not yet retired).
-func (b *Batch) Inflight() int { return len(b.inflight) }
+func (b *Batch) Inflight() int { return b.live }
 
 // Stats returns a copy of the accumulated statistics. Slice fields alias
 // scheduler-owned storage that is replaced (not reused) by ResetStats, so
@@ -393,13 +413,19 @@ func (b *Batch) ResetStats() {
 // (including a fresh prefill), which is how the run-to-completion driver
 // reuses one batch across runs.
 func (b *Batch) Reset() {
-	for _, r := range b.inflight {
-		r.releaseRetained()
-	}
+	b.occ.forEach(func(i int) {
+		b.slots[i].releaseRetained()
+		b.slots[i] = nil
+	})
+	b.occ.zero()
+	b.wait.zero()
+	b.done.zero()
+	b.cxl.zero()
+	b.tail = 0
+	b.live = 0
 	for _, r := range b.pending {
 		r.releaseRetained()
 	}
-	b.inflight = b.inflight[:0]
 	b.pending = b.pending[:0]
 	b.retired = b.retired[:0]
 }
@@ -426,10 +452,15 @@ func (b *Batch) Cancel(reqID int) bool {
 			found = true
 		}
 	}
-	for _, r := range b.inflight {
-		if r.ID == reqID && !r.Done {
-			r.Cancel()
-			found = true
+	for w, word := range b.occ {
+		word &^= b.done[w]
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if r := b.slots[i]; r.ID == reqID && !r.Done {
+				r.Cancel()
+				found = true
+			}
 		}
 	}
 	return found
@@ -479,9 +510,20 @@ func (b *Batch) sweepCancelled() {
 	}
 	b.pending = kept
 
+	// Inflight sweep: one atomic flag load per live slot marks the
+	// cancellation bitmap; marked slots fold into the done bitmap and
+	// retire through the ordinary collection walk, in admission order.
 	swept := false
-	for _, r := range b.inflight {
-		if r.CancelRequested() && !r.Done {
+	for w, word := range b.occ {
+		word &^= b.done[w]
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := b.slots[i]
+			if !r.CancelRequested() || r.Done {
+				continue
+			}
+			b.cxl.set(i)
 			r.Done = true
 			r.cancelled = true
 			r.finishedAt = now
@@ -498,6 +540,10 @@ func (b *Batch) sweepCancelled() {
 		}
 	}
 	if swept {
+		for w := range b.done {
+			b.done[w] |= b.cxl[w]
+			b.cxl[w] = 0
+		}
 		b.collectRetired()
 	}
 }
@@ -509,16 +555,23 @@ func (b *Batch) sweepCancelled() {
 // completed sequence).
 func (b *Batch) TruncateRemaining() {
 	now := b.Clock.Now()
-	for _, r := range b.inflight {
-		if r.Done {
-			continue
+	for w, word := range b.occ {
+		word &^= b.done[w]
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			r := b.slots[i]
+			if r.Done {
+				continue
+			}
+			r.Done = true
+			r.truncated = true
+			r.finishedAt = now
+			r.hasFinished = true
+			b.done.set(i)
+			b.stats.TruncatedRequests++
+			b.stats.CompletionTimes = append(b.stats.CompletionTimes, now)
 		}
-		r.Done = true
-		r.truncated = true
-		r.finishedAt = now
-		r.hasFinished = true
-		b.stats.TruncatedRequests++
-		b.stats.CompletionTimes = append(b.stats.CompletionTimes, now)
 	}
 	for _, r := range b.pending {
 		if r.Done {
@@ -564,34 +617,41 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 	b.sweepCancelled()
 	b.prefillPending()
 
-	b.active = b.active[:0]
-	for _, r := range b.inflight {
-		if !r.Done {
-			b.active = append(b.active, r)
-		}
-	}
-	if len(b.active) == 0 {
-		ph.endStep(stepStart, b.Clock.Now())
-		return StepProfile{}, false
-	}
-
-	// Multi-turn: requests inside a tool call do not decode. If every
-	// active request is waiting, jump the clock to the earliest resume.
+	// Partition the live slots by bitmap words: expire tool-wait bits
+	// whose resume time has passed, then the ready set is one masked
+	// word operation (occ &^ done &^ wait) per 64 slots. Ascending bit
+	// order is admission order, so the decoding set is built in exactly
+	// the order the old slice scans produced.
 	now := b.Clock.Now()
 	b.decoding = b.decoding[:0]
 	waiting := 0
 	earliest := time.Duration(0)
-	for _, r := range b.active {
-		if t := r.waitingUntil(); t > now {
-			if waiting == 0 || t < earliest {
-				earliest = t
+	for w, word := range b.occ {
+		liveW := word &^ b.done[w]
+		for ww := liveW & b.wait[w]; ww != 0; ww &= ww - 1 {
+			i := w<<6 + bits.TrailingZeros64(ww)
+			if t := b.slots[i].waitingUntil(); t > now {
+				if waiting == 0 || t < earliest {
+					earliest = t
+				}
+				waiting++
+			} else {
+				b.wait.clear(i)
 			}
-			waiting++
-		} else {
-			b.decoding = append(b.decoding, r)
+		}
+		for ready := liveW &^ b.wait[w]; ready != 0; ready &= ready - 1 {
+			b.decoding = append(b.decoding, b.slots[w<<6+bits.TrailingZeros64(ready)])
 		}
 	}
 	if len(b.decoding) == 0 {
+		if waiting == 0 {
+			// No live inflight requests at all: nothing to do, and the
+			// clock must not move.
+			ph.endStep(stepStart, b.Clock.Now())
+			return StepProfile{}, false
+		}
+		// Multi-turn: every live request is inside a tool call — jump the
+		// clock to the earliest resume.
 		ph.add(PhaseToolWait, earliest-now)
 		b.Clock.AdvanceTo(earliest)
 		ph.endStep(stepStart, b.Clock.Now())
@@ -633,6 +693,7 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 	}
 	for _, r := range active {
 		if r.maybeStartToolCall(b.Clock.Now()) {
+			b.wait.set(r.slot)
 			b.stats.ToolCalls++
 			b.stats.ToolWaitTime += r.Tool.Latency
 			if r.Trace != nil {
@@ -649,10 +710,13 @@ func (b *Batch) Step(rng *rand.Rand) (StepProfile, bool) {
 			r.firstTokenAt = b.Clock.Now()
 			r.firstTokN = r.Generated()
 		}
-		if r.Done && !r.hasFinished {
-			r.finishedAt = b.Clock.Now()
-			r.hasFinished = true
-			b.stats.CompletionTimes = append(b.stats.CompletionTimes, r.finishedAt)
+		if r.Done {
+			b.done.set(r.slot)
+			if !r.hasFinished {
+				r.finishedAt = b.Clock.Now()
+				r.hasFinished = true
+				b.stats.CompletionTimes = append(b.stats.CompletionTimes, r.finishedAt)
+			}
 		}
 	}
 	if b.RecordProfile {
@@ -723,37 +787,123 @@ func (b *Batch) prefillPending() {
 	if b.mPrefillSaved != nil {
 		b.mPrefillSaved.Add(int64(b.stats.PrefillSavedTokens - saved))
 	}
-	b.inflight = append(b.inflight, b.pending...)
+	for _, r := range b.pending {
+		b.bindSlot(r)
+	}
 	b.pending = b.pending[:0]
 }
 
+// bindSlot binds a prefilled request to the next free slot. Slots are
+// handed out monotonically — never reused out of order — so ascending
+// occupancy-bit iteration is admission order; compaction (the only slot
+// reassignment) preserves that order. A request admitted already
+// finished goes straight to the done bitmap (it never decodes and is
+// collected at the step's end), and one admitted mid-tool-call parks in
+// the wait bitmap, exactly as the old per-step scans classified them.
+func (b *Batch) bindSlot(r *Request) {
+	if b.tail >= len(b.slots) {
+		b.growSlots()
+	}
+	i := b.tail
+	b.tail++
+	b.slots[i] = r
+	r.slot = i
+	b.occ.set(i)
+	b.live++
+	if r.Done {
+		b.done.set(i)
+	}
+	if r.waitingUntil() > b.Clock.Now() {
+		b.wait.set(i)
+	}
+}
+
+// growSlots doubles the slot table and its bitmaps (words stay in
+// lockstep). Growth is a high-water-mark event: steady-state stepping
+// never reaches it, keeping the 0 allocs/op pin.
+func (b *Batch) growSlots() {
+	words := len(b.occ) * 2
+	if words == 0 {
+		words = 1
+	}
+	slots := make([]*Request, words*64)
+	copy(slots, b.slots)
+	b.slots = slots
+	grow := func(s bitset) bitset {
+		ns := make(bitset, words)
+		copy(ns, s)
+		return ns
+	}
+	b.occ = grow(b.occ)
+	b.wait = grow(b.wait)
+	b.done = grow(b.done)
+	b.cxl = grow(b.cxl)
+}
+
+// maybeCompact re-packs live slots to the front of the table (in
+// admission order, preserving bit order) once retirements have left the
+// live population far behind the monotonic tail. The 2x slack bounds
+// compaction work to O(live) amortised per retirement; the floor keeps
+// small batches from compacting at all.
+func (b *Batch) maybeCompact() {
+	if b.tail < 128 || b.live*2 >= b.tail {
+		return
+	}
+	j := 0
+	for w, word := range b.occ {
+		for word != 0 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			word &= word - 1
+			if i != j {
+				r := b.slots[i]
+				b.slots[j], b.slots[i] = r, nil
+				r.slot = j
+				b.occ.clear(i)
+				b.occ.set(j)
+				if b.wait.has(i) {
+					b.wait.clear(i)
+					b.wait.set(j)
+				}
+			}
+			j++
+		}
+	}
+	b.tail = j
+}
+
 // collectRetired moves finished requests out of the inflight set (in
-// admission order) into the retirement buffer, inserting completed
-// sequences into the prefix cache and releasing their retained nodes.
+// admission order — ascending done-bit order) into the retirement
+// buffer, inserting completed sequences into the prefix cache and
+// releasing their retained nodes. Freed slots leave every bitmap, so
+// the walk costs one masked word read per 64 slots plus work
+// proportional to the requests actually retiring.
 func (b *Batch) collectRetired() {
 	retiredBefore := len(b.retired)
-	kept := b.inflight[:0]
-	for _, r := range b.inflight {
-		if !r.Done {
-			kept = append(kept, r)
+	for w, word := range b.done {
+		word &= b.occ[w]
+		if word == 0 {
 			continue
 		}
-		if b.cfg.Cache != nil && !r.cancelled {
-			b.cacheInsertBack(r)
+		b.occ[w] &^= word
+		b.wait[w] &^= word
+		b.done[w] &^= word
+		for ; word != 0; word &= word - 1 {
+			i := w<<6 + bits.TrailingZeros64(word)
+			r := b.slots[i]
+			b.slots[i] = nil
+			b.live--
+			if b.cfg.Cache != nil && !r.cancelled {
+				b.cacheInsertBack(r)
+			}
+			r.releaseRetained()
+			if r.Trace != nil {
+				r.Trace.Close(trace.KindRetire, r.finishedAt, int64(r.Generated()))
+			}
+			b.retired = append(b.retired, r)
 		}
-		r.releaseRetained()
-		if r.Trace != nil {
-			r.Trace.Close(trace.KindRetire, r.finishedAt, int64(r.Generated()))
-		}
-		b.retired = append(b.retired, r)
 	}
-	// Clear the tail so retired requests are not pinned by the backing
-	// array.
-	for i := len(kept); i < len(b.inflight); i++ {
-		b.inflight[i] = nil
-	}
-	b.inflight = kept
 	b.cfg.Phases.count(PhaseRetire, int64(len(b.retired)-retiredBefore))
+	b.maybeCompact()
 }
 
 // cacheInsertBack writes one completed sequence into the prefix cache

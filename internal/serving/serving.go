@@ -54,7 +54,9 @@ type Config struct {
 	// QueueDepth bounds the admission queue.
 	QueueDepth int
 	// MaxBatch caps the number of requests a replica keeps inflight in
-	// its continuous batch (default 8). 1 degenerates to run-to-completion
+	// its continuous batch (default 16, which the bitmap scheduler core
+	// sustains at flat per-request step cost while staying inside the
+	// engine's default SD regime). 1 degenerates to run-to-completion
 	// serving: each request decodes alone, the pre-scheduler behaviour.
 	// The scheduler's KV budget (Engine.KVBudgetBytes) still bounds the
 	// per-step decoding set within the batch.
@@ -213,7 +215,14 @@ func New(cfg Config, target *model.LM, drafter draft.Drafter) (*Server, error) {
 		cfg.QueueDepth = 64
 	}
 	if cfg.MaxBatch < 1 {
-		cfg.MaxBatch = 8
+		// The bitmap scheduler core keeps per-step selection cost flat in
+		// batch width (sched/batch-step-64 tracks batch-step-8 per-request
+		// in BENCH), so the default co-batching window is 16, not the 8
+		// the slice-scan core shipped with. Not higher: the default
+		// engine's SDThreshold is 32, and a default worth of co-batched
+		// requests should stay comfortably inside the speculative-decoding
+		// regime rather than silently tipping replicas into vanilla mode.
+		cfg.MaxBatch = 16
 	}
 	if cfg.Engine.Device == nil {
 		return nil, fmt.Errorf("serving: engine device required")

@@ -1,0 +1,9 @@
+//go:build !race
+
+package specdec
+
+// raceEnabled reports whether the race detector instruments this build.
+// Allocation pins are skipped under -race: the detector's shadow-state
+// bookkeeping allocates on its own schedule, which is not the property
+// those tests pin.
+const raceEnabled = false

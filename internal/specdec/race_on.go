@@ -1,0 +1,5 @@
+//go:build race
+
+package specdec
+
+const raceEnabled = true

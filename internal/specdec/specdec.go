@@ -25,6 +25,39 @@
 // step through it. Step is the 1-sequence case. StepSequential retains the
 // per-position reference path; property tests assert all paths emit
 // identical token streams for identical seeds.
+//
+// # Software-pipelined rounds
+//
+// With more than one CPU available (GOMAXPROCS > 1) and at least two
+// sequences in a batched round, StepBatch software-pipelines the round:
+// while the caller's goroutine drafts sequence i+1's tree, a scoring
+// worker runs sequence i's batched target pass and a verification worker
+// walks the already-scored trees — the double-buffered-load shape of a
+// pipelined GPU kernel, applied to the three stages of a speculation
+// round. The overlap is race-free by construction:
+//
+//   - Drafting touches only the drafter, the engine's draft-side scratch
+//     (one model.Scratch, the frontier/top-k buffers), and the tree being
+//     drafted. It never touches the target rows.
+//   - Scoring owns the second model.Scratch (the double buffer) and
+//     writes only into the handed-off tree's private context arena and
+//     row arena. The target LM is read-only under scoring (all mutation
+//     funnels through the caller-owned model.Scratch), so it is shared
+//     safely with the drafting stage's root-hidden-state computation.
+//   - Verification consumes randomness — so the verify worker processes
+//     trees strictly in sequence order, drawing from rngs[i] exactly as
+//     the serial loop does. Draw order, and therefore every emitted
+//     token, is bit-identical to the serial path (which in turn matches
+//     per-request sequential stepping; the equivalence tests pin all
+//     three). Each stage hands its tree to the next over a channel, so
+//     every cross-stage access is ordered by a happens-before edge.
+//
+// Any future drafter must preserve the first invariant: Probs/ProbsBuf
+// may read and mutate only drafter-owned state plus the scratch passed
+// in, never the target model or engine verification state, and drafting
+// must stay deterministic (consume no randomness). Break either and the
+// overlap stops being race-free/bit-identical; the pipelined equivalence
+// tests (and the -race CI job) are the tripwire.
 package specdec
 
 import (
@@ -151,6 +184,17 @@ type tree struct {
 	rowOf    []int
 	rowBase  int
 
+	// Pipelined scoring buffers: the pipelined path scores each tree in
+	// its own grouped pass the moment drafting hands it off, so the
+	// contexts, rows and row arena live on the tree (stage-private)
+	// instead of the engine's shared arenas. Row values are bit-identical
+	// either way — scoring zeroes each row before accumulation, so rows
+	// are independent of their batch-mates.
+	ctxs     []model.Context
+	rows     [][]float32
+	rowArena []float32
+	group1   [1]model.RowGroup
+
 	accepted []int // emitted tokens (aliased by Result.Tokens)
 }
 
@@ -187,6 +231,10 @@ type scratch struct {
 	groups   []model.RowGroup
 	rows     [][]float32
 	rowArena []float32
+
+	// pipeline is the engine's software pipeline for batched rounds,
+	// created lazily the first time a round qualifies for overlap.
+	pipeline *pipe
 }
 
 func (e *Engine) scratchInit() *scratch {
@@ -274,6 +322,10 @@ func (e *Engine) StepBatch(d draft.Drafter, seqs []Seq, p Params, rngs []*rand.R
 	p = clampParams(p)
 	sc := e.scratchInit()
 	trees := sc.treesFor(len(seqs))
+	if e.usePipeline(len(seqs)) {
+		e.stepBatchPipelined(d, seqs, p, rngs, out, trees)
+		return
+	}
 	for i := range seqs {
 		out[i] = Result{}
 		e.draftTreeInto(trees[i], d, seqs[i].Tokens, seqs[i].PromptLen, seqs[i].Bias, p, &out[i])
@@ -463,50 +515,90 @@ func (e *Engine) scoreTrees(seqs []Seq, trees []*tree) {
 	sc.ctxs = sc.ctxs[:0]
 	sc.groups = sc.groups[:0]
 	for i, t := range trees {
-		tokens := seqs[i].Tokens
-		promptLen := seqs[i].PromptLen
-		L := len(tokens)
-		arenaNeed := 0
-		for _, ni := range t.keep {
-			arenaNeed += L + t.nodes[ni].depth
-		}
-		// Context lengths grow with the sequence every round; headroom
-		// keeps the arena from reallocating once per round (see seqBuf).
-		if cap(t.ctxArena) < arenaNeed {
-			t.ctxArena = make([]int, arenaNeed+growthSlack*(len(t.keep)+1))
-		}
-		t.ctxArena = t.ctxArena[:arenaNeed]
-		sc.ctxs = append(sc.ctxs, model.Context{Tokens: t.seqBuf[:L], PromptLen: promptLen})
-		t.rowOf = ensureInt(t.rowOf, len(t.nodes))
-		off := 0
-		for j, ni := range t.keep {
-			end := off + L + t.nodes[ni].depth
-			seg := t.ctxArena[off:end]
-			copy(seg, tokens)
-			for k := ni; k >= 0; k = t.nodes[k].parent {
-				seg[L+t.nodes[k].depth-1] = t.nodes[k].tok
-			}
-			sc.ctxs = append(sc.ctxs, model.Context{Tokens: seg, PromptLen: promptLen})
-			t.rowOf[ni] = j + 1
-			off = end
-		}
+		sc.ctxs = buildScoreCtxs(t, seqs[i], sc.ctxs)
 		sc.groups = append(sc.groups, model.RowGroup{N: len(t.keep) + 1, Bias: seqs[i].Bias})
 	}
 
 	e.Target.ProbsBatchGrouped(sc.ctxs, sc.groups, e.Temp, sc.rows, sc.msc)
 }
 
+// buildScoreCtxs appends the root-position context and one context per
+// kept node of the tree to dst (filling t.rowOf with each node's row
+// offset from the tree's first row) and returns the extended slice. Both
+// scoring paths — the serial whole-batch pass and the pipelined per-tree
+// pass — materialise their contexts through this one function, so they
+// score identical inputs.
+func buildScoreCtxs(t *tree, seq Seq, dst []model.Context) []model.Context {
+	tokens := seq.Tokens
+	promptLen := seq.PromptLen
+	L := len(tokens)
+	arenaNeed := 0
+	for _, ni := range t.keep {
+		arenaNeed += L + t.nodes[ni].depth
+	}
+	// Context lengths grow with the sequence every round; headroom
+	// keeps the arena from reallocating once per round (see seqBuf).
+	if cap(t.ctxArena) < arenaNeed {
+		t.ctxArena = make([]int, arenaNeed+growthSlack*(len(t.keep)+1))
+	}
+	t.ctxArena = t.ctxArena[:arenaNeed]
+	dst = append(dst, model.Context{Tokens: t.seqBuf[:L], PromptLen: promptLen})
+	t.rowOf = ensureInt(t.rowOf, len(t.nodes))
+	off := 0
+	for j, ni := range t.keep {
+		end := off + L + t.nodes[ni].depth
+		seg := t.ctxArena[off:end]
+		copy(seg, tokens)
+		for k := ni; k >= 0; k = t.nodes[k].parent {
+			seg[L+t.nodes[k].depth-1] = t.nodes[k].tok
+		}
+		dst = append(dst, model.Context{Tokens: seg, PromptLen: promptLen})
+		t.rowOf[ni] = j + 1
+		off = end
+	}
+	return dst
+}
+
+// scoreTreeInto scores one tree's kept nodes in a single grouped pass
+// into the tree's private row arena — the pipelined path's scoring
+// stage, running on the scoring worker with the engine's second
+// model.Scratch. scoreInto zeroes each row before accumulating, so
+// per-tree passes emit exactly the float32 values the whole-batch pass
+// produces for the same tree.
+func (e *Engine) scoreTreeInto(t *tree, seq Seq, msc *model.Scratch) {
+	vocab := e.Target.Config().Vocab
+	total := len(t.keep) + 1
+	t.rowArena = ensureF32(t.rowArena, total*vocab)
+	t.rows = t.rows[:0]
+	for r := 0; r < total; r++ {
+		t.rows = append(t.rows, t.rowArena[r*vocab:(r+1)*vocab])
+	}
+	t.ctxs = buildScoreCtxs(t, seq, t.ctxs[:0])
+	t.group1[0] = model.RowGroup{N: total, Bias: seq.Bias}
+	e.Target.ProbsBatchGrouped(t.ctxs, t.group1[:], e.Temp, t.rows, msc)
+	t.rowBase = 0
+}
+
 // verifyTree walks one selected tree performing chain-rule rejection
-// sampling against its pre-scored rows. It draws from the RNG in exactly
-// the order verifySequential does, so both paths emit identical tokens
-// for identical seeds.
+// sampling against its pre-scored rows in the engine's shared row set.
+// It draws from the RNG in exactly the order verifySequential does, so
+// both paths emit identical tokens for identical seeds.
 func (e *Engine) verifyTree(t *tree, eosID int, rng *rand.Rand, res *Result) {
 	sc := e.sc
+	e.verifyTreeRows(t, sc.rows[t.rowBase:], &sc.sorted, eosID, rng, res)
+}
+
+// verifyTreeRows is the verification walk over an explicit row set
+// (rows[0] is the root position, rows[t.rowOf[n]] node n's position) and
+// caller-owned sort scratch — shared by the serial path (engine rows,
+// engine scratch) and the pipelined path (tree-private rows, the verify
+// worker's scratch).
+func (e *Engine) verifyTreeRows(t *tree, rows [][]float32, sortBuf *[]int, eosID int, rng *rand.Rand, res *Result) {
 	t.accepted = t.accepted[:0]
 	candidates := t.roots
-	row := sc.rows[t.rowBase]
+	row := rows[0]
 	for {
-		chosen, corrective := verifyNodeBuf(row, t.nodes, candidates, &sc.sorted, rng)
+		chosen, corrective := verifyNodeBuf(row, t.nodes, candidates, sortBuf, rng)
 		if chosen < 0 {
 			t.accepted = append(t.accepted, corrective)
 			res.Eos = eosID >= 0 && corrective == eosID
@@ -518,7 +610,7 @@ func (e *Engine) verifyTree(t *tree, eosID int, rng *rand.Rand, res *Result) {
 			res.Eos = true
 			break
 		}
-		row = sc.rows[t.rowBase+t.rowOf[chosen]]
+		row = rows[t.rowOf[chosen]]
 		candidates = t.childrenOf(chosen)
 		if len(candidates) == 0 {
 			// Deepest accepted node: sample the bonus token from the
