@@ -78,10 +78,12 @@ func main() {
 	fmt.Printf("%-32s %14s %14s %8s %10s %10s\n",
 		"name", "ns/op old", "ns/op new", "delta", "allocs old", "allocs new")
 	failures := 0
+	var dropped []string
 	for _, o := range old.HotPath {
 		n, ok := byName[o.Name]
 		if !ok {
 			fmt.Printf("%-32s MISSING from head snapshot — pinned benchmark dropped\n", o.Name)
+			dropped = append(dropped, o.Name)
 			failures++
 			continue
 		}
@@ -121,6 +123,12 @@ func main() {
 	}
 
 	if failures > 0 {
+		// Name every dropped pin in the terminal summary: the per-entry
+		// line scrolls away in CI logs, and "which benchmark disappeared"
+		// is the first question a red gate gets asked.
+		for _, name := range dropped {
+			fmt.Printf("\nbenchdiff: pinned hot-path entry %q disappeared from the head snapshot — restore the benchmark or regenerate both snapshots deliberately\n", name)
+		}
 		fmt.Printf("\nbenchdiff: %d regression(s)\n", failures)
 		os.Exit(1)
 	}

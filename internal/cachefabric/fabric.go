@@ -1,0 +1,523 @@
+// Package cachefabric is the cluster-level cache fabric over the
+// per-shard radix prefix caches: a prefix directory (token prefix →
+// shard holder set) maintained from the stats the shards already export,
+// plus the policies built on it — asynchronous replication of the
+// hottest prefixes to every shard, eviction gossip so directory entries
+// never dangle after a shard's LRU frees a node, and warm handoff for
+// shards the scaler revives or promotes.
+//
+// The fabric is advisory routing state, never a correctness surface: a
+// stale holder bit costs one cache miss (which re-seeds the prefix), so
+// every maintenance decision favours cheap eventual consistency over
+// coordination. Division of labour:
+//
+//   - Lookup is the routing hot path: one walk of the prompt with a
+//     rolling hash, map probes only at registered prefix lengths, token
+//     verification against the stored prefix (hash collisions can hide
+//     an entry but never fabricate a match). Zero heap allocations.
+//   - Sync is the gossip path, driven at step boundaries in virtual
+//     time: it drains each shard's versioned eviction journal, clears
+//     holder bits exactly per record, and — when a journal has wrapped
+//     past its cursor — marks the shard's bits pending-invalidation and
+//     re-verifies them with MatchLen probes instead of trusting them.
+//   - Plan selects replications deterministically (hit count descending,
+//     admission order breaking ties); the cluster ships them to target
+//     shards, which apply at their own step boundaries and confirm back.
+//
+// Everything above the hot path may allocate; nothing here contains
+// randomness, so identical operation sequences produce identical
+// directory state and replication schedules.
+package cachefabric
+
+import (
+	"math/bits"
+	"sort"
+	"sync"
+
+	"fastrl/internal/metrics"
+	"fastrl/internal/prefixcache"
+)
+
+// Defaults; see Config.
+const (
+	DefaultTopK       = 32
+	DefaultMaxEntries = 4096
+)
+
+// Config parameterises a Fabric.
+type Config struct {
+	// TopK is how many hottest prefixes per shard fold into the directory
+	// each Sync, and how many replications Plan schedules per call.
+	// 0 means DefaultTopK.
+	TopK int
+	// MaxEntries bounds directory memory: when the directory exceeds it,
+	// the coldest entries (fewest hits, newest first) are dropped at the
+	// end of Sync. 0 means DefaultMaxEntries.
+	MaxEntries int
+}
+
+// entry is one directory row. holders is the bitmask of shards believed
+// to hold the full prefix, pending marks holder bits that must be
+// re-verified before being trusted (set when that shard's eviction
+// journal wrapped past our cursor), and inflight marks shards with a
+// replication shipped but not yet confirmed, so Plan does not reschedule
+// it every tick.
+type entry struct {
+	tokens   []int
+	holders  uint64
+	pending  uint64
+	inflight uint64
+	hits     int64
+	seq      uint64
+}
+
+// Replication is one planned prefix copy: install Prefix on shard Target,
+// then call Confirm (or Abort if the copy was dropped).
+type Replication struct {
+	Target int
+	Prefix prefixcache.ExportedPrefix
+	key    uint64
+}
+
+// Fabric is the cluster cache fabric. All methods are safe for
+// concurrent use; Lookup and the maintenance paths share one mutex, the
+// same discipline as the prefix cache itself.
+type Fabric struct {
+	mu     sync.Mutex
+	caches []*prefixcache.Cache
+	topK   int
+	maxEnt int
+
+	entries map[uint64]*entry
+	// lens is the ascending set of distinct entry prefix lengths; Lookup
+	// probes the map only at these positions of its rolling hash.
+	lens []int
+	// cursors[s] is the eviction-journal position consumed from shard s.
+	cursors []uint64
+	seq     uint64
+
+	cReplicated metrics.Counter // replications confirmed applied
+	cPlanned    metrics.Counter // replications scheduled
+	cEvictions  metrics.Counter // journal records applied to the directory
+	cResyncs    metrics.Counter // journal wraps forcing pending re-verify
+	cHandoffs   metrics.Counter // prefixes copied by warm handoff
+}
+
+// New builds a fabric over the per-shard caches (indexed by shard ID,
+// the same slice handed to cluster Config.Caches).
+func New(cfg Config, caches []*prefixcache.Cache) *Fabric {
+	topK := cfg.TopK
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	maxEnt := cfg.MaxEntries
+	if maxEnt <= 0 {
+		maxEnt = DefaultMaxEntries
+	}
+	return &Fabric{
+		caches:  caches,
+		topK:    topK,
+		maxEnt:  maxEnt,
+		entries: make(map[uint64]*entry),
+		cursors: make([]uint64, len(caches)),
+	}
+}
+
+// prefixKey is an incremental FNV-1a step over one token; Lookup and the
+// maintenance paths must hash identically.
+func hashStep(h uint64, tok int) uint64 {
+	h ^= uint64(uint32(tok))
+	h *= 1099511628211
+	return h
+}
+
+const hashOffset = uint64(14695981039346656037)
+
+func hashTokens(tokens []int) uint64 {
+	h := hashOffset
+	for _, t := range tokens {
+		h = hashStep(h, t)
+	}
+	return h
+}
+
+func tokensEqual(a, b []int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i, t := range a {
+		if b[i] != t {
+			return false
+		}
+	}
+	return true
+}
+
+// Lookup returns the holder bitmask and prefix length of the deepest
+// directory entry covering a prefix of prompt, excluding holder bits
+// that are pending invalidation. (0, 0) means the directory knows
+// nothing about this prompt. Lookup is the routing hot path: it walks
+// the prompt once with a rolling hash and allocates nothing.
+func (f *Fabric) Lookup(prompt []int) (holders uint64, matched int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if len(f.entries) == 0 {
+		return 0, 0
+	}
+	h := hashOffset
+	li := 0
+	for i := 0; i < len(prompt) && li < len(f.lens); i++ {
+		h = hashStep(h, prompt[i])
+		if i+1 != f.lens[li] {
+			continue
+		}
+		li++
+		e, ok := f.entries[h]
+		if !ok {
+			continue
+		}
+		if hs := e.holders &^ e.pending; hs != 0 && tokensEqual(e.tokens, prompt[:i+1]) {
+			holders, matched = hs, i+1
+		}
+	}
+	return holders, matched
+}
+
+// Len returns the number of directory entries (diagnostics and tests).
+func (f *Fabric) Len() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.entries)
+}
+
+// Sync advances the directory one gossip round: drain every shard's
+// eviction journal (exact invalidation per record; a wrapped journal
+// demotes that shard's bits to pending), re-verify pending bits with
+// MatchLen probes, fold each shard's current hottest prefixes back in,
+// and prune the directory to its entry budget. Deterministic given the
+// same cache states and cursor positions.
+func (f *Fabric) Sync() {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for s, c := range f.caches {
+		if c == nil {
+			continue
+		}
+		recs, cursor, complete := c.EvictionsSince(f.cursors[s])
+		f.cursors[s] = cursor
+		if !complete {
+			f.cResyncs.Inc()
+			bit := uint64(1) << uint(s)
+			for _, e := range f.entries {
+				if e.holders&bit != 0 {
+					e.pending |= bit
+				}
+			}
+		}
+		for _, rec := range recs {
+			f.cEvictions.Inc()
+			if e, ok := f.entries[hashTokens(rec.Tokens)]; ok && tokensEqual(e.tokens, rec.Tokens) {
+				f.clearShard(e, s)
+			}
+		}
+	}
+	f.verifyPending()
+	for s, c := range f.caches {
+		if c == nil {
+			continue
+		}
+		for _, st := range c.HotPrefixStats(f.topK) {
+			f.observe(st, s)
+		}
+	}
+	f.prune()
+	f.rebuildLens()
+}
+
+// clearShard drops shard s from an entry's masks; the entry itself is
+// deleted once no shard claims it. Caller holds f.mu.
+func (f *Fabric) clearShard(e *entry, s int) {
+	bit := uint64(1) << uint(s)
+	e.holders &^= bit
+	e.pending &^= bit
+	e.inflight &^= bit
+	if e.holders == 0 && e.inflight == 0 {
+		delete(f.entries, hashTokens(e.tokens))
+	}
+}
+
+// verifyPending resolves every pending holder bit by probing the shard's
+// cache: a full-length match restores the bit, anything less removes the
+// holder. Order across entries is irrelevant — each resolution touches
+// only its own entry. Caller holds f.mu.
+func (f *Fabric) verifyPending() {
+	for _, e := range f.entries {
+		for p := e.pending; p != 0; p &= p - 1 {
+			s := trailingShard(p)
+			if c := f.caches[s]; c != nil && c.MatchLen(e.tokens) == len(e.tokens) {
+				e.pending &^= 1 << uint(s)
+			} else {
+				f.clearShard(e, s)
+			}
+		}
+	}
+}
+
+// observe folds one shard's hot-prefix stat into the directory. A hash
+// collision with a different resident prefix skips the stat: the entry
+// that got there first keeps the slot (deterministic), and the skipped
+// prefix simply stays untracked. Caller holds f.mu.
+func (f *Fabric) observe(st prefixcache.PrefixStat, shard int) {
+	key := hashTokens(st.Tokens)
+	e, ok := f.entries[key]
+	if ok && !tokensEqual(e.tokens, st.Tokens) {
+		return
+	}
+	if !ok {
+		f.seq++
+		e = &entry{tokens: st.Tokens, seq: f.seq}
+		f.entries[key] = e
+	}
+	bit := uint64(1) << uint(shard)
+	e.holders |= bit
+	e.pending &^= bit
+	e.inflight &^= bit
+	if st.Hits > e.hits {
+		e.hits = st.Hits
+	}
+}
+
+// prune drops the coldest entries (hits ascending, then newest first)
+// until the directory fits its budget. Caller holds f.mu.
+func (f *Fabric) prune() {
+	if len(f.entries) <= f.maxEnt {
+		return
+	}
+	all := make([]*entry, 0, len(f.entries))
+	for _, e := range f.entries {
+		all = append(all, e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].hits != all[j].hits {
+			return all[i].hits < all[j].hits
+		}
+		return all[i].seq > all[j].seq
+	})
+	for _, e := range all[:len(f.entries)-f.maxEnt] {
+		delete(f.entries, hashTokens(e.tokens))
+	}
+}
+
+// rebuildLens recomputes the ascending distinct-length set Lookup probes
+// at. Caller holds f.mu.
+func (f *Fabric) rebuildLens() {
+	seen := make(map[int]bool, 8)
+	f.lens = f.lens[:0]
+	for _, e := range f.entries {
+		if !seen[len(e.tokens)] {
+			seen[len(e.tokens)] = true
+			f.lens = append(f.lens, len(e.tokens))
+		}
+	}
+	sort.Ints(f.lens)
+}
+
+// Plan schedules up to TopK replications toward the live shard set
+// (bitmask): the hottest directory entries some live shard holds and
+// some other live shard lacks, exported from the lowest-ID live holder.
+// Scheduled targets are marked in-flight so the next Plan does not
+// reschedule them; the caller must resolve each Replication with Confirm
+// or Abort. Entries whose export fails (source evicted the prefix since
+// the last Sync) lose that holder bit on the spot.
+func (f *Fabric) Plan(live uint64) []Replication {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	cands := make([]*entry, 0, len(f.entries))
+	for _, e := range f.entries {
+		if e.holders&^e.pending&live != 0 && live&^(e.holders|e.inflight) != 0 {
+			cands = append(cands, e)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hits != cands[j].hits {
+			return cands[i].hits > cands[j].hits
+		}
+		return cands[i].seq < cands[j].seq
+	})
+	if len(cands) > f.topK {
+		cands = cands[:f.topK]
+	}
+	var plan []Replication
+	for _, e := range cands {
+		src := trailingShard(e.holders &^ e.pending & live)
+		ex, ok := f.caches[src].Export(e.tokens)
+		if !ok {
+			f.clearShard(e, src)
+			continue
+		}
+		key := hashTokens(e.tokens)
+		for miss := live &^ (e.holders | e.inflight); miss != 0; miss &= miss - 1 {
+			t := trailingShard(miss)
+			e.inflight |= 1 << uint(t)
+			f.cPlanned.Inc()
+			plan = append(plan, Replication{Target: t, Prefix: ex, key: key})
+		}
+	}
+	return plan
+}
+
+// Confirm records that a planned replication was applied on its target:
+// the shard becomes a holder and routing may use it immediately.
+func (f *Fabric) Confirm(r Replication) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[r.key]
+	if !ok || !tokensEqual(e.tokens, r.Prefix.Tokens) {
+		return
+	}
+	bit := uint64(1) << uint(r.Target)
+	e.inflight &^= bit
+	e.holders |= bit
+	e.pending &^= bit
+	f.cReplicated.Inc()
+}
+
+// Abort records that a planned replication was dropped (target ingest
+// queue full, shard gone); the entry becomes schedulable again.
+func (f *Fabric) Abort(r Replication) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	e, ok := f.entries[r.key]
+	if !ok || !tokensEqual(e.tokens, r.Prefix.Tokens) {
+		return
+	}
+	bit := uint64(1) << uint(r.Target)
+	e.inflight &^= bit
+	if e.holders == 0 && e.inflight == 0 {
+		delete(f.entries, r.key)
+	}
+}
+
+// InvalidateShard wholesale-removes a shard from the directory — the
+// revival path calls it after Clear() wipes the shard's cache — and
+// fast-forwards the journal cursor past anything the wipe emitted.
+func (f *Fabric) InvalidateShard(shard int) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, e := range f.entries {
+		f.clearShard(e, shard)
+	}
+	if c := f.caches[shard]; c != nil {
+		f.cursors[shard] = c.EvictionSeq()
+	}
+	f.rebuildLens()
+}
+
+// Handoff warms dst (shard dstShard's just-cleared cache) from the
+// directory: the hottest entries held by any other shard are exported
+// from their lowest-ID holder and imported into dst, which becomes a
+// holder immediately (the copy is synchronous). When the directory is
+// empty — fabric just built, or every other shard cold — it degrades to
+// the survivor scan (HandoffFromSurvivors), so revival is never worse
+// than the pre-fabric behaviour. Returns the number of prefixes copied.
+func (f *Fabric) Handoff(dst *prefixcache.Cache, dstShard int, k int) int {
+	f.mu.Lock()
+	cands := make([]*entry, 0, len(f.entries))
+	dstBit := uint64(1) << uint(dstShard)
+	for _, e := range f.entries {
+		if e.holders&^e.pending&^dstBit != 0 {
+			cands = append(cands, e)
+		}
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].hits != cands[j].hits {
+			return cands[i].hits > cands[j].hits
+		}
+		return cands[i].seq < cands[j].seq
+	})
+	if len(cands) > k {
+		cands = cands[:k]
+	}
+	type copyPlan struct {
+		e   *entry
+		src int
+	}
+	plans := make([]copyPlan, len(cands))
+	for i, e := range cands {
+		plans[i] = copyPlan{e: e, src: trailingShard(e.holders &^ e.pending &^ dstBit)}
+	}
+	f.mu.Unlock()
+
+	if len(plans) == 0 {
+		var srcs []*prefixcache.Cache
+		for s, c := range f.caches {
+			if s != dstShard && c != nil {
+				srcs = append(srcs, c)
+			}
+		}
+		return HandoffFromSurvivors(dst, srcs, k)
+	}
+	copied := 0
+	for _, p := range plans {
+		ex, ok := f.caches[p.src].Export(p.e.tokens)
+		if !ok {
+			continue
+		}
+		dst.Import(ex)
+		copied++
+		f.cHandoffs.Inc()
+		f.mu.Lock()
+		p.e.holders |= dstBit
+		p.e.pending &^= dstBit
+		f.mu.Unlock()
+	}
+	return copied
+}
+
+// HandoffFromSurvivors copies each survivor's k hottest prefixes into
+// dst — the directory-free warm handoff used when no fabric is
+// configured (and as Handoff's cold-directory fallback). Export/Import
+// ships the boundary hidden states along, so the revived shard skips
+// prefill on the first templated request it serves, not just the
+// drafter warm-up.
+func HandoffFromSurvivors(dst *prefixcache.Cache, srcs []*prefixcache.Cache, k int) int {
+	copied := 0
+	for _, src := range srcs {
+		if src == nil || src == dst {
+			continue
+		}
+		for _, st := range src.HotPrefixStats(k) {
+			ex, ok := src.Export(st.Tokens)
+			if !ok {
+				continue
+			}
+			dst.Import(ex)
+			copied++
+		}
+	}
+	return copied
+}
+
+// RegisterMetrics registers the fabric's probes under the given prefix
+// (e.g. "fabric/") in the owning registry. The counters are exposed as
+// gauges over their own storage — same pattern as the prefix cache — so
+// registration never changes where the fabric accounts.
+func (f *Fabric) RegisterMetrics(reg *metrics.Registry, prefix string) {
+	reg.Gauge(prefix+"planned", func() float64 { return float64(f.cPlanned.Load()) })
+	reg.Gauge(prefix+"replicated", func() float64 { return float64(f.cReplicated.Load()) })
+	reg.Gauge(prefix+"evictions_applied", func() float64 { return float64(f.cEvictions.Load()) })
+	reg.Gauge(prefix+"journal_resyncs", func() float64 { return float64(f.cResyncs.Load()) })
+	reg.Gauge(prefix+"handoff_prefixes", func() float64 { return float64(f.cHandoffs.Load()) })
+	reg.Gauge(prefix+"directory_entries", func() float64 { return float64(f.Len()) })
+}
+
+// Counters returns (planned, replicated, handoff) totals for tests and
+// experiment reporting.
+func (f *Fabric) Counters() (planned, replicated, handoffs int64) {
+	return f.cPlanned.Load(), f.cReplicated.Load(), f.cHandoffs.Load()
+}
+
+// trailingShard returns the index of the lowest set bit.
+func trailingShard(mask uint64) int {
+	return bits.TrailingZeros64(mask)
+}

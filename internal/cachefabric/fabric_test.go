@@ -1,0 +1,267 @@
+package cachefabric
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fastrl/internal/model"
+	"fastrl/internal/prefixcache"
+)
+
+func newCaches(n int, budget int64) []*prefixcache.Cache {
+	out := make([]*prefixcache.Cache, n)
+	for i := range out {
+		out[i] = prefixcache.New(prefixcache.Config{BudgetBytes: budget, JournalDepth: 64})
+	}
+	return out
+}
+
+// heat inserts prompt into cache s and looks it up k times so it ranks
+// among the shard's hottest prefixes.
+func heat(c *prefixcache.Cache, prompt []int, k int) {
+	c.Insert(prompt, len(prompt), &model.HiddenState{Sketch: []float32{1}, TopTokens: []int{1}})
+	for i := 0; i < k; i++ {
+		n, _ := c.Lookup(prompt)
+		n.Release()
+	}
+}
+
+func TestLookupAndReplicationRoundTrip(t *testing.T) {
+	caches := newCaches(3, 0)
+	f := New(Config{}, caches)
+	template := []int{10, 11, 12, 13}
+	heat(caches[0], template, 5)
+
+	if h, m := f.Lookup(template); h != 0 || m != 0 {
+		t.Fatalf("empty directory returned holders=%b matched=%d", h, m)
+	}
+	f.Sync()
+	h, m := f.Lookup(append(append([]int{}, template...), 99, 98))
+	if h != 1<<0 || m != len(template) {
+		t.Fatalf("after sync: holders=%b matched=%d, want %b/%d", h, m, 1, len(template))
+	}
+
+	plan := f.Plan(0b111)
+	if len(plan) != 2 {
+		t.Fatalf("planned %d replications, want 2 (shards 1 and 2)", len(plan))
+	}
+	// Replanning before confirmation must not duplicate in-flight work.
+	if dup := f.Plan(0b111); len(dup) != 0 {
+		t.Fatalf("replanning scheduled %d duplicate replications", len(dup))
+	}
+	for _, r := range plan {
+		if r.Target == 0 {
+			t.Fatal("planned replication toward the holder itself")
+		}
+		caches[r.Target].Import(r.Prefix)
+		f.Confirm(r)
+	}
+	if h, _ := f.Lookup(template); h != 0b111 {
+		t.Fatalf("holders after confirm = %b, want 111", h)
+	}
+	for s := 1; s < 3; s++ {
+		if caches[s].MatchLen(template) != len(template) {
+			t.Fatalf("shard %d did not ingest the replicated prefix", s)
+		}
+		n, matched := caches[s].Lookup(template)
+		if matched != len(template) || n.Hidden() == nil {
+			t.Fatalf("shard %d replica lacks the boundary hidden state", s)
+		}
+		n.Release()
+	}
+	planned, replicated, _ := f.Counters()
+	if planned != 2 || replicated != 2 {
+		t.Fatalf("counters planned=%d replicated=%d, want 2/2", planned, replicated)
+	}
+	// Nothing missing anywhere: nothing to plan.
+	if rest := f.Plan(0b111); len(rest) != 0 {
+		t.Fatalf("fully-replicated entry still planned %d copies", len(rest))
+	}
+}
+
+// TestPlanDeterministicOrder pins replication-schedule determinism: two
+// fabrics over identically-operated caches plan identical sequences,
+// hottest entries first, admission order breaking equal hit counts.
+func TestPlanDeterministicOrder(t *testing.T) {
+	build := func() (*Fabric, []*prefixcache.Cache) {
+		caches := newCaches(2, 0)
+		heat(caches[0], []int{1, 1, 1}, 2)
+		heat(caches[0], []int{2, 2, 2}, 5)
+		heat(caches[0], []int{3, 3, 3}, 2)
+		f := New(Config{}, caches)
+		f.Sync()
+		return f, caches
+	}
+	fa, _ := build()
+	fb, _ := build()
+	pa, pb := fa.Plan(0b11), fb.Plan(0b11)
+	if len(pa) == 0 || len(pa) != len(pb) {
+		t.Fatalf("plan lengths %d vs %d", len(pa), len(pb))
+	}
+	for i := range pa {
+		if pa[i].Target != pb[i].Target || fmt.Sprint(pa[i].Prefix.Tokens) != fmt.Sprint(pb[i].Prefix.Tokens) {
+			t.Fatalf("plans diverge at %d: %v vs %v", i, pa[i], pb[i])
+		}
+	}
+	// Hottest first: the 5-hit prefix leads; the 2-hit tie follows in
+	// admission order.
+	if fmt.Sprint(pa[0].Prefix.Tokens) != "[2 2 2]" {
+		t.Fatalf("plan[0] = %v, want the hottest prefix [2 2 2]", pa[0].Prefix.Tokens)
+	}
+}
+
+func TestEvictionGossipClearsHolders(t *testing.T) {
+	caches := newCaches(2, 0)
+	f := New(Config{}, caches)
+	p := []int{5, 6, 7, 8}
+	heat(caches[0], p, 3)
+	f.Sync()
+	if h, _ := f.Lookup(p); h == 0 {
+		t.Fatal("entry not registered")
+	}
+	caches[0].Clear()
+	f.Sync()
+	if h, m := f.Lookup(p); h != 0 || m != 0 {
+		t.Fatalf("directory dangles after eviction gossip: holders=%b matched=%d", h, m)
+	}
+}
+
+func TestHandoffWarmsDestination(t *testing.T) {
+	caches := newCaches(3, 0)
+	f := New(Config{}, caches)
+	hot := []int{1, 2, 3, 4, 5, 6}
+	heat(caches[0], hot, 4)
+	f.Sync()
+	caches[2].Clear()
+	f.InvalidateShard(2)
+	if n := f.Handoff(caches[2], 2, 16); n == 0 {
+		t.Fatal("directory-driven handoff copied nothing")
+	}
+	if caches[2].MatchLen(hot) != len(hot) {
+		t.Fatal("handoff destination misses the hot prefix")
+	}
+	if h, _ := f.Lookup(hot); h&(1<<2) == 0 {
+		t.Fatal("handoff did not register the destination as a holder")
+	}
+	// Cold directory degrades to the survivor scan.
+	f2 := New(Config{}, caches)
+	dst := prefixcache.New(prefixcache.Config{})
+	if n := f2.Handoff(dst, 2, 16); n == 0 {
+		t.Fatal("cold-directory handoff copied nothing")
+	}
+	if dst.MatchLen(hot) != len(hot) {
+		t.Fatal("survivor-scan fallback missed the hot prefix")
+	}
+}
+
+func TestDirectoryBounded(t *testing.T) {
+	caches := newCaches(1, -1)
+	f := New(Config{TopK: 64, MaxEntries: 8}, caches)
+	for i := 0; i < 40; i++ {
+		heat(caches[0], []int{i, i + 1, i + 2, i + 3}, 1+i%3)
+	}
+	f.Sync()
+	if got := f.Len(); got > 8 {
+		t.Fatalf("directory holds %d entries, budget 8", got)
+	}
+}
+
+// TestDirectoryNeverDangles is the staleness property test: across
+// arbitrary interleavings of inserts, lookups, budget-pressure
+// evictions, whole-shard crashes, and gossip rounds, every directory
+// entry either resolves — each non-pending holder bit points at a shard
+// whose cache still fully contains the prefix — or carries the pending
+// -invalidation mark. Checked after every Sync under several seeds.
+func TestDirectoryNeverDangles(t *testing.T) {
+	const shards = 4
+	for seed := int64(1); seed <= 5; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		// Tight budgets + a tiny journal force both ordinary eviction
+		// gossip and journal-wrap resyncs to happen.
+		caches := make([]*prefixcache.Cache, shards)
+		for i := range caches {
+			caches[i] = prefixcache.New(prefixcache.Config{BudgetBytes: 2000, JournalDepth: 4})
+		}
+		f := New(Config{TopK: 16, MaxEntries: 64}, caches)
+		check := func(step int) {
+			f.mu.Lock()
+			defer f.mu.Unlock()
+			for _, e := range f.entries {
+				for hs := e.holders &^ e.pending; hs != 0; hs &= hs - 1 {
+					s := trailingShard(hs)
+					if got := caches[s].MatchLen(e.tokens); got != len(e.tokens) {
+						t.Fatalf("seed %d step %d: entry %v claims shard %d (match %d/%d) and is not pending",
+							seed, step, e.tokens, s, got, len(e.tokens))
+					}
+				}
+			}
+		}
+		for step := 0; step < 300; step++ {
+			s := rng.Intn(shards)
+			switch op := rng.Intn(10); {
+			case op < 5: // insert a (possibly shared-prefix) sequence
+				base := rng.Intn(6)
+				p := []int{base, base + 1, base + 2, rng.Intn(50), rng.Intn(50), rng.Intn(50)}
+				caches[s].Insert(p, len(p), nil)
+			case op < 8: // heat an existing path
+				base := rng.Intn(6)
+				n, _ := caches[s].Lookup([]int{base, base + 1, base + 2})
+				n.Release()
+			case op < 9: // crash: wipe the shard like a revival does
+				caches[s].Clear()
+				f.InvalidateShard(s)
+			default:
+				f.Sync()
+				check(step)
+			}
+		}
+		f.Sync()
+		check(-1)
+	}
+}
+
+// TestLookupZeroAlloc pins the directory lookup — the routing hot path —
+// at zero heap allocations per call, warm directory, misses and hits
+// both (ROADMAP: steady-state hot paths stay at 0 allocs/op).
+func TestLookupZeroAlloc(t *testing.T) {
+	caches := newCaches(4, 0)
+	prompt := make([]int, 48)
+	for i := range prompt {
+		prompt[i] = i * 3
+	}
+	for s, c := range caches {
+		heat(c, prompt[:8+4*s], 2)
+	}
+	f := New(Config{}, caches)
+	f.Sync()
+	if _, m := f.Lookup(prompt); m == 0 {
+		t.Fatal("warm directory missed")
+	}
+	miss := []int{999, 998, 997, 996}
+	for name, probe := range map[string][]int{"hit": prompt, "miss": miss} {
+		if avg := testing.AllocsPerRun(1000, func() {
+			f.Lookup(probe)
+		}); avg != 0 {
+			t.Errorf("%s lookup: %v allocs/op, want 0", name, avg)
+		}
+	}
+}
+
+func BenchmarkFabricLookup(b *testing.B) {
+	caches := newCaches(8, 0)
+	prompt := make([]int, 64)
+	for i := range prompt {
+		prompt[i] = i * 7
+	}
+	for s, c := range caches {
+		heat(c, prompt[:8+2*s], 2)
+	}
+	f := New(Config{}, caches)
+	f.Sync()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.Lookup(prompt)
+	}
+}

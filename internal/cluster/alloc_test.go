@@ -3,6 +3,7 @@ package cluster
 import (
 	"testing"
 
+	"fastrl/internal/cachefabric"
 	"fastrl/internal/prefixcache"
 )
 
@@ -17,10 +18,16 @@ func TestRouterZeroAlloc(t *testing.T) {
 	prompt := gen.Pool()[0].Prompt
 	warm := NewShardCaches(4, prefixcache.Config{})
 	warm[2].Insert(prompt, len(prompt), nil)
+	// A fabric whose directory already tracks the prompt: the pin covers
+	// the directory-hit path, not just the cold round-robin fallback.
+	fabric := cachefabric.New(cachefabric.Config{}, warm)
+	fabric.Sync()
 	policies := []Policy{
 		NewRoundRobin(), NewLeastLoaded(), NewPrefixAffinity(8),
 		NewCacheAware(NewShardCaches(4, prefixcache.Config{})), // cold
 		NewCacheAware(warm),
+		NewFabricAware(cachefabric.New(cachefabric.Config{}, NewShardCaches(4, prefixcache.Config{}))), // cold
+		NewFabricAware(fabric),
 	}
 	for _, p := range policies {
 		cfg := clusterConfig(tk, 4, 1)

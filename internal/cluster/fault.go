@@ -279,11 +279,17 @@ func (c *Cluster) ReviveShard(id int, now time.Duration) error {
 	sh.server().Crash()
 
 	if sh.cache != nil {
-		// Wipe state from before the crash, then re-warm from the hottest
-		// prefixes the survivors retained — the revived shard starts with a
-		// working set instead of a cold cache.
+		// Wipe state from before the crash, then warm-hand-off through the
+		// cache fabric (directory-driven selection of the cluster's hottest
+		// prefixes, hidden states included; survivor scan without a fabric)
+		// — the revived shard starts with a working set instead of a cold
+		// cache. The directory drops the dead incarnation's claims first so
+		// no entry dangles across the wipe.
 		sh.cache.Clear()
-		c.rewarmCache(sh)
+		if c.fabric != nil {
+			c.fabric.InvalidateShard(sh.id)
+		}
+		c.warmHandoff(sh)
 	}
 	drafter, err := c.recoveredDrafter()
 	if err != nil {
@@ -320,25 +326,6 @@ func (c *Cluster) recoveredDrafter() (draft.Drafter, error) {
 		return nil, fmt.Errorf("cluster: restoring drafter: %w", err)
 	}
 	return clone, nil
-}
-
-// hotPrefixLimit bounds how many survivor prefixes a revival re-warms.
-const hotPrefixLimit = 64
-
-// rewarmCache seeds a revived shard's prefix cache with the hottest
-// retained prefixes from the surviving shards' caches.
-func (c *Cluster) rewarmCache(dead *shard) {
-	for _, other := range c.shards {
-		if other == dead || other.cache == nil {
-			continue
-		}
-		for _, p := range other.cache.HotPrefixes(hotPrefixLimit) {
-			if len(p) == 0 {
-				continue
-			}
-			dead.cache.Insert(p, len(p), nil)
-		}
-	}
 }
 
 // RollingRestart restarts every serving shard in sequence under load:

@@ -3,6 +3,7 @@ package cluster
 import (
 	"sync/atomic"
 
+	"fastrl/internal/cachefabric"
 	"fastrl/internal/prefixcache"
 )
 
@@ -160,6 +161,76 @@ func (p *CacheAware) Pick(prompt []int, live []int, loads []int) int {
 		return p.ll.Pick(prompt, live, loads)
 	}
 	return best
+}
+
+// FabricAware routes against the cluster cache fabric's prefix
+// directory instead of probing every shard's cache: one directory
+// lookup per request (rolling hash over the prompt, zero allocations)
+// returns the set of shards already holding the longest known prefix,
+// and the pick is the least-loaded live holder, rotating round-robin
+// among equally-loaded holders. Because the fabric replicates hot
+// prefixes to every shard, the holder set converges to the whole live
+// set for genuinely hot templates — so locality stops concentrating
+// load on whichever shard happened to warm up first, the failure mode
+// CacheAware's LoadSlack merely bounds. Unknown prompts fall back to
+// round-robin (seeding the prefix on a shard the next Sync registers),
+// and a holder hotspot beyond LoadSlack falls back the same way.
+type FabricAware struct {
+	fabric *cachefabric.Fabric
+	rr     RoundRobin
+	tie    atomic.Uint64
+	// LoadSlack bounds how much extra backlog a holder may carry over the
+	// least-loaded live shard before the pick reverts to round-robin.
+	// Default 16, matching CacheAware.
+	LoadSlack int
+}
+
+// NewFabricAware builds the policy over the cluster's fabric
+// (Cluster.Fabric after configuring cluster Config.Fabric).
+func NewFabricAware(f *cachefabric.Fabric) *FabricAware {
+	return &FabricAware{fabric: f, LoadSlack: 16}
+}
+
+// Name implements Policy.
+func (p *FabricAware) Name() string { return "fabric-aware" }
+
+// Pick implements Policy.
+func (p *FabricAware) Pick(prompt []int, live []int, loads []int) int {
+	holders, matched := p.fabric.Lookup(prompt)
+	if matched == 0 {
+		return p.rr.Pick(prompt, live, loads)
+	}
+	minHolder, minLive, ties := -1, loads[0], 0
+	for i, id := range live {
+		if loads[i] < minLive {
+			minLive = loads[i]
+		}
+		if id < 64 && holders&(1<<uint(id)) != 0 {
+			switch {
+			case minHolder < 0 || loads[i] < minHolder:
+				minHolder, ties = loads[i], 1
+			case loads[i] == minHolder:
+				ties++
+			}
+		}
+	}
+	if minHolder < 0 || minHolder-minLive > p.LoadSlack {
+		// No live holder, or every holder is a hotspot: balance load and
+		// let the miss re-seed the prefix where it lands.
+		return p.rr.Pick(prompt, live, loads)
+	}
+	// Rotate among the equally-least-loaded holders so replicated
+	// prefixes spread work instead of re-creating the warm-shard hotspot.
+	nth := int((p.tie.Add(1) - 1) % uint64(ties))
+	for i, id := range live {
+		if id < 64 && holders&(1<<uint(id)) != 0 && loads[i] == minHolder {
+			if nth == 0 {
+				return i
+			}
+			nth--
+		}
+	}
+	return p.rr.Pick(prompt, live, loads)
 }
 
 // rendezvousWeight mixes a prefix hash with a shard ID (splitmix64

@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"fastrl/internal/cachefabric"
 	"fastrl/internal/cluster"
 	"fastrl/internal/draft"
 	"fastrl/internal/gpu"
@@ -28,6 +29,7 @@ type cacheArm struct {
 	stats     cluster.Stats
 	hitRate   float64 // weighted across shard caches
 	savedFrac float64 // saved prefill positions / total prompt positions
+	loadRatio float64 // max/mean served requests across shards (1.0 = even)
 	nodes     int
 	resident  int64
 	armCaches []*prefixcache.Cache
@@ -95,22 +97,27 @@ func runCache(opts Options) (*Result, error) {
 	}
 
 	type armSpec struct {
-		name string
-		mk   func(caches []*prefixcache.Cache) cluster.Policy
+		name   string
+		mk     func(caches []*prefixcache.Cache) cluster.Policy
+		fabric bool
 	}
 	specs := []armSpec{
-		{"round-robin", func([]*prefixcache.Cache) cluster.Policy { return cluster.NewRoundRobin() }},
-		{"prefix-affinity", func([]*prefixcache.Cache) cluster.Policy { return cluster.NewPrefixAffinity(8) }},
-		{"cache-aware", func(caches []*prefixcache.Cache) cluster.Policy { return cluster.NewCacheAware(caches) }},
+		{"round-robin", func([]*prefixcache.Cache) cluster.Policy { return cluster.NewRoundRobin() }, false},
+		{"prefix-affinity", func([]*prefixcache.Cache) cluster.Policy { return cluster.NewPrefixAffinity(8) }, false},
+		{"cache-aware", func(caches []*prefixcache.Cache) cluster.Policy { return cluster.NewCacheAware(caches) }, false},
+		// The fabric arm: nil policy resolves to fabric-aware routing over
+		// the cluster's prefix directory, and the replay drives FabricTick
+		// at window boundaries so hot prefixes replicate to every shard.
+		{"fabric", func([]*prefixcache.Cache) cluster.Policy { return nil }, true},
 	}
 	arms := make([]cacheArm, len(specs))
 	forEach(len(specs), func(i int) {
-		arms[i] = runCacheArm(b, specs[i].name, specs[i].mk, prompts, arrivals, shards, maxNew, promptPositions)
+		arms[i] = runCacheArm(b, specs[i].name, specs[i].mk, specs[i].fabric, prompts, arrivals, shards, maxNew, promptPositions)
 	})
 
 	res := &Result{}
 	tbl := &metrics.Table{Header: []string{
-		"policy", "served", "hit%", "saved prefill%", "nodes", "resident KB", "p50 ms", "p95 ms",
+		"policy", "served", "hit%", "saved prefill%", "load max/mean", "nodes", "resident KB", "p50 ms", "p95 ms",
 	}}
 	for _, arm := range arms {
 		if arm.err != nil {
@@ -121,6 +128,7 @@ func runCache(opts Options) (*Result, error) {
 			fmt.Sprintf("%d", st.Served),
 			metrics.F(100*arm.hitRate, 1),
 			metrics.F(100*arm.savedFrac, 1),
+			metrics.F(arm.loadRatio, 2),
 			fmt.Sprintf("%d", arm.nodes),
 			metrics.F(float64(arm.resident)/1024, 1),
 			metrics.F(float64(st.P50)/float64(time.Millisecond), 2),
@@ -129,6 +137,7 @@ func runCache(opts Options) (*Result, error) {
 		res.Metric(arm.policy+"/hit_rate", arm.hitRate)
 		res.Metric(arm.policy+"/prefill_saved_frac", arm.savedFrac)
 		res.Metric(arm.policy+"/saved_positions", float64(st.CacheSavedPositions))
+		res.Metric(arm.policy+"/load_ratio", arm.loadRatio)
 		res.Metric(arm.policy+"/p50_ms", float64(st.P50)/float64(time.Millisecond))
 		res.Metric(arm.policy+"/p95_ms", float64(st.P95)/float64(time.Millisecond))
 	}
@@ -160,16 +169,27 @@ func runCache(opts Options) (*Result, error) {
 	return res, nil
 }
 
+// fabricTickEvery is the fabric arm's replication cadence in trace
+// (virtual arrival) time: the replay calls FabricTick at these window
+// boundaries, and target shards ingest at their next step boundary.
+const fabricTickEvery = 50 * time.Millisecond
+
 // runCacheArm replays the trace sequentially through a fresh cluster with
-// per-shard caches under one policy.
-func runCacheArm(b *bench, name string, mkPolicy func([]*prefixcache.Cache) cluster.Policy,
+// per-shard caches under one policy. The fabric arm additionally builds
+// the cluster cache fabric (eviction journals on, directory sized to the
+// trace) and ticks it on a fixed virtual-time cadence.
+func runCacheArm(b *bench, name string, mkPolicy func([]*prefixcache.Cache) cluster.Policy, fabric bool,
 	prompts [][]int, arrivals []workload.Arrival, shards, maxNew int, promptPositions int64) cacheArm {
 	arm := cacheArm{policy: name}
-	caches := cluster.NewShardCaches(shards, prefixcache.Config{})
+	ccfg := prefixcache.Config{}
+	if fabric {
+		ccfg.JournalDepth = 256
+	}
+	caches := cluster.NewShardCaches(shards, ccfg)
 	arm.armCaches = caches
 	ecfg := rollout.DefaultConfig(gpu.NewDevice(gpu.H100, 1))
 	ecfg.SDThreshold = -1 // vanilla decode: the figure isolates prefill reuse
-	cl, err := cluster.New(cluster.Config{
+	clcfg := cluster.Config{
 		Shards: shards,
 		Shard: serving.Config{
 			Engine: ecfg, Replicas: 1, QueueDepth: 64,
@@ -177,14 +197,29 @@ func runCacheArm(b *bench, name string, mkPolicy func([]*prefixcache.Cache) clus
 		},
 		Policy: mkPolicy(caches),
 		Caches: caches,
-	}, b.target, nil)
+	}
+	if fabric {
+		// TopK large enough that every template and repeated task prompt
+		// replicates: savings then track the cache-aware arm while the
+		// holder rotation spreads the load the warm-shard concentration
+		// would otherwise pile onto one shard.
+		clcfg.Fabric = &cachefabric.Config{TopK: 128, MaxEntries: 4096}
+	}
+	cl, err := cluster.New(clcfg, b.target, nil)
 	if err != nil {
 		arm.err = err
 		return arm
 	}
 	defer cl.Stop()
 
+	nextTick := fabricTickEvery
 	for _, a := range arrivals {
+		if fabric {
+			for a.At >= nextTick {
+				cl.FabricTick()
+				nextTick += fabricTickEvery
+			}
+		}
 		_, err := cl.Serve(context.Background(), cluster.Request{
 			Prompt: prompts[a.Task],
 			MaxNew: maxNew,
@@ -210,6 +245,19 @@ func runCacheArm(b *bench, name string, mkPolicy func([]*prefixcache.Cache) clus
 	}
 	if promptPositions > 0 {
 		arm.savedFrac = float64(arm.stats.CacheSavedPositions) / float64(promptPositions)
+	}
+	// Load-balance figure: max/mean served requests across shards. 1.0 is
+	// perfectly even; the shard count is the worst case (everything on one
+	// shard — the hotspot cache-affinity routing tends toward).
+	var maxServed, sumServed int
+	for _, sh := range arm.stats.Shards {
+		sumServed += sh.Served
+		if sh.Served > maxServed {
+			maxServed = sh.Served
+		}
+	}
+	if sumServed > 0 {
+		arm.loadRatio = float64(maxServed) * float64(len(arm.stats.Shards)) / float64(sumServed)
 	}
 	return arm
 }

@@ -4,12 +4,15 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math/rand"
 	"sync"
 	"time"
 
+	"fastrl/internal/cachefabric"
 	"fastrl/internal/cluster"
 	"fastrl/internal/gpu"
 	"fastrl/internal/metrics"
+	"fastrl/internal/prefixcache"
 	"fastrl/internal/rollout"
 	"fastrl/internal/serving"
 	"fastrl/internal/slo"
@@ -39,7 +42,11 @@ type chaosArm struct {
 	faultTTFTs []float64
 	// postmortems counts the flight-recorder captures the faults left.
 	postmortems int
-	err         error
+	// reviveWarmHits counts revived shards whose first templated request
+	// after the fabric warm handoff scored a prefill cache hit (the replay
+	// fails hard on any revive where it does not).
+	reviveWarmHits int
+	err            error
 }
 
 func (a *chaosArm) availability(total int) float64 {
@@ -72,6 +79,16 @@ func runChaos(opts Options) (*Result, error) {
 		windows = 6
 		rate = 24
 	}
+	// Every prompt is template ++ task prompt: the shared prefix gives the
+	// per-shard caches real locality, so a revived shard's warm handoff has
+	// something cluster-hot to restore — the thing the post-revive probe
+	// asserts.
+	tmplRng := rand.New(rand.NewSource(seed ^ 0x7e9))
+	template := make([]int, 16)
+	for i := range template {
+		template[i] = tmplRng.Intn(b.tk.VocabSize())
+	}
+
 	duration := time.Duration(windows) * window
 	arrivals := workload.GenerateArrivals(workload.ArrivalConfig{
 		Duration:   duration,
@@ -100,7 +117,7 @@ func runChaos(opts Options) (*Result, error) {
 	forEach(2, func(i int) {
 		arms[i] = runChaosArm(b, i == 0, arrivals, plan, chaosArmConfig{
 			shards: shards, replicas: replicas, window: window,
-			windows: windows, maxNew: maxNew,
+			windows: windows, maxNew: maxNew, template: template,
 		})
 	})
 
@@ -135,6 +152,7 @@ func runChaos(opts Options) (*Result, error) {
 		res.Metric(arm.name+"/failovers", float64(st.Failovers))
 		res.Metric(arm.name+"/dup_deliveries", float64(st.DuplicateDeliveries))
 		res.Metric(arm.name+"/postmortems", float64(arm.postmortems))
+		res.Metric(arm.name+"/revive_warm_hits", float64(arm.reviveWarmHits))
 		res.Metric(arm.name+"/slo_breaches", float64(st.SLOBreaches))
 		res.Metric(arm.name+"/token_checksum", float64(arm.checksum))
 		res.Metric(arm.name+"/fault_ttft_p999_ms", 1000*faultTail)
@@ -169,6 +187,7 @@ func runChaos(opts Options) (*Result, error) {
 		"availability, failovers, and the delivered-token checksum are seed-deterministic (the CI acceptance test replays the experiment and compares them exactly); latency tails carry wall time and are not",
 		"fault ttft p99.9 samples only requests submitted during fault windows; cluster ttft/latency p99.9 are exact bucket-wise histogram merges across shards",
 		"each shard runs an availability SLO (objective 99%, 500ms fast window): a fault torching the shard's inflight requests burns the budget and drops a KindSLOBreach marker into the same flight ring as the fault record — the replay fails hard if any crash/hang leaves no breach marker behind it",
+		"every prompt shares a 16-token template; revived shards rejoin through the cache fabric's warm handoff, and the replay fails hard unless each one's first templated request scores a prefill cache hit (revive_warm_hits counts the revives that passed)",
 	)
 	return res, nil
 }
@@ -188,6 +207,8 @@ type chaosArmConfig struct {
 	shards, replicas int
 	window           time.Duration
 	windows, maxNew  int
+	// template is the shared prompt prefix prepended to every task prompt.
+	template []int
 }
 
 // runChaosArm replays the trace and fault plan through a fresh cluster.
@@ -209,13 +230,21 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 	// private seed, which is what makes a failover replay bit-identical.
 	ecfg.Strategies = []specdec.Params{{DraftDepth: 6, TopK: 6, TokensToVerify: 24}}
 	ecfg.MAB.Thresholds = []int{1}
+	// Per-shard caches plus the cluster cache fabric: revives restore the
+	// hot templated prefix through the fabric's warm handoff instead of
+	// rejoining cold. Routing stays prefix-affinity — hashing past the
+	// shared template so tasks spread as before — keeping the kill set
+	// independent of cache state.
+	caches := cluster.NewShardCaches(cfg.shards, prefixcache.Config{JournalDepth: 128})
 	cl, err := cluster.New(cluster.Config{
 		Shards: cfg.shards,
 		Shard: serving.Config{
 			Engine: ecfg, Replicas: cfg.replicas, QueueDepth: 512,
 			AnswerID: b.tk.Answer(), EosID: b.tk.Eos(),
 		},
-		Policy: cluster.NewPrefixAffinity(4),
+		Policy: cluster.NewPrefixAffinity(len(cfg.template) + 4),
+		Caches: caches,
+		Fabric: &cachefabric.Config{},
 		// Headroom for the burst plus failover resubmissions: chaos measures
 		// fault loss, not admission loss.
 		Admission: cluster.AdmissionConfig{MaxPending: 512},
@@ -274,6 +303,44 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 		}
 	}
 
+	// probeRevived is the warm-handoff smoke: immediately after a revive,
+	// the shard's very first templated request must already score a prefill
+	// cache hit. The probe prompt is the shard's hottest restored prefix —
+	// every resident path stems from templated traffic, so it must carry
+	// the shared template, and serving it exercises the real prefill-lookup
+	// path against the handed-off state before any routed traffic arrives.
+	probeRevived := func(shard int) error {
+		c := caches[shard]
+		hot := c.HotPrefixStats(1)
+		if len(hot) == 0 {
+			return fmt.Errorf("chaos arm %s: revived shard %d rejoined with an empty cache — warm handoff copied nothing",
+				arm.name, shard)
+		}
+		probe := hot[0].Tokens
+		if len(probe) < len(cfg.template) {
+			return fmt.Errorf("chaos arm %s: revived shard %d hottest restored prefix is %d tokens, shorter than the %d-token template",
+				arm.name, shard, len(probe), len(cfg.template))
+		}
+		for i, tok := range cfg.template {
+			if probe[i] != tok {
+				return fmt.Errorf("chaos arm %s: revived shard %d restored prefix diverges from the shared template at token %d — handoff shipped non-templated state",
+					arm.name, shard, i)
+			}
+		}
+		before := c.Stats().Hits
+		if _, err := cl.ShardServer(shard).Serve(context.Background(), serving.Request{
+			Prompt: probe, MaxNew: 8, Seed: 0x9e37 + int64(shard),
+		}); err != nil {
+			return fmt.Errorf("chaos arm %s: revived shard %d refused its first templated request: %w", arm.name, shard, err)
+		}
+		if after := c.Stats().Hits; after <= before {
+			return fmt.Errorf("chaos arm %s: revived shard %d served its first templated request without a prefill cache hit",
+				arm.name, shard)
+		}
+		arm.reviveWarmHits++
+		return nil
+	}
+
 	next, fi, ri := 0, 0, 0
 	var expected []expectedFault
 	for w := 0; w < cfg.windows; w++ {
@@ -285,8 +352,15 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 				arm.err = err
 				return arm
 			}
+			if err := probeRevived(revives[ri].Shard); err != nil {
+				arm.err = err
+				return arm
+			}
 			ri++
 		}
+		// Fabric replication round at the window boundary: hot templated
+		// prefixes spread to every live shard in virtual time.
+		cl.FabricTick()
 		var due []cluster.FaultEvent
 		for fi < len(faults) && faults[fi].At < wEnd {
 			due = append(due, faults[fi])
@@ -309,8 +383,9 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 		next += len(batch)
 		streams := make([]*cluster.Stream, 0, len(batch))
 		for _, a := range batch {
+			prompt := append(append([]int(nil), cfg.template...), b.gen.Pool()[a.Task].Prompt...)
 			st, err := cl.Stream(context.Background(), cluster.Request{
-				Prompt: b.gen.Pool()[a.Task].Prompt,
+				Prompt: prompt,
 				MaxNew: cfg.maxNew,
 				Prior:  workload.LengthPrior{TargetLen: a.TargetLen, Sharpness: 25},
 				Seed:   a.Seed,
@@ -370,6 +445,10 @@ func runChaosArm(b *bench, failover bool, arrivals []workload.Arrival, plan clus
 	}
 	for ri < len(revives) {
 		if err := cl.ReviveShard(revives[ri].Shard, clock.Now()); err != nil {
+			arm.err = err
+			return arm
+		}
+		if err := probeRevived(revives[ri].Shard); err != nil {
 			arm.err = err
 			return arm
 		}

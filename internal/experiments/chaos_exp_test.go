@@ -10,8 +10,10 @@ import (
 var chaosDeterministic = []string{
 	"with/availability", "with/served", "with/failed", "with/shed",
 	"with/failovers", "with/dup_deliveries", "with/token_checksum",
+	"with/revive_warm_hits",
 	"without/availability", "without/served", "without/failed", "without/shed",
 	"without/dup_deliveries", "without/token_checksum",
+	"without/revive_warm_hits",
 	"recovery_ms",
 }
 
@@ -63,5 +65,11 @@ func TestChaosExperimentAcceptance(t *testing.T) {
 	// otherwise the contrast above is vacuous.
 	if failed := first["without/failed"]; failed <= 0 {
 		t.Errorf("no-failover failed = %v, want > 0", failed)
+	}
+	// Warm-handoff smoke: the replay fails hard when a revived shard's
+	// first templated request misses its cache, so any successful run with
+	// zero counted revives means the probe never executed at all.
+	if warm := first["with/revive_warm_hits"]; warm <= 0 {
+		t.Errorf("revive_warm_hits = %v, want > 0 (warm-handoff probe never ran)", warm)
 	}
 }

@@ -54,6 +54,10 @@ type Config struct {
 	// burst of in-flight requests can hold the cache over budget
 	// transiently). 0 means DefaultBudgetBytes; negative disables eviction.
 	BudgetBytes int64
+	// JournalDepth bounds the versioned eviction journal consumed by the
+	// cluster cache fabric (EvictionsSince). 0 disables the journal — the
+	// default, so a cache outside a fabric pays nothing for it.
+	JournalDepth int
 }
 
 // Cache is a shared, concurrency-safe radix prefix cache.
@@ -76,6 +80,15 @@ type Cache struct {
 	inserts   metrics.Counter
 	evictions metrics.Counter
 	nodes     int
+
+	// nodeSeq numbers nodes in creation order; together with per-node hit
+	// counts it gives HotPrefixes a deterministic total order.
+	nodeSeq uint64
+	// evictSeq versions evictions; journal is a bounded ring of the most
+	// recent JournalDepth eviction records (nil when the journal is off).
+	evictSeq   uint64
+	journal    []EvictionRecord
+	journalCap uint64
 }
 
 // Node is one radix-tree node: the compressed token run from its parent,
@@ -104,6 +117,10 @@ type Node struct {
 	// cont counts observed continuations: token that followed this prefix
 	// -> occurrences.
 	cont map[int]uint32
+	// hits counts Lookup walks that terminated at this node and seq is the
+	// creation sequence number; both guarded by the cache lock.
+	hits int64
+	seq  uint64
 
 	prev, next *Node
 }
@@ -117,6 +134,10 @@ func New(cfg Config) *Cache {
 	c := &Cache{
 		root:   &Node{children: make(map[int]*Node)},
 		budget: budget,
+	}
+	if cfg.JournalDepth > 0 {
+		c.journal = make([]EvictionRecord, cfg.JournalDepth)
+		c.journalCap = uint64(cfg.JournalDepth)
 	}
 	c.lru.prev, c.lru.next = &c.lru, &c.lru
 	return c
@@ -169,6 +190,7 @@ func (c *Cache) Lookup(tokens []int) (*Node, int) {
 	if n != nil {
 		matched = n.depth
 		n.refs.Add(1)
+		n.hits++
 	}
 	c.lookups.Observe(n != nil)
 	c.saved.Add(int64(matched))
@@ -298,10 +320,12 @@ func (c *Cache) Insert(tokens []int, promptLen int, hidden *model.HiddenState) *
 // newNode creates a child of parent with the given label run (copied) and
 // links it into the tree, LRU order, and byte accounting.
 func (c *Cache) newNode(parent *Node, run []int) *Node {
+	c.nodeSeq++
 	n := &Node{
 		parent: parent,
 		label:  append([]int(nil), run...),
 		depth:  parent.depth + len(run),
+		seq:    c.nodeSeq,
 	}
 	if parent.children == nil {
 		parent.children = make(map[int]*Node, 1)
@@ -317,11 +341,13 @@ func (c *Cache) newNode(parent *Node, run []int) *Node {
 // new mid node above it. The original node keeps its payload, references,
 // and identity (so retained pointers stay valid); the mid node is fresh.
 func (c *Cache) split(n *Node, k int) *Node {
+	c.nodeSeq++
 	mid := &Node{
 		parent:   n.parent,
 		label:    n.label[:k:k],
 		children: map[int]*Node{n.label[k]: n},
 		depth:    n.depth - len(n.label) + k,
+		seq:      c.nodeSeq,
 	}
 	n.parent.children[n.label[0]] = mid
 	n.parent = mid
@@ -394,8 +420,16 @@ func (c *Cache) evict() {
 }
 
 // remove unlinks a childless node from the tree, LRU order, and byte
-// accounting. Caller holds c.mu.
+// accounting, journaling the eviction when a journal is configured.
+// Caller holds c.mu.
 func (c *Cache) remove(n *Node) {
+	c.evictSeq++
+	if c.journalCap > 0 {
+		c.journal[(c.evictSeq-1)%c.journalCap] = EvictionRecord{
+			Seq:    c.evictSeq,
+			Tokens: n.AppendTokens(nil),
+		}
+	}
 	delete(n.parent.children, n.label[0])
 	c.lruUnlink(n)
 	c.nodes--
@@ -473,19 +507,21 @@ func (c *Cache) Stats() Stats {
 	}
 }
 
-// HotPrefixes returns up to k full token prefixes in most-recently-used
-// order — the re-warm set a revived shard replays through Insert to come
-// back hot instead of cold. Each returned slice is freshly allocated; the
-// caller owns it.
+// HotPrefixes returns up to k full token prefixes ranked hottest first —
+// the re-warm set a revived shard replays through Insert to come back hot
+// instead of cold. Ranking is by per-node Lookup hit count descending with
+// node-creation order breaking ties, so the order is a pure function of
+// the operation history: equal hit counts never reorder across runs and
+// fabric replication driven by this list is seed-reproducible. Each
+// returned slice is freshly allocated; the caller owns it.
 func (c *Cache) HotPrefixes(k int) [][]int {
-	if k <= 0 {
+	stats := c.HotPrefixStats(k)
+	if stats == nil {
 		return nil
 	}
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	out := make([][]int, 0, k)
-	for n := c.lru.next; n != &c.lru && len(out) < k; n = n.next {
-		out = append(out, n.AppendTokens(nil))
+	out := make([][]int, len(stats))
+	for i, s := range stats {
+		out[i] = s.Tokens
 	}
 	return out
 }
